@@ -1,0 +1,183 @@
+//! Dataflow auto-tuning — the reproduction's stand-in for the Timeloop
+//! mapper the paper uses ("We relied on the Timeloop tool to provide the
+//! most optimal dataflow pattern", §4.1).
+//!
+//! For each layer the mapper enumerates the dataflow styles of Tables
+//! 2–4, sweeps power-of-two tile sizes that fit the global buffer
+//! (double-buffered), and picks the candidate with the least total DRAM
+//! traffic, breaking ties toward fewer schedule steps.
+
+use crate::dataflow::{ConvDataflow, Dataflow, MatmulDataflow, PreprocDataflow};
+use crate::layer::{LayerDesc, LayerKind};
+use crate::tiling::TileConfig;
+use crate::trace::LayerSchedule;
+
+/// Mapper search constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct MapperConfig {
+    /// Global-buffer capacity in bytes (paper Table 1: 240 KB).
+    pub global_buffer_bytes: u64,
+    /// Restrict the search to dataflows whose VN pattern Seculator's
+    /// generator supports (always true in practice — all of them are).
+    pub max_candidates: usize,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        Self { global_buffer_bytes: 240 * 1024, max_candidates: usize::MAX }
+    }
+}
+
+/// Errors produced by the mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapperError {
+    /// No legal (dataflow, tiling) pair fits the global buffer.
+    NoFeasibleMapping {
+        /// The layer that could not be mapped.
+        layer_id: u32,
+    },
+}
+
+impl std::fmt::Display for MapperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoFeasibleMapping { layer_id } => {
+                write!(f, "no feasible mapping for layer {layer_id} fits the global buffer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapperError {}
+
+fn pow2_divisor_candidates(dim: u32) -> Vec<u32> {
+    // Prefer exact divisors so tile partitions cover tensors exactly;
+    // include the dimension itself.
+    let mut out: Vec<u32> = (0..=dim.ilog2().min(12))
+        .map(|p| 1u32 << p)
+        .filter(|t| dim.is_multiple_of(*t))
+        .collect();
+    if !out.contains(&dim) {
+        out.push(dim);
+    }
+    out
+}
+
+fn candidate_dataflows(layer: &LayerDesc) -> Vec<Dataflow> {
+    match layer.kind {
+        LayerKind::Conv(_)
+        | LayerKind::Deconv(_)
+        | LayerKind::DepthwiseConv(_)
+        | LayerKind::Pool { .. } => {
+            ConvDataflow::ALL.iter().copied().map(Dataflow::Conv).collect()
+        }
+        LayerKind::Matmul(_) | LayerKind::FullyConnected(_) => {
+            MatmulDataflow::ALL.iter().copied().map(Dataflow::Matmul).collect()
+        }
+        LayerKind::Preproc { .. } => {
+            PreprocDataflow::ALL.iter().copied().map(Dataflow::Preproc).collect()
+        }
+    }
+}
+
+/// Finds the minimum-DRAM-traffic schedule for `layer` that fits the
+/// global buffer.
+///
+/// # Errors
+///
+/// Returns [`MapperError::NoFeasibleMapping`] if no candidate fits
+/// (cannot happen for realistic buffer sizes because a 1×1×1×1 tile
+/// always fits).
+pub fn map_layer(layer: &LayerDesc, cfg: &MapperConfig) -> Result<LayerSchedule, MapperError> {
+    let d = layer.dims();
+    let mut best: Option<(u64, u64, LayerSchedule)> = None;
+    let mut evaluated = 0usize;
+
+    for dataflow in candidate_dataflows(layer) {
+        for &kt in &pow2_divisor_candidates(d.k) {
+            for &ct in &pow2_divisor_candidates(d.c) {
+                for &ht in &pow2_divisor_candidates(d.h) {
+                    for &wt in &pow2_divisor_candidates(d.w) {
+                        if evaluated >= cfg.max_candidates {
+                            break;
+                        }
+                        evaluated += 1;
+                        let tiling = TileConfig { kt, ct, ht, wt };
+                        let Ok(schedule) = LayerSchedule::new(*layer, dataflow, tiling) else {
+                            continue;
+                        };
+                        if schedule.resident_bytes() > cfg.global_buffer_bytes {
+                            continue;
+                        }
+                        let traffic = schedule.traffic().total();
+                        let steps = schedule.write_pattern().len();
+                        let better = match &best {
+                            None => true,
+                            Some((bt, bs, _)) => {
+                                traffic < *bt || (traffic == *bt && steps < *bs)
+                            }
+                        };
+                        if better {
+                            best = Some((traffic, steps, schedule));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    best.map(|(_, _, s)| s).ok_or(MapperError::NoFeasibleMapping { layer_id: layer.id })
+}
+
+/// Maps every layer of a network with the same configuration.
+///
+/// # Errors
+///
+/// Propagates the first [`MapperError`] encountered.
+pub fn map_network(
+    layers: &[LayerDesc],
+    cfg: &MapperConfig,
+) -> Result<Vec<LayerSchedule>, MapperError> {
+    layers.iter().map(|l| map_layer(l, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvShape, LayerKind, MatmulShape};
+
+    #[test]
+    fn mapper_finds_feasible_low_traffic_schedule() {
+        let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(64, 32, 56, 3)));
+        let cfg = MapperConfig::default();
+        let s = map_layer(&layer, &cfg).unwrap();
+        assert!(s.resident_bytes() <= cfg.global_buffer_bytes);
+        // Traffic can never be below compulsory traffic (each tensor once).
+        let compulsory = layer.ifmap_bytes() + layer.weight_bytes() + layer.ofmap_bytes();
+        assert!(s.traffic().total() >= compulsory);
+        // ...and a good mapping should be within 4x of compulsory here.
+        assert!(s.traffic().total() <= 4 * compulsory, "traffic {}", s.traffic().total());
+    }
+
+    #[test]
+    fn tiny_buffer_still_maps_via_small_tiles() {
+        let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3)));
+        let cfg = MapperConfig { global_buffer_bytes: 4 * 1024, max_candidates: usize::MAX };
+        let s = map_layer(&layer, &cfg).unwrap();
+        assert!(s.resident_bytes() <= cfg.global_buffer_bytes);
+    }
+
+    #[test]
+    fn matmul_layers_get_matmul_dataflows() {
+        let layer = LayerDesc::new(1, LayerKind::Matmul(MatmulShape::new(256, 256, 256)));
+        let s = map_layer(&layer, &MapperConfig::default()).unwrap();
+        assert!(matches!(s.dataflow(), Dataflow::Matmul(_)));
+    }
+
+    #[test]
+    fn infeasible_when_even_minimum_tile_exceeds_buffer() {
+        let layer = LayerDesc::new(2, LayerKind::Conv(ConvShape::simple(8, 8, 64, 3)));
+        let cfg = MapperConfig { global_buffer_bytes: 8, max_candidates: usize::MAX };
+        assert!(map_layer(&layer, &cfg).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion benchmark: functional compute substrate throughput —
+//! systolic-grid GEMM vs the direct reference, and quantized conv.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seculator_compute::quant::{qconv2d, QTensor3, QTensor4};
+use seculator_compute::reference::matmul;
+use seculator_compute::systolic::SystolicGrid;
+use seculator_compute::tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_64");
+    let (m, k, n) = (64usize, 64, 64);
+    g.throughput(Throughput::Elements((m * k * n) as u64));
+    let p = Matrix::seeded(m, k, 1);
+    let q = Matrix::seeded(k, n, 2);
+    g.bench_function("direct_reference", |b| {
+        b.iter(|| black_box(matmul(&p, &q)));
+    });
+    g.bench_function("systolic_grid_32x32", |b| {
+        let mut grid = SystolicGrid::new(32, 32);
+        b.iter(|| black_box(grid.gemm(&p, &q)));
+    });
+    g.finish();
+}
+
+fn bench_qconv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantized_conv");
+    let input = QTensor3::seeded(16, 28, 28, 3);
+    let weights = QTensor4::seeded(32, 16, 3, 3, 4);
+    let macs = 28u64 * 28 * 32 * 16 * 9;
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("int8_conv_28x28x16_to_32", |b| {
+        b.iter(|| black_box(qconv2d(&input, &weights, 1)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_gemm, bench_qconv
+}
+criterion_main!(benches);
+
+/// Short measurement windows keep the full suite's wall time reasonable
+/// while still giving stable medians for these deterministic kernels.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the crypto substrate: AES-128 block
+//! throughput, the 64-byte CTR datapath (four lanes), SHA-256 block MAC
+//! computation, and XTS. These bound the software cost of the functional
+//! datapath; the simulated hardware latencies live in `NpuConfig`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seculator_crypto::ctr::{AesCtr, BlockCounter};
+use seculator_crypto::xor_mac::{block_mac, BlockMacInput};
+use seculator_crypto::{Aes128, AesXts, Sha256};
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aes128");
+    let aes = Aes128::new(b"0123456789abcdef");
+    let block = [7u8; 16];
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)));
+    });
+    g.bench_function("decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(black_box(&ct)));
+    });
+    g.finish();
+}
+
+fn bench_ctr_and_xts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modes64");
+    g.throughput(Throughput::Bytes(64));
+    let ctr = AesCtr::new(b"0123456789abcdef");
+    let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
+    let data = [9u8; 64];
+    let counter = BlockCounter::from_parts(1, 2, 3, 4);
+    g.bench_function("ctr_encrypt64", |b| {
+        b.iter(|| ctr.encrypt_block64(black_box(&data), counter));
+    });
+    g.bench_function("xts_encrypt64", |b| {
+        b.iter(|| xts.encrypt_block64(black_box(&data), 42));
+    });
+    g.finish();
+}
+
+fn bench_sha_and_mac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("integrity");
+    let data = [3u8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("sha256_64B", |b| {
+        b.iter(|| Sha256::digest(black_box(&data)));
+    });
+    let secret = [1u8; 16];
+    let input = BlockMacInput {
+        device_secret: &secret,
+        layer_id: 1,
+        fmap_id: 2,
+        version: 3,
+        block_index: 4,
+    };
+    g.bench_function("block_mac", |b| {
+        b.iter(|| block_mac(black_box(input), black_box(&data)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_aes, bench_ctr_and_xts, bench_sha_and_mac
+}
+criterion_main!(benches);
+
+/// Short measurement windows keep the full suite's wall time reasonable
+/// while still giving stable medians for these deterministic kernels.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}

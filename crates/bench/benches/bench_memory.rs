@@ -1,0 +1,61 @@
+//! Criterion benchmark: the cycle-model substrate primitives — cache
+//! lookups and DRAM burst accounting — which dominate the timing
+//! simulator's inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seculator_sim::cache::Cache;
+use seculator_sim::config::NpuConfig;
+use seculator_sim::dram::{Dram, TrafficClass};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_model");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("streaming_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(8 * 1024, 64, 4);
+            let mut hits = 0u64;
+            for addr in 0..N {
+                if cache.access(addr % 4096, false).hit {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_model");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("burst_accounting", |b| {
+        b.iter(|| {
+            let mut dram = Dram::new(NpuConfig::paper().dram);
+            let mut cycles = 0u64;
+            for i in 0..N {
+                cycles += dram.read(64 * (1 + i % 16), TrafficClass::Data);
+            }
+            black_box(cycles)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_cache, bench_dram
+}
+criterion_main!(benches);
+
+/// Short measurement windows keep the full suite's wall time reasonable
+/// while still giving stable medians for these deterministic kernels.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}

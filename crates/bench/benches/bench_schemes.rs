@@ -1,0 +1,58 @@
+//! Criterion benchmark behind Figures 4/7: one full timing-simulation of
+//! a Table 1 benchmark under each security design. The measured quantity
+//! here is *simulator throughput*; the simulated cycle counts themselves
+//! are printed by the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seculator_core::{SchemeKind, TimingNpu};
+use seculator_models::zoo;
+use seculator_sim::config::NpuConfig;
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_resnet18");
+    g.sample_size(10);
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let net = zoo::resnet18();
+    let schedules = npu.map(&net).expect("resnet maps");
+    for scheme in [
+        SchemeKind::Baseline,
+        SchemeKind::Secure,
+        SchemeKind::Tnpu,
+        SchemeKind::GuardNn,
+        SchemeKind::Seculator,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &s| {
+            b.iter(|| black_box(npu.run_schedules(&net.name, &schedules, s).total_cycles()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapper");
+    g.sample_size(10);
+    let npu = TimingNpu::new(NpuConfig::paper());
+    for net in [zoo::mobilenet(), zoo::resnet18()] {
+        g.bench_with_input(BenchmarkId::from_parameter(&net.name), &net, |b, n| {
+            b.iter(|| black_box(npu.map(n).expect("maps").len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_schemes, bench_mapper
+}
+criterion_main!(benches);
+
+/// Short measurement windows keep the full suite's wall time reasonable
+/// while still giving stable medians for these deterministic kernels.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}

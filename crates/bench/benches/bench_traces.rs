@@ -1,0 +1,71 @@
+//! Criterion benchmark: tile-trace generation and the functional
+//! (bit-exact crypto) datapath throughput. Trace generation bounds how
+//! fast the timing simulator can go; the functional datapath bounds the
+//! size of networks the end-to-end security tests can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seculator_arch::dataflow::{ConvDataflow, Dataflow};
+use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind};
+use seculator_arch::tiling::TileConfig;
+use seculator_arch::trace::LayerSchedule;
+use seculator_core::FunctionalNpu;
+use seculator_crypto::DeviceSecret;
+use std::hint::black_box;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(64, 64, 56, 3)));
+    let tiling = TileConfig { kt: 8, ct: 8, ht: 14, wt: 14 };
+    let schedule = LayerSchedule::new(
+        layer,
+        Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+        tiling,
+    )
+    .expect("resolves");
+    let steps = schedule.write_pattern().len();
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function("vgg_scale_layer_steps", |b| {
+        b.iter(|| {
+            let mut accesses = 0u64;
+            schedule.for_each_step(|s| accesses += s.accesses.len() as u64);
+            black_box(accesses)
+        });
+    });
+    g.finish();
+}
+
+fn bench_functional_datapath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_datapath");
+    g.sample_size(10);
+    let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
+    let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+    let schedules = vec![LayerSchedule::new(
+        layer,
+        Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+        tiling,
+    )
+    .expect("resolves")];
+    g.bench_function("encrypt_mac_verify_small_layer", |b| {
+        b.iter(|| {
+            let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(1), 7);
+            black_box(npu.run(&schedules).expect("clean run verifies"))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_trace_generation, bench_functional_datapath
+}
+criterion_main!(benches);
+
+/// Short measurement windows keep the full suite's wall time reasonable
+/// while still giving stable medians for these deterministic kernels.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}

@@ -1,0 +1,44 @@
+//! Criterion benchmark behind Figure 9: Seculator+ layer widening. Each
+//! point simulates the widened base network under Seculator+; the
+//! simulated latency trend is printed by `figures fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seculator_core::widening::widen_network;
+use seculator_core::{SchemeKind, TimingNpu};
+use seculator_models::zoo::tiny_cnn;
+use seculator_sim::config::NpuConfig;
+use std::hint::black_box;
+
+fn bench_widening(c: &mut Criterion) {
+    let mut g = c.benchmark_group("widening_seculator_plus");
+    g.sample_size(10);
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let base = tiny_cnn();
+    for width in [32u32, 64, 128, 192] {
+        let net = widen_network(&base, width, 32);
+        g.bench_with_input(BenchmarkId::from_parameter(width), &net, |b, n| {
+            b.iter(|| {
+                black_box(
+                    npu.run(n, SchemeKind::SeculatorPlus).expect("maps").total_cycles(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_widening
+}
+criterion_main!(benches);
+
+/// Short measurement windows keep the full suite's wall time reasonable
+/// while still giving stable medians for these deterministic kernels.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}

@@ -1,0 +1,66 @@
+//! Smoke tests running the `figures` harness binary itself, so the
+//! experiment surface cannot silently bit-rot: each fast experiment must
+//! exit 0 and print its expected headline markers.
+
+use std::process::Command;
+
+fn run(arg: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .arg(arg)
+        .output()
+        .expect("figures binary runs");
+    assert!(out.status.success(), "`figures {arg}` failed: {:?}", out);
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn table2_prints_all_nine_rows_with_validated_patterns() {
+    let out = run("table2");
+    assert!(out.contains("P1:Multi-step"));
+    assert!(out.contains("P2:Step"));
+    assert!(out.contains("P5:Line"));
+    assert_eq!(out.matches("WP:").count(), 9, "nine dataflow rows");
+}
+
+#[test]
+fn table5_lists_all_six_designs() {
+    let out = run("table5");
+    for name in ["baseline", "secure", "tnpu", "guardnn", "seculator", "seculator+"] {
+        assert!(out.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn table6_reports_paper_and_model_columns() {
+    let out = run("table6");
+    assert!(out.contains("AES-128"));
+    assert!(out.contains("VN generator"));
+    assert!(out.contains("3900"), "paper area value present");
+}
+
+#[test]
+fn table7_shows_the_register_budget() {
+    let out = run("table7");
+    assert!(out.contains("seculator"));
+    assert!(out.contains("272"), "Seculator's constant 272-byte footprint");
+}
+
+#[test]
+fn unknown_experiment_fails_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .arg("not-an-experiment")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn json_export_is_parseable_shape() {
+    let out = run("json");
+    let payload = out.lines().last().expect("payload line");
+    assert!(payload.starts_with('[') && payload.ends_with(']'));
+    assert!(payload.contains("\"workload\":\"VGG16\""));
+    assert!(payload.contains("\"scheme\":\"seculator\""));
+    // 5 workloads × 5 schemes.
+    assert_eq!(payload.matches("{\"workload\"").count(), 25);
+}

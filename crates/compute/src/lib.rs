@@ -1,0 +1,54 @@
+//! # seculator-compute
+//!
+//! Functional tensor arithmetic for the Seculator (HPCA 2023)
+//! reproduction:
+//!
+//! - [`tensor`] — dense f32 tensors (feature maps, filters, matrices).
+//! - [`mod@reference`] — direct (untiled) convolution / depthwise / pooling /
+//!   matmul, the ground truth.
+//! - [`systolic`] — a bit-exact output-stationary systolic PE grid with
+//!   skewed operand injection, the compute substrate the timing model
+//!   abstracts.
+//! - [`executor`] — schedule-driven tiled execution: replays a
+//!   `LayerSchedule` in its exact loop order and performs the arithmetic
+//!   each step implies. Property tests show every dataflow of the
+//!   paper's Tables 2–3 computes the same convolution as the reference,
+//!   so the VN patterns derived from those schedules describe a real
+//!   computation.
+//!
+//! # Example
+//!
+//! ```
+//! use seculator_compute::tensor::{Tensor3, Tensor4};
+//! use seculator_compute::executor::conv_error_vs_reference;
+//! use seculator_arch::dataflow::{ConvDataflow, Dataflow};
+//! use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind};
+//! use seculator_arch::tiling::TileConfig;
+//! use seculator_arch::trace::LayerSchedule;
+//!
+//! let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(4, 2, 8, 3)));
+//! let schedule = LayerSchedule::new(
+//!     layer,
+//!     Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+//!     TileConfig { kt: 2, ct: 1, ht: 4, wt: 4 },
+//! )?;
+//! let input = Tensor3::seeded(2, 8, 8, 1);
+//! let weights = Tensor4::seeded(4, 2, 3, 3, 2);
+//! let err = conv_error_vs_reference(&schedule, &input, &weights)?;
+//! assert!(err < 1e-3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod executor;
+pub mod quant;
+pub mod reference;
+pub mod systolic;
+pub mod tensor;
+
+pub use executor::{conv_error_vs_reference, execute_conv, ExecError};
+pub use quant::{qconv2d, qconv2d_grouped, QAccum3, QTensor3, QTensor4};
+pub use systolic::SystolicGrid;
+pub use tensor::{Matrix, Tensor3, Tensor4};

@@ -1,0 +1,328 @@
+//! Quantized (int8) arithmetic: the datatype real NPUs run inference in.
+//!
+//! Feature maps and weights are `i8` with a per-tensor scale; products
+//! accumulate exactly in `i32`, so — unlike the f32 path — tiled and
+//! direct execution are *bit-identical* regardless of accumulation
+//! order. The equality tests here are exact, which makes the
+//! "every dataflow computes the same result" property airtight.
+
+use serde::{Deserialize, Serialize};
+
+/// A quantized 3-D tensor (`channel × row × col`, row-major `i8`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTensor3 {
+    /// Channels.
+    pub c: usize,
+    /// Rows.
+    pub h: usize,
+    /// Columns.
+    pub w: usize,
+    /// Per-tensor dequantization scale (`real = q · scale`).
+    pub scale: f32,
+    data: Vec<i8>,
+}
+
+impl QTensor3 {
+    /// Creates a zero tensor with the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    #[must_use]
+    pub fn zeros(c: usize, h: usize, w: usize, scale: f32) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "dimensions must be non-zero");
+        Self { c, h, w, scale, data: vec![0; c * h * w] }
+    }
+
+    /// Deterministic pseudo-random int8 fill.
+    #[must_use]
+    pub fn seeded(c: usize, h: usize, w: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(c, h, w, 1.0 / 64.0);
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1);
+        for v in &mut t.data {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state % 255) as i64 as i8;
+        }
+        t
+    }
+
+    /// Value at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> i8 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Zero-padded access.
+    #[inline]
+    #[must_use]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> i8 {
+        if y < 0 || x < 0 || y as usize >= self.h || x as usize >= self.w {
+            0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut i8 {
+        &mut self.data[(c * self.h + y) * self.w + x]
+    }
+}
+
+/// A quantized filter bank (`k × c × r × s`, `i8`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTensor4 {
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Filter rows.
+    pub r: usize,
+    /// Filter cols.
+    pub s: usize,
+    /// Per-tensor scale.
+    pub scale: f32,
+    data: Vec<i8>,
+}
+
+impl QTensor4 {
+    /// Deterministic pseudo-random filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    #[must_use]
+    pub fn seeded(k: usize, c: usize, r: usize, s: usize, seed: u64) -> Self {
+        assert!(k > 0 && c > 0 && r > 0 && s > 0, "dimensions must be non-zero");
+        let mut data = vec![0i8; k * c * r * s];
+        let mut state = seed.wrapping_mul(0x9E6C_63D0_876A_9A43).max(1);
+        for v in &mut data {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state % 255) as i64 as i8;
+        }
+        Self { k, c, r, s, scale: 1.0 / 128.0, data }
+    }
+
+    /// Value at `(k, c, r, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, k: usize, c: usize, r: usize, s: usize) -> i8 {
+        self.data[((k * self.c + c) * self.r + r) * self.s + s]
+    }
+}
+
+/// A 32-bit accumulator plane for quantized convolution outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QAccum3 {
+    /// Channels.
+    pub k: usize,
+    /// Rows.
+    pub h: usize,
+    /// Cols.
+    pub w: usize,
+    data: Vec<i32>,
+}
+
+impl QAccum3 {
+    /// Zero accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    #[must_use]
+    pub fn zeros(k: usize, h: usize, w: usize) -> Self {
+        assert!(k > 0 && h > 0 && w > 0, "dimensions must be non-zero");
+        Self { k, h, w, data: vec![0; k * h * w] }
+    }
+
+    /// Value at `(k, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, k: usize, y: usize, x: usize) -> i32 {
+        self.data[(k * self.h + y) * self.w + x]
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn at_mut(&mut self, k: usize, y: usize, x: usize) -> &mut i32 {
+        &mut self.data[(k * self.h + y) * self.w + x]
+    }
+
+    /// Requantizes to int8 with the combined scale (saturating).
+    #[must_use]
+    pub fn requantize(&self, in_scale: f32, w_scale: f32, out_scale: f32) -> QTensor3 {
+        let mut out = QTensor3::zeros(self.k, self.h, self.w, out_scale);
+        let factor = in_scale * w_scale / out_scale;
+        for k in 0..self.k {
+            for y in 0..self.h {
+                for x in 0..self.w {
+                    let v = (self.get(k, y, x) as f32 * factor).round();
+                    *out.at_mut(k, y, x) = v.clamp(-128.0, 127.0) as i8;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Direct quantized convolution with exact i32 accumulation
+/// ("same" padding, arbitrary stride).
+///
+/// # Panics
+///
+/// Panics if channel counts disagree or `stride` is zero.
+#[must_use]
+pub fn qconv2d(input: &QTensor3, weights: &QTensor4, stride: usize) -> QAccum3 {
+    assert_eq!(input.c, weights.c, "channel mismatch");
+    assert!(stride > 0, "stride must be positive");
+    let out_h = input.h.div_ceil(stride);
+    let out_w = input.w.div_ceil(stride);
+    let pad_r = (weights.r as isize - 1) / 2;
+    let pad_s = (weights.s as isize - 1) / 2;
+    let mut out = QAccum3::zeros(weights.k, out_h, out_w);
+    for k in 0..weights.k {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut acc = 0i32;
+                for c in 0..input.c {
+                    for r in 0..weights.r {
+                        for s in 0..weights.s {
+                            let iy = (y * stride) as isize + r as isize - pad_r;
+                            let ix = (x * stride) as isize + s as isize - pad_s;
+                            acc += i32::from(input.get_padded(c, iy, ix))
+                                * i32::from(weights.get(k, c, r, s));
+                        }
+                    }
+                }
+                *out.at_mut(k, y, x) = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Quantized convolution computed in an arbitrary channel-group order —
+/// the tiled executor's accumulation pattern. Because i32 addition is
+/// associative and commutative, this must equal [`qconv2d`] *exactly*.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree or a group is empty.
+#[must_use]
+pub fn qconv2d_grouped(
+    input: &QTensor3,
+    weights: &QTensor4,
+    stride: usize,
+    channel_group_order: &[std::ops::Range<usize>],
+) -> QAccum3 {
+    assert_eq!(input.c, weights.c, "channel mismatch");
+    let out_h = input.h.div_ceil(stride);
+    let out_w = input.w.div_ceil(stride);
+    let pad_r = (weights.r as isize - 1) / 2;
+    let pad_s = (weights.s as isize - 1) / 2;
+    let mut out = QAccum3::zeros(weights.k, out_h, out_w);
+    for group in channel_group_order {
+        for k in 0..weights.k {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let mut acc = 0i32;
+                    for c in group.clone() {
+                        for r in 0..weights.r {
+                            for s in 0..weights.s {
+                                let iy = (y * stride) as isize + r as isize - pad_r;
+                                let ix = (x * stride) as isize + s as isize - pad_s;
+                                acc += i32::from(input.get_padded(c, iy, ix))
+                                    * i32::from(weights.get(k, c, r, s));
+                            }
+                        }
+                    }
+                    *out.at_mut(k, y, x) += acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_accumulation_is_bit_identical_to_direct() {
+        let input = QTensor3::seeded(6, 8, 8, 1);
+        let weights = QTensor4::seeded(4, 6, 3, 3, 2);
+        let direct = qconv2d(&input, &weights, 1);
+        // Several group decompositions, including out-of-order ones.
+        let orders: Vec<Vec<std::ops::Range<usize>>> = vec![
+            vec![0..6],
+            vec![0..2, 2..4, 4..6],
+            vec![4..6, 0..2, 2..4],
+            vec![0..1, 1..2, 2..3, 3..4, 4..5, 5..6],
+        ];
+        for order in orders {
+            let grouped = qconv2d_grouped(&input, &weights, 1, &order);
+            assert_eq!(grouped, direct, "order {order:?} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn strided_quantized_conv_shrinks_output() {
+        let input = QTensor3::seeded(2, 8, 8, 3);
+        let weights = QTensor4::seeded(3, 2, 3, 3, 4);
+        let out = qconv2d(&input, &weights, 2);
+        assert_eq!((out.k, out.h, out.w), (3, 4, 4));
+    }
+
+    #[test]
+    fn requantize_saturates() {
+        let mut acc = QAccum3::zeros(1, 1, 2);
+        *acc.at_mut(0, 0, 0) = 1_000_000;
+        *acc.at_mut(0, 0, 1) = -1_000_000;
+        let q = acc.requantize(1.0, 1.0, 1.0);
+        assert_eq!(q.get(0, 0, 0), 127);
+        assert_eq!(q.get(0, 0, 1), -128);
+    }
+
+    #[test]
+    fn requantize_scales_correctly() {
+        let mut acc = QAccum3::zeros(1, 1, 1);
+        *acc.at_mut(0, 0, 0) = 100;
+        // in 0.5, w 0.5, out 5 → 100·0.25/5 = 5.
+        let q = acc.requantize(0.5, 0.5, 5.0);
+        assert_eq!(q.get(0, 0, 0), 5);
+    }
+
+    #[test]
+    fn padded_access_is_zero() {
+        let t = QTensor3::seeded(1, 2, 2, 9);
+        assert_eq!(t.get_padded(0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 5), 0);
+    }
+}

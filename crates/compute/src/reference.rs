@@ -1,0 +1,252 @@
+//! Direct (untiled) reference implementations of every layer kind: the
+//! ground truth the schedule-driven tiled executor is validated against.
+//!
+//! Convolutions use "same" zero-padding (`pad = (R−1)/2`) with an
+//! arbitrary stride, matching the tiling machinery's `out = ⌈in/stride⌉`
+//! convention.
+
+use crate::tensor::{Matrix, Tensor3, Tensor4};
+
+/// Direct convolution: `ofmap[k][y][x] = Σ_{c,r,s} ifmap[c][y·σ+r−p][x·σ+s−p] · w[k][c][r][s]`.
+///
+/// # Panics
+///
+/// Panics if the filter's channel count does not match the input's.
+#[must_use]
+pub fn conv2d(input: &Tensor3, weights: &Tensor4, stride: usize) -> Tensor3 {
+    assert_eq!(input.c, weights.c, "filter channels must match input channels");
+    assert!(stride > 0, "stride must be positive");
+    let out_h = input.h.div_ceil(stride);
+    let out_w = input.w.div_ceil(stride);
+    let pad_r = (weights.r as isize - 1) / 2;
+    let pad_s = (weights.s as isize - 1) / 2;
+    let mut out = Tensor3::zeros(weights.k, out_h, out_w);
+    for k in 0..weights.k {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut acc = 0.0f32;
+                for c in 0..input.c {
+                    for r in 0..weights.r {
+                        for s in 0..weights.s {
+                            let iy = (y * stride) as isize + r as isize - pad_r;
+                            let ix = (x * stride) as isize + s as isize - pad_s;
+                            acc += input.get_padded(c, iy, ix) * weights.get(k, c, r, s);
+                        }
+                    }
+                }
+                *out.at_mut(k, y, x) = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise convolution: channel `k` of the output depends only on
+/// channel `k` of the input (`weights.c` must be 1; `weights.k` equals
+/// the channel count).
+///
+/// # Panics
+///
+/// Panics if `weights.c != 1` or channel counts disagree.
+#[must_use]
+pub fn depthwise_conv2d(input: &Tensor3, weights: &Tensor4, stride: usize) -> Tensor3 {
+    assert_eq!(weights.c, 1, "depthwise filters have one input channel each");
+    assert_eq!(weights.k, input.c, "one filter per channel");
+    let out_h = input.h.div_ceil(stride);
+    let out_w = input.w.div_ceil(stride);
+    let pad_r = (weights.r as isize - 1) / 2;
+    let pad_s = (weights.s as isize - 1) / 2;
+    let mut out = Tensor3::zeros(input.c, out_h, out_w);
+    for k in 0..input.c {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut acc = 0.0f32;
+                for r in 0..weights.r {
+                    for s in 0..weights.s {
+                        let iy = (y * stride) as isize + r as isize - pad_r;
+                        let ix = (x * stride) as isize + s as isize - pad_s;
+                        acc += input.get_padded(k, iy, ix) * weights.get(k, 0, r, s);
+                    }
+                }
+                *out.at_mut(k, y, x) = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Max pooling with a square `window` (window == stride).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+#[must_use]
+pub fn max_pool(input: &Tensor3, window: usize) -> Tensor3 {
+    assert!(window > 0, "window must be positive");
+    let out_h = (input.h / window).max(1);
+    let out_w = (input.w / window).max(1);
+    let mut out = Tensor3::zeros(input.c, out_h, out_w);
+    for c in 0..input.c {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut best = f32::NEG_INFINITY;
+                for dy in 0..window {
+                    for dx in 0..window {
+                        let iy = y * window + dy;
+                        let ix = x * window + dx;
+                        if iy < input.h && ix < input.w {
+                            best = best.max(input.get(c, iy, ix));
+                        }
+                    }
+                }
+                *out.at_mut(c, y, x) = best;
+            }
+        }
+    }
+    out
+}
+
+/// Dense matrix product `R = P × Q`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn matmul(p: &Matrix, q: &Matrix) -> Matrix {
+    assert_eq!(p.cols, q.rows, "inner dimensions must agree");
+    let mut r = Matrix::zeros(p.rows, q.cols);
+    for i in 0..p.rows {
+        for j in 0..q.cols {
+            let mut acc = 0.0f32;
+            for k in 0..p.cols {
+                acc += p.get(i, k) * q.get(k, j);
+            }
+            *r.at_mut(i, j) = acc;
+        }
+    }
+    r
+}
+
+/// Rectified linear activation, in place.
+pub fn relu(t: &mut Tensor3) {
+    for c in 0..t.c {
+        for y in 0..t.h {
+            for x in 0..t.w {
+                let v = t.at_mut(c, y, x);
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_passes_input_through() {
+        // 1x1 filter of value 1 on one channel.
+        let input = Tensor3::seeded(1, 4, 4, 7);
+        let mut w = Tensor4::zeros(1, 1, 1, 1);
+        *w.at_mut(0, 0, 0, 0) = 1.0;
+        let out = conv2d(&input, &w, 1);
+        assert!(out.max_abs_diff(&input) < 1e-6);
+    }
+
+    #[test]
+    fn averaging_filter_on_constant_input() {
+        // 3x3 all-ones filter on a constant image: interior pixels sum 9.
+        let mut input = Tensor3::zeros(1, 5, 5);
+        for y in 0..5 {
+            for x in 0..5 {
+                *input.at_mut(0, y, x) = 1.0;
+            }
+        }
+        let mut w = Tensor4::zeros(1, 1, 3, 3);
+        for r in 0..3 {
+            for s in 0..3 {
+                *w.at_mut(0, 0, r, s) = 1.0;
+            }
+        }
+        let out = conv2d(&input, &w, 1);
+        assert!((out.get(0, 2, 2) - 9.0).abs() < 1e-6, "interior");
+        assert!((out.get(0, 0, 0) - 4.0).abs() < 1e-6, "corner sees 2x2 valid window");
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let input = Tensor3::seeded(2, 8, 8, 3);
+        let w = Tensor4::seeded(4, 2, 3, 3, 5);
+        let out = conv2d(&input, &w, 2);
+        assert_eq!((out.c, out.h, out.w), (4, 4, 4));
+    }
+
+    #[test]
+    fn channels_accumulate() {
+        // Two channels each contributing 1 through 1x1 unit filters.
+        let mut input = Tensor3::zeros(2, 2, 2);
+        for c in 0..2 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    *input.at_mut(c, y, x) = 1.0;
+                }
+            }
+        }
+        let mut w = Tensor4::zeros(1, 2, 1, 1);
+        *w.at_mut(0, 0, 0, 0) = 1.0;
+        *w.at_mut(0, 1, 0, 0) = 1.0;
+        let out = conv2d(&input, &w, 1);
+        assert!((out.get(0, 1, 1) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_independent() {
+        let mut input = Tensor3::zeros(2, 3, 3);
+        *input.at_mut(0, 1, 1) = 1.0;
+        *input.at_mut(1, 1, 1) = 10.0;
+        let mut w = Tensor4::zeros(2, 1, 1, 1);
+        *w.at_mut(0, 0, 0, 0) = 2.0;
+        *w.at_mut(1, 0, 0, 0) = 3.0;
+        let out = depthwise_conv2d(&input, &w, 1);
+        assert!((out.get(0, 1, 1) - 2.0).abs() < 1e-6);
+        assert!((out.get(1, 1, 1) - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let mut input = Tensor3::zeros(1, 4, 4);
+        *input.at_mut(0, 0, 1) = 5.0;
+        *input.at_mut(0, 3, 3) = -1.0;
+        let out = max_pool(&input, 2);
+        assert_eq!((out.h, out.w), (2, 2));
+        assert!((out.get(0, 0, 0) - 5.0).abs() < 1e-6);
+        assert!((out.get(0, 1, 1) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let mut p = Matrix::zeros(2, 3);
+        let mut q = Matrix::zeros(3, 2);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            *p.at_mut(i / 3, i % 3) = *v;
+        }
+        for (i, v) in [7.0, 8.0, 9.0, 10.0, 11.0, 12.0].iter().enumerate() {
+            *q.at_mut(i / 2, i % 2) = *v;
+        }
+        let r = matmul(&p, &q);
+        assert!((r.get(0, 0) - 58.0).abs() < 1e-6);
+        assert!((r.get(1, 1) - 154.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut t = Tensor3::zeros(1, 1, 2);
+        *t.at_mut(0, 0, 0) = -3.0;
+        *t.at_mut(0, 0, 1) = 2.0;
+        relu(&mut t);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+        assert_eq!(t.get(0, 0, 1), 2.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal dense tensor types for the functional compute substrate:
+//! row-major `f32` storage with 3-D (`C×H×W`) and 4-D (`K×C×R×S`)
+//! indexing. Everything the functional NPU computes flows through these.
+
+/// A dense 3-D tensor, indexed `[channel][row][col]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    /// Channels.
+    pub c: usize,
+    /// Rows.
+    pub h: usize,
+    /// Columns.
+    pub w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
+        Self { c, h, w, data: vec![0.0; c * h * w] }
+    }
+
+    /// Creates a tensor with a deterministic pseudo-random fill (keyed by
+    /// `seed`), handy for reproducible tests.
+    #[must_use]
+    pub fn seeded(c: usize, h: usize, w: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(c, h, w);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for v in &mut t.data {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Small-magnitude values keep accumulation exactly summable
+            // in f32 regardless of order.
+            *v = ((state % 17) as f32 - 8.0) / 4.0;
+        }
+        t
+    }
+
+    /// Element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Value at `(c, y, x)` with zero padding outside the bounds
+    /// (`y`/`x` may be negative or past the edge).
+    #[inline]
+    #[must_use]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.h || x as usize >= self.w {
+            0.0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Mutable access to `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        &mut self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Raw data slice (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!((self.c, self.h, self.w), (other.c, other.h, other.w), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// A dense 4-D filter tensor, indexed `[k][c][r][s]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Filter rows.
+    pub r: usize,
+    /// Filter columns.
+    pub s: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled filter bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize) -> Self {
+        assert!(k > 0 && c > 0 && r > 0 && s > 0, "filter dimensions must be non-zero");
+        Self { k, c, r, s, data: vec![0.0; k * c * r * s] }
+    }
+
+    /// Deterministic pseudo-random filters.
+    #[must_use]
+    pub fn seeded(k: usize, c: usize, r: usize, s: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(k, c, r, s);
+        let mut state = seed.wrapping_mul(0xD1B5_4A32_D192_ED03).max(1);
+        for v in &mut t.data {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = ((state % 9) as f32 - 4.0) / 4.0;
+        }
+        t
+    }
+
+    /// Value at `(k, c, r, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, k: usize, c: usize, r: usize, s: usize) -> f32 {
+        self.data[((k * self.c + c) * self.r + r) * self.s + s]
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, k: usize, c: usize, r: usize, s: usize) -> &mut f32 {
+        &mut self.data[((k * self.c + c) * self.r + r) * self.s + s]
+    }
+}
+
+/// A dense matrix, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Deterministic pseudo-random matrix.
+    #[must_use]
+    pub fn seeded(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        let mut state = seed.wrapping_mul(0xA076_1D64_78BD_642F).max(1);
+        for v in &mut m.data {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = ((state % 13) as f32 - 6.0) / 4.0;
+        }
+        m
+    }
+
+    /// Value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor3_indexing_roundtrip() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        *t.at_mut(1, 2, 3) = 7.5;
+        assert_eq!(t.get(1, 2, 3), 7.5);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn padded_access_is_zero_outside() {
+        let t = Tensor3::seeded(1, 2, 2, 3);
+        assert_eq!(t.get_padded(0, -1, 0), 0.0);
+        assert_eq!(t.get_padded(0, 0, 2), 0.0);
+        assert_eq!(t.get_padded(0, 1, 1), t.get(0, 1, 1));
+    }
+
+    #[test]
+    fn seeded_fills_are_deterministic_and_distinct() {
+        let a = Tensor3::seeded(2, 4, 4, 1);
+        let b = Tensor3::seeded(2, 4, 4, 1);
+        let c = Tensor3::seeded(2, 4, 4, 2);
+        assert_eq!(a, b);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn tensor4_indexing() {
+        let mut f = Tensor4::zeros(2, 3, 3, 3);
+        *f.at_mut(1, 2, 0, 1) = -1.0;
+        assert_eq!(f.get(1, 2, 0, 1), -1.0);
+    }
+
+    #[test]
+    fn matrix_diff() {
+        let a = Matrix::seeded(3, 3, 1);
+        let mut b = a.clone();
+        *b.at_mut(2, 2) += 0.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,45 @@
+//! # seculator-core
+//!
+//! The Seculator (HPCA 2023) secure-NPU architecture: on-the-fly version
+//! number generation, layer-level XOR-MAC integrity, and timing models of
+//! all six designs the paper evaluates.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod audit;
+pub mod command;
+pub mod detection;
+pub mod engine;
+pub mod mea;
+pub mod storage;
+pub mod functional;
+pub mod hwcost;
+pub mod mac_verify;
+pub mod noise;
+pub mod npu;
+pub mod pipeline;
+pub mod secure_infer;
+pub mod secure_memory;
+pub mod sgx_functional;
+pub mod tnpu_functional;
+pub mod vngen;
+pub mod widening;
+
+pub use audit::{audit_network, AuditFinding, AuditReport};
+pub use command::{AuthenticatedCommand, Command, CommandError, HostChannel, NpuCommandProcessor};
+pub use detection::{detection_latency, DetectionLatency, RecoveryModel};
+pub use engine::{make_engine, SchemeKind, SchemeTiming, TileSecurityCost};
+pub use functional::{Attack, FunctionalNpu, FunctionalReport, SecurityError};
+pub use mac_verify::{LayerMacVerifier, ReadOnlyVerifier, VerifyOutcome};
+pub use noise::{observe_network_with_noise, observe_with_noise, NoiseConfig, NoisyObservation};
+pub use npu::TimingNpu;
+pub use pipeline::{amortization_curve, run_batch, BatchStats, PipelineConfig};
+pub use secure_infer::{infer_plain, infer_protected, InferError, QConvLayer};
+pub use secure_memory::{BlockCoords, CryptoDatapath, UntrustedDram};
+pub use sgx_functional::{SgxError, SgxMemory};
+pub use tnpu_functional::{TnpuError, TnpuMemory};
+pub use vngen::{FirstReadDetector, PatternCounter, VnGenerator};
+pub use mea::{evaluate_defense, infer_layer_dims, AddressTraceObserver, MeaReport};
+pub use storage::{table7_rows, StorageFootprint};
+pub use widening::{intersperse_dummy, widen_layer, widen_network};

@@ -1,0 +1,269 @@
+//! The hardware version-number generator (paper §6.2): a tiny FSM that,
+//! given the master-equation triplet `⟨η, κ, ρ⟩` for the current layer,
+//! produces every version number the NPU needs — replacing TNPU's
+//! Tensor Table and GuardNN's host-managed VN store.
+//!
+//! The generator holds three counters (run position, staircase level,
+//! repetition) and advances them on each ofmap eviction / read-back. Its
+//! storage footprint is a handful of registers, matching the paper's
+//! 40 µm² synthesis result (Table 6).
+
+use seculator_arch::pattern::PatternSpec;
+
+/// One pattern-following counter: produces the sequence
+/// `(1^η, 2^η, …, κ^η)^ρ` one element at a time, with O(1) state.
+#[derive(Debug, Clone)]
+pub struct PatternCounter {
+    spec: PatternSpec,
+    run: u64,
+    level: u32,
+    rep: u64,
+    emitted: u64,
+}
+
+impl PatternCounter {
+    /// Creates a counter at the start of the pattern.
+    #[must_use]
+    pub fn new(spec: PatternSpec) -> Self {
+        Self { spec, run: 0, level: 1, rep: 0, emitted: 0 }
+    }
+
+    /// The triplet being generated.
+    #[must_use]
+    pub fn spec(&self) -> PatternSpec {
+        self.spec
+    }
+
+    /// Number of VNs produced so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// True once the whole sequence has been produced.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.emitted >= self.spec.len()
+    }
+
+    /// Produces the next VN, or `None` when the sequence is exhausted.
+    ///
+    /// This is the hardware datapath: three register updates, no memory.
+    pub fn next_vn(&mut self) -> Option<u32> {
+        if self.exhausted() {
+            return None;
+        }
+        let vn = self.level;
+        self.emitted += 1;
+        self.run += 1;
+        if self.run == self.spec.eta {
+            self.run = 0;
+            self.level += 1;
+            if self.level > self.spec.kappa {
+                self.level = 1;
+                self.rep += 1;
+            }
+        }
+        Some(vn)
+    }
+}
+
+/// The per-layer VN generator: a write counter, an optional read counter,
+/// and the previous layer's final VN for decrypting ifmap data
+/// (paper §6.4: read-only data keeps "the last-generated VN in the
+/// previous layer").
+///
+/// # Examples
+///
+/// ```
+/// use seculator_core::vngen::VnGenerator;
+/// use seculator_arch::pattern::PatternSpec;
+///
+/// // The host ships ⟨η=2, κ=3, ρ=1⟩ for this layer.
+/// let mut gen = VnGenerator::new(PatternSpec::new(2, 3, 1), None, 1);
+/// assert_eq!(gen.next_write_vn(), Some(1));
+/// assert_eq!(gen.final_write_vn(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VnGenerator {
+    write: PatternCounter,
+    read: Option<PatternCounter>,
+    ifmap_vn: u32,
+    weight_vn: u32,
+}
+
+impl VnGenerator {
+    /// Configures the generator for a layer from the triplet(s) the host
+    /// shares at layer start and the previous layer's final VN.
+    #[must_use]
+    pub fn new(
+        write_pattern: PatternSpec,
+        read_pattern: Option<PatternSpec>,
+        prev_layer_final_vn: u32,
+    ) -> Self {
+        Self {
+            write: PatternCounter::new(write_pattern),
+            read: read_pattern.map(PatternCounter::new),
+            ifmap_vn: prev_layer_final_vn,
+            weight_vn: 1,
+        }
+    }
+
+    /// VN for the next ofmap tile eviction.
+    pub fn next_write_vn(&mut self) -> Option<u32> {
+        self.write.next_vn()
+    }
+
+    /// VN for the next partial-ofmap read-back.
+    pub fn next_read_vn(&mut self) -> Option<u32> {
+        self.read.as_mut().and_then(PatternCounter::next_vn)
+    }
+
+    /// VN under which ifmap blocks (the previous layer's outputs) are
+    /// decrypted.
+    #[must_use]
+    pub fn ifmap_vn(&self) -> u32 {
+        self.ifmap_vn
+    }
+
+    /// VN for read-only filter weights (always 1, paper §6.4).
+    #[must_use]
+    pub fn weight_vn(&self) -> u32 {
+        self.weight_vn
+    }
+
+    /// The final VN this layer's ofmap will carry — what the *next*
+    /// layer must use as its `ifmap_vn`.
+    #[must_use]
+    pub fn final_write_vn(&self) -> u32 {
+        self.write.spec().final_vn()
+    }
+
+    /// True when every expected write VN has been issued (layer-complete
+    /// condition checked before the MAC verification fires).
+    #[must_use]
+    pub fn writes_complete(&self) -> bool {
+        self.write.exhausted()
+    }
+}
+
+/// The first-read detector circuit (paper §6.4: "it is very easy to
+/// design a circuit using our master equation to figure out when an
+/// input tile is read for the first time").
+///
+/// Ifmap tile reads arrive in a deterministic order fixed by the
+/// schedule shape and the input-reuse factor, so one counter plus a
+/// modular comparison decides "first read" with O(1) state — feeding the
+/// `MAC_FR` register without any seen-tile table.
+#[derive(Debug, Clone)]
+pub struct FirstReadDetector {
+    shape: seculator_arch::dataflow::ScheduleShape,
+    factor: seculator_arch::dataflow::ReadFactor,
+    alpha_k: u64,
+    alpha_c: u64,
+    index: u64,
+}
+
+impl FirstReadDetector {
+    /// Configures the detector from the layer's resolved generator spec.
+    #[must_use]
+    pub fn new(spec: &seculator_arch::dataflow::GeneratorSpec) -> Self {
+        Self {
+            shape: spec.shape,
+            factor: spec.ifmap_factor,
+            alpha_k: u64::from(spec.alphas.alpha_k),
+            alpha_c: u64::from(spec.alphas.alpha_c),
+            index: 0,
+        }
+    }
+
+    /// Consumes the next ifmap tile read and reports whether it is the
+    /// first read of that tile in this layer.
+    pub fn next_is_first(&mut self) -> bool {
+        use seculator_arch::dataflow::{ReadFactor, ScheduleShape};
+        let i = self.index;
+        self.index += 1;
+        match (self.shape, self.factor) {
+            // Reused inputs are fetched exactly once, so every observed
+            // read is a first read (for SingleWrite shapes, reads only
+            // happen on the first output group).
+            (_, ReadFactor::Once | ReadFactor::PerSpatialTile) => true,
+            // Accumulating shapes with per-output-group refetch: reads
+            // arrive (…, ct, kt)-ordered; the kt == 0 read is first.
+            (
+                ScheduleShape::AccumAlongChannel | ScheduleShape::AccumAlongSpace,
+                ReadFactor::PerOutputGroup,
+            ) => i.is_multiple_of(self.alpha_k),
+            // Output-stationary: reads arrive (kt, ct)-ordered per
+            // spatial tile; the whole first kt group is first.
+            (ScheduleShape::SingleWrite, ReadFactor::PerOutputGroup) => {
+                i % (self.alpha_k * self.alpha_c) < self.alpha_c
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seculator_arch::pattern::PatternSpec;
+
+    #[test]
+    fn counter_reproduces_master_equation() {
+        for (eta, kappa, rho) in [(1u64, 1u32, 1u64), (3, 4, 2), (5, 1, 7), (1, 6, 1)] {
+            let spec = PatternSpec::new(eta, kappa, rho);
+            let mut c = PatternCounter::new(spec);
+            let generated: Vec<u32> = std::iter::from_fn(|| c.next_vn()).collect();
+            let expected: Vec<u32> = spec.iter().collect();
+            assert_eq!(generated, expected, "⟨{eta},{kappa},{rho}⟩");
+            assert!(c.exhausted());
+            assert_eq!(c.next_vn(), None, "exhausted counter must stay exhausted");
+        }
+    }
+
+    #[test]
+    fn generator_tracks_all_vn_classes() {
+        let wp = PatternSpec::new(2, 3, 1);
+        let rp = PatternSpec::new(2, 2, 1);
+        let mut g = VnGenerator::new(wp, Some(rp), 5);
+        assert_eq!(g.ifmap_vn(), 5);
+        assert_eq!(g.weight_vn(), 1);
+        assert_eq!(g.final_write_vn(), 3);
+        assert_eq!(g.next_write_vn(), Some(1));
+        assert_eq!(g.next_read_vn(), Some(1));
+        // Drain writes: 2,2,3,3 remain after the first two 1,?
+        let rest: Vec<u32> = std::iter::from_fn(|| g.next_write_vn()).collect();
+        assert_eq!(rest, [1, 2, 2, 3, 3]);
+        assert!(g.writes_complete());
+    }
+
+    #[test]
+    fn no_read_pattern_means_no_read_vns() {
+        let mut g = VnGenerator::new(PatternSpec::new(4, 1, 1), None, 1);
+        assert_eq!(g.next_read_vn(), None);
+    }
+
+    #[test]
+    fn first_read_detector_matches_trace_flags_for_all_dataflows() {
+        use seculator_arch::dataflow::{ConvDataflow, Dataflow};
+        use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind};
+        use seculator_arch::tiling::TileConfig;
+        use seculator_arch::trace::{AccessOp, LayerSchedule, TensorClass};
+
+        let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
+        let tiling = TileConfig { kt: 2, ct: 2, ht: 8, wt: 8 };
+        for df in ConvDataflow::ALL {
+            let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).unwrap();
+            let mut detector = FirstReadDetector::new(s.spec());
+            let mut ok = true;
+            s.for_each_step(|step| {
+                for a in &step.accesses {
+                    if a.tensor == TensorClass::Ifmap && a.op == AccessOp::Read {
+                        ok &= detector.next_is_first() == a.first_read;
+                    }
+                }
+            });
+            assert!(ok, "detector diverged from trace flags for {df:?}");
+        }
+    }
+}

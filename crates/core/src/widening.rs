@@ -1,0 +1,128 @@
+//! Seculator+ — layer widening and dummy-network interspersing for model
+//! extraction / address-side-channel defense (paper §7.5, following Li et
+//! al.'s NeurObfuscator techniques).
+//!
+//! Layer widening pads every layer's feature maps with junk pixels so an
+//! observer of the memory bus cannot recover the real layer dimensions.
+//! Because Seculator's security overhead is already low (no metadata
+//! traffic), widening scales more gracefully on it than on the competing
+//! designs — paper Figure 9.
+
+use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind, MatmulShape};
+use seculator_models::Network;
+
+/// Scales a spatial dimension by `num/den`, rounding up, min 1.
+fn scale(v: u32, num: u32, den: u32) -> u32 {
+    (u64::from(v) * u64::from(num)).div_ceil(u64::from(den)).max(1) as u32
+}
+
+/// Widens one layer's spatial dimensions by `num/den`.
+#[must_use]
+pub fn widen_layer(layer: &LayerDesc, num: u32, den: u32) -> LayerDesc {
+    let widen_conv = |s: ConvShape| ConvShape {
+        h: scale(s.h, num, den),
+        w: scale(s.w, num, den),
+        ..s
+    };
+    let kind = match layer.kind {
+        LayerKind::Conv(s) => LayerKind::Conv(widen_conv(s)),
+        LayerKind::Deconv(s) => LayerKind::Deconv(widen_conv(s)),
+        LayerKind::DepthwiseConv(s) => LayerKind::DepthwiseConv(widen_conv(s)),
+        LayerKind::Pool { c, h, w, window } => LayerKind::Pool {
+            c,
+            h: scale(h, num, den),
+            w: scale(w, num, den),
+            window,
+        },
+        LayerKind::Preproc { style, c, k_out, h, w } => LayerKind::Preproc {
+            style,
+            c,
+            k_out,
+            h: scale(h, num, den),
+            w: scale(w, num, den),
+        },
+        // Matmuls widen their row dimension (sequence/batch axis).
+        LayerKind::Matmul(m) => {
+            LayerKind::Matmul(MatmulShape { h: scale(m.h, num, den), ..m })
+        }
+        LayerKind::FullyConnected(m) => {
+            LayerKind::FullyConnected(MatmulShape { h: scale(m.h, num, den), ..m })
+        }
+    };
+    LayerDesc::new(layer.id, kind)
+}
+
+/// Widens every layer of a network by `num/den` (e.g. `56/32` to grow a
+/// 32×32 base to 56×56, as in Figure 9).
+#[must_use]
+pub fn widen_network(network: &Network, num: u32, den: u32) -> Network {
+    let layers = network
+        .layers
+        .iter()
+        .map(|l| widen_layer(l, num, den).kind)
+        .collect();
+    Network::new(format!("{}@x{num}/{den}", network.name), layers)
+}
+
+/// Interleaves a dummy (noise) network's layers between the real
+/// network's layers — the paper's other obfuscation knob ("interspersing
+/// the execution with the running of a dummy network", §1 contribution 6).
+/// The dummy layers process junk data; an address-bus observer sees a
+/// deeper, differently-shaped network.
+#[must_use]
+pub fn intersperse_dummy(real: &Network, dummy: &Network) -> Network {
+    let mut kinds = Vec::with_capacity(real.layers.len() + dummy.layers.len());
+    let mut dummy_iter = dummy.layers.iter().cycle();
+    for l in &real.layers {
+        kinds.push(l.kind);
+        if let Some(d) = dummy_iter.next() {
+            kinds.push(d.kind);
+        }
+    }
+    Network::new(format!("{}+dummy({})", real.name, dummy.name), kinds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seculator_models::zoo::{tiny_cnn, tiny_mlp};
+
+    #[test]
+    fn widening_scales_spatial_dims_and_traffic() {
+        let net = tiny_cnn();
+        let wide = widen_network(&net, 2, 1);
+        assert_eq!(wide.depth(), net.depth());
+        // First conv 32x32 -> 64x64: 4x the output pixels.
+        let d0 = net.layers[0].dims();
+        let w0 = wide.layers[0].dims();
+        assert_eq!((w0.h, w0.w), (d0.h * 2, d0.w * 2));
+        assert!(wide.macs() >= 4 * net.macs() / 2, "compute must grow superlinearly");
+        // Parameters are untouched — widening pads data, not the model.
+        assert_eq!(wide.params(), net.params());
+    }
+
+    #[test]
+    fn fractional_widening_rounds_up() {
+        let net = tiny_cnn();
+        let wide = widen_network(&net, 56, 32);
+        let w0 = wide.layers[0].dims();
+        assert_eq!((w0.h, w0.w), (56, 56));
+    }
+
+    #[test]
+    fn interspersed_network_hides_real_depth() {
+        let real = tiny_cnn();
+        let noisy = intersperse_dummy(&real, &tiny_mlp());
+        assert_eq!(noisy.depth(), real.depth() * 2);
+        assert!(noisy.macs() > real.macs());
+    }
+
+    #[test]
+    fn widen_matmul_rows() {
+        let mlp = tiny_mlp();
+        let wide = widen_network(&mlp, 3, 1);
+        assert_eq!(wide.layers[0].dims().h, 3);
+        // Weight matrices unchanged.
+        assert_eq!(wide.params(), mlp.params());
+    }
+}

@@ -1,0 +1,263 @@
+//! AES-128 block cipher (FIPS-197), implemented from first principles.
+//!
+//! The S-box and its inverse are *derived* at first use from the GF(2^8)
+//! inverse + affine transform defined in the standard (see [`crate::gf`]),
+//! rather than transcribed, so correctness reduces to the field arithmetic
+//! (unit-tested against FIPS examples) plus the FIPS-197 Appendix C known
+//! answer test below.
+//!
+//! Seculator uses four parallel AES-128 engines to encrypt one 64-byte
+//! memory block (paper §6.3); the cycle cost of that datapath is modeled in
+//! `seculator-sim`, while this module provides the *functional* cipher used
+//! by the secure-memory datapath.
+
+use crate::gf::{gf_mul, sbox_byte};
+use std::sync::OnceLock;
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+const NR: usize = 10;
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..256 {
+            let s = sbox_byte(x as u8);
+            sbox[x] = s;
+            inv_sbox[s as usize] = x as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// An expanded AES-128 key, ready to encrypt or decrypt 16-byte blocks.
+///
+/// # Examples
+///
+/// ```
+/// use seculator_crypto::aes::Aes128;
+///
+/// let key = [0u8; 16];
+/// let aes = Aes128::new(&key);
+/// let pt = [42u8; 16];
+/// let ct = aes.encrypt_block(&pt);
+/// assert_eq!(aes.decrypt_block(&ct), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug output.
+        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys of AES-128 (FIPS-197 §5.2).
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let sbox = &tables().sbox;
+        let mut w = [[0u8; 4]; 4 * (NR + 1)];
+        for i in 0..NK {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon: u8 = 1;
+        for i in NK..4 * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                // RotWord + SubWord + Rcon
+                temp = [
+                    sbox[temp[1] as usize] ^ rcon,
+                    sbox[temp[2] as usize],
+                    sbox[temp[3] as usize],
+                    sbox[temp[0] as usize],
+                ];
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let sbox = &tables().sbox;
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..NR {
+            sub_bytes(&mut state, sbox);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state, sbox);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[NR]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    #[must_use]
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let inv_sbox = &tables().inv_sbox;
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[NR]);
+        for round in (1..NR).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state, inv_sbox);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state, inv_sbox);
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// The state is stored column-major exactly as the byte stream: byte
+// `4*c + r` is state row r, column c (FIPS-197 §3.4).
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16], inv_sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = inv_sbox[*b as usize];
+    }
+}
+
+/// Row `r` rotates left by `r` positions. Row r, column c lives at `4*c+r`.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn fips197_appendix_c_known_answer() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let expected: [u8; 16] = hex("69c4e0d86a7b0430d8cdb78070b4c55a").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_b_example_vector() {
+        // FIPS-197 Appendix B worked example.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let pt: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let expected: [u8; 16] = hex("3925841d02dc09fbdc118597196a0b32").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+    }
+
+    #[test]
+    fn roundtrip_many_random_blocks() {
+        let aes = Aes128::new(b"0123456789abcdef");
+        let mut block = [0u8; 16];
+        for i in 0..200u32 {
+            block[0..4].copy_from_slice(&i.to_le_bytes());
+            let ct = aes.encrypt_block(&block);
+            assert_ne!(ct, block);
+            assert_eq!(aes.decrypt_block(&ct), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(b"0123456789abcdef");
+        let b = Aes128::new(b"0123456789abcdeg");
+        let pt = [7u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let a = Aes128::new(&[9u8; 16]);
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("redacted"));
+    }
+}

@@ -1,0 +1,204 @@
+//! AES counter-mode (CTR) encryption, the scheme used by SGX-Client,
+//! GuardNN, and Seculator.
+//!
+//! The block counter is encrypted to produce a one-time pad (OTP) that is
+//! XORed with the plaintext (paper §2.1.1, §6.3). Because XOR is an
+//! involution, encryption and decryption are the same operation; the
+//! security obligation is therefore *never reusing a counter under one
+//! key*, which `seculator-core` enforces by deriving counters from
+//! `(fmap id, layer id, VN, block index)`.
+
+use crate::aes::Aes128;
+
+/// A 128-bit CTR counter split into Seculator's major/minor halves.
+///
+/// The major half identifies *where* the block lives (fmap id ‖ layer id),
+/// the minor half identifies *which version* of it this is
+/// (version number ‖ block index within the fmap) — paper §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockCounter {
+    /// Major counter: `fmap id ‖ layer id`.
+    pub major: u64,
+    /// Minor counter: `version number ‖ block index`.
+    pub minor: u64,
+}
+
+impl BlockCounter {
+    /// Builds a counter from its four architectural components.
+    ///
+    /// `fmap_id` and `layer_id` each occupy 32 bits of the major counter;
+    /// `version` and `block_index` each occupy 32 bits of the minor
+    /// counter. Components are truncated to 32 bits, which matches the
+    /// hardware register widths in the paper's design.
+    #[must_use]
+    pub fn from_parts(fmap_id: u32, layer_id: u32, version: u32, block_index: u32) -> Self {
+        Self {
+            major: (u64::from(fmap_id) << 32) | u64::from(layer_id),
+            minor: (u64::from(version) << 32) | u64::from(block_index),
+        }
+    }
+
+    /// Serializes the counter into the 16-byte AES input block.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.major.to_be_bytes());
+        out[8..].copy_from_slice(&self.minor.to_be_bytes());
+        out
+    }
+}
+
+/// AES-128 CTR-mode cipher over 64-byte memory blocks.
+///
+/// A 64-byte block is processed as four consecutive 16-byte AES blocks
+/// whose counters differ in the low 2 bits — mirroring the four parallel
+/// AES engines of the paper's datapath.
+///
+/// # Examples
+///
+/// ```
+/// use seculator_crypto::ctr::{AesCtr, BlockCounter};
+///
+/// let ctr = AesCtr::new(b"super-secret-key");
+/// let counter = BlockCounter::from_parts(1, 2, 3, 4);
+/// let plain = [0xAAu8; 64];
+/// let cipher = ctr.encrypt_block64(&plain, counter);
+/// assert_ne!(cipher, plain);
+/// assert_eq!(ctr.decrypt_block64(&cipher, counter), plain);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    aes: Aes128,
+}
+
+impl AesCtr {
+    /// Creates a CTR cipher from a 16-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self { aes: Aes128::new(key) }
+    }
+
+    /// Produces the 64-byte one-time pad for `counter`.
+    ///
+    /// The four AES lanes use `counter.minor * 4 + lane` so that distinct
+    /// 64-byte blocks (distinct minor counters) never overlap lanes.
+    #[must_use]
+    pub fn pad64(&self, counter: BlockCounter) -> [u8; 64] {
+        let mut pad = [0u8; 64];
+        for lane in 0..4u64 {
+            let lane_counter = BlockCounter {
+                major: counter.major,
+                minor: counter.minor.wrapping_mul(4).wrapping_add(lane),
+            };
+            let block = self.aes.encrypt_block(&lane_counter.to_bytes());
+            pad[16 * lane as usize..16 * (lane as usize + 1)].copy_from_slice(&block);
+        }
+        pad
+    }
+
+    /// Encrypts a 64-byte block (`plaintext ⊕ OTP`).
+    #[must_use]
+    pub fn encrypt_block64(&self, plaintext: &[u8; 64], counter: BlockCounter) -> [u8; 64] {
+        let pad = self.pad64(counter);
+        let mut out = [0u8; 64];
+        for i in 0..64 {
+            out[i] = plaintext[i] ^ pad[i];
+        }
+        out
+    }
+
+    /// Decrypts a 64-byte block. Identical to encryption (XOR involution).
+    #[must_use]
+    pub fn decrypt_block64(&self, ciphertext: &[u8; 64], counter: BlockCounter) -> [u8; 64] {
+        self.encrypt_block64(ciphertext, counter)
+    }
+
+    /// Encrypts an arbitrary byte stream starting at `initial`, advancing
+    /// the minor counter per 16-byte AES block (classic SP 800-38A CTR).
+    ///
+    /// This variant exists for conformance testing against the NIST
+    /// vectors; the NPU datapath uses [`Self::encrypt_block64`].
+    #[must_use]
+    pub fn encrypt_stream(&self, data: &[u8], initial: [u8; 16]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut counter = initial;
+        for chunk in data.chunks(16) {
+            let pad = self.aes.encrypt_block(&counter);
+            for (i, b) in chunk.iter().enumerate() {
+                out.push(b ^ pad[i]);
+            }
+            // 128-bit big-endian increment.
+            for byte in counter.iter_mut().rev() {
+                *byte = byte.wrapping_add(1);
+                if *byte != 0 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr_vector() {
+        // SP 800-38A §F.5.1 CTR-AES128.Encrypt, first block.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let init: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let pt = hex("6bc1bee22e409f96e93d7e117393172a");
+        let expected = hex("874d6191b620e3261bef6864990db6ce");
+        let ctr = AesCtr::new(&key);
+        assert_eq!(ctr.encrypt_stream(&pt, init), expected);
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr_vector_second_block() {
+        // Second block of the same vector, exercising counter increment.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let init: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let pt = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
+        let out = AesCtr::new(&key).encrypt_stream(&pt, init);
+        assert_eq!(&out[16..32], &hex("9806f66b7970fdff8617187bb9fffdff")[..]);
+    }
+
+    #[test]
+    fn block64_roundtrip_and_counter_sensitivity() {
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        let c1 = BlockCounter::from_parts(0, 1, 2, 3);
+        let c2 = BlockCounter::from_parts(0, 1, 2, 4);
+        let pt = [0x5Au8; 64];
+        let e1 = ctr.encrypt_block64(&pt, c1);
+        let e2 = ctr.encrypt_block64(&pt, c2);
+        assert_ne!(e1, e2, "different block indices must yield different ciphertext");
+        assert_eq!(ctr.decrypt_block64(&e1, c1), pt);
+        // Decrypting with the wrong counter yields garbage, not plaintext.
+        assert_ne!(ctr.decrypt_block64(&e1, c2), pt);
+    }
+
+    #[test]
+    fn version_bump_changes_ciphertext() {
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        let pt = [9u8; 64];
+        let v1 = ctr.encrypt_block64(&pt, BlockCounter::from_parts(7, 3, 1, 0));
+        let v2 = ctr.encrypt_block64(&pt, BlockCounter::from_parts(7, 3, 2, 0));
+        assert_ne!(v1, v2, "freshness: same data re-encrypted under a new VN must differ");
+    }
+
+    #[test]
+    fn lane_counters_do_not_collide_across_adjacent_blocks() {
+        // block index i lane 3 vs block index i+1 lane 0 must use
+        // different AES inputs: minor*4+3 != (minor+1)*4+0.
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        let zero = [0u8; 64];
+        let p1 = ctr.encrypt_block64(&zero, BlockCounter::from_parts(0, 0, 0, 0));
+        let p2 = ctr.encrypt_block64(&zero, BlockCounter::from_parts(0, 0, 0, 1));
+        assert_ne!(&p1[48..64], &p2[0..16]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # seculator-crypto
+//!
+//! Cryptographic substrate for the Seculator (HPCA 2023) reproduction,
+//! implemented entirely from scratch against the public standards:
+//!
+//! - [`aes`] — AES-128 block cipher (FIPS-197), S-box derived from field
+//!   arithmetic rather than transcribed.
+//! - [`ctr`] — AES counter mode over 64-byte memory blocks with
+//!   Seculator's major/minor counter layout (fmap ‖ layer, VN ‖ index).
+//! - [`xts`] — AES-XTS tweakable cipher (TNPU / SGX-Server-style total
+//!   memory encryption).
+//! - [`sha256`] — SHA-256 (FIPS-180-4) with derived round constants.
+//! - [`xor_mac`] — XOR-aggregated block MACs and the 256-bit on-chip
+//!   registers behind Seculator's layer-level integrity equation
+//!   `MAC_W = MAC_FR ⊕ MAC_R`.
+//! - [`merkle`] — the integrity tree the SGX-Client-style baseline pays
+//!   for on counter-cache misses.
+//! - [`keys`] — device secrets and per-execution session-key derivation.
+//! - [`gf`] — GF(2^8) / GF(2^128) arithmetic shared by the above.
+//!
+//! Everything here is *functional* (bit-exact) crypto; the corresponding
+//! cycle costs live in `seculator-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use seculator_crypto::ctr::{AesCtr, BlockCounter};
+//! use seculator_crypto::keys::{DeviceSecret, SessionKey};
+//!
+//! let secret = DeviceSecret::from_seed(42);
+//! let key = SessionKey::derive(&secret, 0xC0FFEE);
+//! let cipher = AesCtr::new(&key.0);
+//! let counter = BlockCounter::from_parts(/*fmap*/ 0, /*layer*/ 1, /*vn*/ 1, /*block*/ 0);
+//! let ct = cipher.encrypt_block64(&[0u8; 64], counter);
+//! assert_eq!(cipher.decrypt_block64(&ct, counter), [0u8; 64]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aes;
+pub mod ctr;
+pub mod gf;
+pub mod keys;
+pub mod merkle;
+pub mod sha256;
+pub mod xor_mac;
+pub mod xts;
+
+pub use aes::Aes128;
+pub use ctr::{AesCtr, BlockCounter};
+pub use keys::{DeviceSecret, SessionKey};
+pub use merkle::MerkleTree;
+pub use sha256::Sha256;
+pub use xor_mac::{block_mac, BlockMacInput, MacRegister};
+pub use xts::AesXts;
+
+/// Size in bytes of one NPU memory block (the unit of encryption and MAC
+/// computation throughout the paper).
+pub const BLOCK_BYTES: usize = 64;
+
+/// Size in bytes of one stored MAC (the paper stores the full 32-byte
+/// SHA-256 digest).
+pub const MAC_BYTES: usize = 32;

@@ -1,0 +1,198 @@
+//! A binary Merkle (integrity) tree over counter blocks, as used by the
+//! SGX-Client-style `Secure` baseline design (paper §2.1.1).
+//!
+//! SGX protects its per-page counters with a hash tree whose root stays in
+//! the TCB. The `Secure` simulated design pays a tree traversal on every
+//! counter-cache miss; this module provides both the *functional* tree
+//! (verify/update with real SHA-256) and the *depth* queries the cycle
+//! model charges for.
+
+use crate::sha256::Sha256;
+
+/// A binary Merkle tree over fixed-size leaves (counter blocks).
+///
+/// The tree is stored as a flat array of 32-byte digests; leaf `i` lives
+/// at index `leaf_base + i`. Internal node `n` hashes the concatenation of
+/// its children's digests.
+///
+/// # Examples
+///
+/// ```
+/// use seculator_crypto::merkle::MerkleTree;
+///
+/// let mut tree = MerkleTree::new(4);
+/// tree.update_leaf(2, b"counter-value");
+/// assert!(tree.verify_leaf(2, b"counter-value"));
+/// assert!(!tree.verify_leaf(2, b"stale-counter"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// Flat heap layout: node 1 is the root, node `2n`/`2n+1` are children.
+    nodes: Vec<[u8; 32]>,
+    leaf_count: usize,
+}
+
+impl MerkleTree {
+    /// Creates a tree over `leaf_count` leaves (rounded up to a power of
+    /// two), all initialized to the hash of empty content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_count` is zero.
+    #[must_use]
+    pub fn new(leaf_count: usize) -> Self {
+        assert!(leaf_count > 0, "merkle tree needs at least one leaf");
+        let padded = leaf_count.next_power_of_two();
+        let mut tree = Self { nodes: vec![[0u8; 32]; 2 * padded], leaf_count: padded };
+        // Initialize leaves to hash of empty, then fill internal nodes.
+        let empty = Sha256::digest(b"");
+        for i in 0..padded {
+            tree.nodes[padded + i] = empty;
+        }
+        for n in (1..padded).rev() {
+            tree.nodes[n] = tree.hash_children(n);
+        }
+        tree
+    }
+
+    fn hash_children(&self, n: usize) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.nodes[2 * n]);
+        h.update(&self.nodes[2 * n + 1]);
+        h.finalize()
+    }
+
+    /// Number of leaves (after power-of-two padding).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Tree depth — the number of internal levels a traversal touches.
+    /// This is the quantity the cycle model charges per counter-cache
+    /// miss in the `Secure` design.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.leaf_count.trailing_zeros()
+    }
+
+    /// Root digest (held inside the TCB; never written to DRAM).
+    #[must_use]
+    pub fn root(&self) -> [u8; 32] {
+        self.nodes[1]
+    }
+
+    /// Writes new content for leaf `index` and re-hashes the path to the
+    /// root. Returns the number of internal nodes rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn update_leaf(&mut self, index: usize, content: &[u8]) -> u32 {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        let mut n = self.leaf_count + index;
+        self.nodes[n] = Sha256::digest(content);
+        let mut rewritten = 0;
+        while n > 1 {
+            n /= 2;
+            self.nodes[n] = self.hash_children(n);
+            rewritten += 1;
+        }
+        rewritten
+    }
+
+    /// Verifies that `content` matches leaf `index` *and* that the path to
+    /// the root is consistent (i.e., what SGX does on a counter fetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn verify_leaf(&self, index: usize, content: &[u8]) -> bool {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        let mut n = self.leaf_count + index;
+        if self.nodes[n] != Sha256::digest(content) {
+            return false;
+        }
+        while n > 1 {
+            let parent = n / 2;
+            let mut h = Sha256::new();
+            h.update(&self.nodes[2 * parent]);
+            h.update(&self.nodes[2 * parent + 1]);
+            if self.nodes[parent] != h.finalize() {
+                return false;
+            }
+            n = parent;
+        }
+        true
+    }
+
+    /// Adversarial hook for tests: overwrite a stored leaf digest without
+    /// fixing up the path (simulates tampering with DRAM-resident tree
+    /// levels).
+    pub fn corrupt_leaf_digest(&mut self, index: usize, digest: [u8; 32]) {
+        let n = self.leaf_count + index;
+        self.nodes[n] = digest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_verify() {
+        let mut t = MerkleTree::new(8);
+        for i in 0..8 {
+            t.update_leaf(i, format!("ctr-{i}").as_bytes());
+        }
+        for i in 0..8 {
+            assert!(t.verify_leaf(i, format!("ctr-{i}").as_bytes()));
+            assert!(!t.verify_leaf(i, b"wrong"));
+        }
+    }
+
+    #[test]
+    fn depth_is_log2_of_padded_leaves() {
+        assert_eq!(MerkleTree::new(1).depth(), 0);
+        assert_eq!(MerkleTree::new(2).depth(), 1);
+        assert_eq!(MerkleTree::new(5).depth(), 3); // padded to 8
+        assert_eq!(MerkleTree::new(1024).depth(), 10);
+    }
+
+    #[test]
+    fn root_changes_on_any_leaf_update() {
+        let mut t = MerkleTree::new(16);
+        let r0 = t.root();
+        t.update_leaf(7, b"x");
+        let r1 = t.root();
+        assert_ne!(r0, r1);
+        t.update_leaf(7, b"y");
+        assert_ne!(r1, t.root());
+    }
+
+    #[test]
+    fn replay_is_detected_via_path_inconsistency() {
+        let mut t = MerkleTree::new(4);
+        t.update_leaf(0, b"v1");
+        let old_digest = Sha256::digest(b"v1");
+        t.update_leaf(0, b"v2");
+        // Attacker rolls the leaf digest back to the stale version.
+        t.corrupt_leaf_digest(0, old_digest);
+        assert!(!t.verify_leaf(0, b"v1"), "stale content must not verify");
+        assert!(!t.verify_leaf(0, b"v2"), "current content no longer matches leaf digest");
+    }
+
+    #[test]
+    fn update_leaf_reports_path_length() {
+        let mut t = MerkleTree::new(8);
+        assert_eq!(t.update_leaf(0, b"a"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let t = MerkleTree::new(4);
+        let _ = t.verify_leaf(4, b"");
+    }
+}

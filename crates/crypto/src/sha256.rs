@@ -1,0 +1,245 @@
+//! SHA-256 (FIPS-180-4), implemented from first principles.
+//!
+//! Seculator computes a 32-byte MAC per memory block as
+//! `SHA256(P || L || F || VN || I || B)` (paper §6.4). The round constants
+//! are *derived* from the fractional parts of the cube roots of the first
+//! 64 primes (and the IV from square roots of the first 8 primes), exactly
+//! as the standard defines them, so the only transcribed data is the list
+//! of small primes.
+
+use std::sync::OnceLock;
+
+const PRIMES: [u32; 64] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311,
+];
+
+/// First 32 bits of the fractional part of `p^(1/n)`.
+fn frac_root_bits(p: u32, n: u32) -> u32 {
+    let root = (p as f64).powf(1.0 / n as f64);
+    let frac = root - root.floor();
+    // 2^32 * frac, truncated. f64 has 52 fraction bits, enough for exact
+    // agreement with the standard's constants.
+    (frac * 4294967296.0) as u32
+}
+
+fn k() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, p) in PRIMES.iter().enumerate() {
+            k[i] = frac_root_bits(*p, 3);
+        }
+        k
+    })
+}
+
+fn iv() -> [u32; 8] {
+    let mut h = [0u32; 8];
+    for i in 0..8 {
+        h[i] = frac_root_bits(PRIMES[i], 2);
+    }
+    h
+}
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use seculator_crypto::sha256::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(digest[0], 0xba);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher in the initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: iv(), buffer: [0u8; 64], buffer_len: 0, total_len: 0 }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let block: [u8; 64] = input[..64].try_into().expect("slice is 64 bytes");
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0]);
+        }
+        // Append length without re-counting it.
+        self.total_len = self.total_len.wrapping_sub(8); // neutralize the update below
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    #[must_use]
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k();
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn constants_match_standard() {
+        // Spot-check derived constants against FIPS-180-4 §4.2.2/§5.3.3.
+        assert_eq!(k()[0], 0x428a2f98);
+        assert_eq!(k()[1], 0x71374491);
+        assert_eq!(k()[63], 0xc67178f2);
+        assert_eq!(iv()[0], 0x6a09e667);
+        assert_eq!(iv()[7], 0x5be0cd19);
+    }
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 17, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split={split}");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! XOR-aggregated message authentication (Bellare, Guérin, Rogaway style),
+//! the heart of Seculator's *layer-level* integrity scheme (paper §6.4).
+//!
+//! Instead of storing one MAC per 64-byte block (as TNPU/GuardNN do),
+//! Seculator keeps a handful of 256-bit on-chip registers and XORs the
+//! per-block MAC `SHA256(P ‖ L ‖ F ‖ VN ‖ I ‖ B)` into the register that
+//! corresponds to the access class (write, read, first-read, input-read).
+//! At a layer boundary the single check `MAC_W = MAC_FR ⊕ MAC_R`
+//! (paper Eq. 1) verifies that everything written was read back exactly,
+//! in any order — XOR is commutative, and the block index `I` inside the
+//! MAC pins each block to its position.
+
+use crate::sha256::Sha256;
+
+/// A 256-bit XOR-accumulating MAC register (one of `MAC_W`, `MAC_R`,
+/// `MAC_FR`, `MAC_IR` in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use seculator_crypto::xor_mac::MacRegister;
+///
+/// let mut w = MacRegister::new();
+/// let mut r = MacRegister::new();
+/// w.absorb(&[1u8; 32]);
+/// w.absorb(&[2u8; 32]);
+/// r.absorb(&[2u8; 32]);
+/// r.absorb(&[1u8; 32]); // order does not matter
+/// assert_eq!(w, r);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacRegister([u8; 32]);
+
+impl MacRegister {
+    /// Creates a zeroed register.
+    #[must_use]
+    pub fn new() -> Self {
+        Self([0u8; 32])
+    }
+
+    /// XORs a 32-byte block MAC into the register.
+    pub fn absorb(&mut self, mac: &[u8; 32]) {
+        for i in 0..32 {
+            self.0[i] ^= mac[i];
+        }
+    }
+
+    /// Returns the register contents.
+    #[must_use]
+    pub fn value(&self) -> [u8; 32] {
+        self.0
+    }
+
+    /// True if the register is all-zero (the state after absorbing every
+    /// MAC an even number of times).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Resets the register to zero (done at each layer boundary).
+    pub fn reset(&mut self) {
+        self.0 = [0u8; 32];
+    }
+
+    /// Returns `self ⊕ other` without mutating either register.
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        let mut out = *self;
+        out.absorb(&other.0);
+        out
+    }
+}
+
+impl std::fmt::Display for MacRegister {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Identifies one 64-byte block for MAC purposes: the architectural
+/// coordinates that the paper concatenates into the hash input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockMacInput<'a> {
+    /// Secret id of the accelerator (`P` in the paper).
+    pub device_secret: &'a [u8; 16],
+    /// Layer id (`L`).
+    pub layer_id: u32,
+    /// Feature-map id (`F`).
+    pub fmap_id: u32,
+    /// Version number of the tile this block belongs to (`VN`).
+    pub version: u32,
+    /// Block index within the fmap (`I`).
+    pub block_index: u32,
+}
+
+/// Computes the per-block MAC `SHA256(P ‖ L ‖ F ‖ VN ‖ I ‖ B)`.
+///
+/// `block` is the 64-byte *plaintext* content (the MAC is computed at the
+/// global-buffer boundary, before encryption on a write and after
+/// decryption on a read).
+#[must_use]
+pub fn block_mac(input: BlockMacInput<'_>, block: &[u8; 64]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(input.device_secret);
+    h.update(&input.layer_id.to_be_bytes());
+    h.update(&input.fmap_id.to_be_bytes());
+    h.update(&input.version.to_be_bytes());
+    h.update(&input.block_index.to_be_bytes());
+    h.update(block);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: [u8; 16] = *b"device-secret-id";
+
+    fn input(layer: u32, fmap: u32, vn: u32, idx: u32) -> BlockMacInput<'static> {
+        BlockMacInput {
+            device_secret: &SECRET,
+            layer_id: layer,
+            fmap_id: fmap,
+            version: vn,
+            block_index: idx,
+        }
+    }
+
+    #[test]
+    fn mac_distinguishes_every_coordinate() {
+        let block = [7u8; 64];
+        let base = block_mac(input(1, 2, 3, 4), &block);
+        assert_ne!(base, block_mac(input(9, 2, 3, 4), &block), "layer id");
+        assert_ne!(base, block_mac(input(1, 9, 3, 4), &block), "fmap id");
+        assert_ne!(base, block_mac(input(1, 2, 9, 4), &block), "version");
+        assert_ne!(base, block_mac(input(1, 2, 3, 9), &block), "block index");
+        let mut tampered = block;
+        tampered[63] ^= 1;
+        assert_ne!(base, block_mac(input(1, 2, 3, 4), &tampered), "content");
+    }
+
+    #[test]
+    fn register_xor_is_order_independent_and_self_inverse() {
+        let macs: Vec<[u8; 32]> =
+            (0..8u32).map(|i| block_mac(input(0, 0, 1, i), &[i as u8; 64])).collect();
+        let mut fwd = MacRegister::new();
+        let mut rev = MacRegister::new();
+        for m in &macs {
+            fwd.absorb(m);
+        }
+        for m in macs.iter().rev() {
+            rev.absorb(m);
+        }
+        assert_eq!(fwd, rev);
+        // Absorbing everything a second time cancels out.
+        for m in &macs {
+            fwd.absorb(m);
+        }
+        assert!(fwd.is_zero());
+    }
+
+    #[test]
+    fn write_read_equation_holds_for_interleaved_order() {
+        // Simulate: layer writes blocks 0..16; re-reads 0..12 within the
+        // layer; the next layer first-reads 12..16. Check Eq. 1.
+        let blocks: Vec<[u8; 64]> = (0..16u8).map(|i| [i; 64]).collect();
+        let mut mac_w = MacRegister::new();
+        let mut mac_r = MacRegister::new();
+        let mut mac_fr = MacRegister::new();
+        for (i, b) in blocks.iter().enumerate() {
+            mac_w.absorb(&block_mac(input(5, 0, 1, i as u32), b));
+        }
+        for i in (0..12).rev() {
+            // arbitrary (reverse) order
+            mac_r.absorb(&block_mac(input(5, 0, 1, i as u32), &blocks[i as usize]));
+        }
+        for i in 12..16 {
+            mac_fr.absorb(&block_mac(input(5, 0, 1, i as u32), &blocks[i as usize]));
+        }
+        assert_eq!(mac_w, mac_fr.xor(&mac_r));
+    }
+
+    #[test]
+    fn equation_detects_single_bit_tamper() {
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let mut mac_w = MacRegister::new();
+        let mut mac_fr = MacRegister::new();
+        for (i, b) in blocks.iter().enumerate() {
+            mac_w.absorb(&block_mac(input(0, 0, 1, i as u32), b));
+        }
+        for (i, b) in blocks.iter().enumerate() {
+            let mut read_back = *b;
+            if i == 2 {
+                read_back[5] ^= 0x80; // adversarial flip
+            }
+            mac_fr.absorb(&block_mac(input(0, 0, 1, i as u32), &read_back));
+        }
+        assert_ne!(mac_w, mac_fr);
+    }
+
+    #[test]
+    fn equation_detects_block_swap() {
+        // Swapping two blocks preserves the multiset of contents but not
+        // the (index, content) pairs, so the MACs must differ.
+        let a = [1u8; 64];
+        let b = [2u8; 64];
+        let mut written = MacRegister::new();
+        written.absorb(&block_mac(input(0, 0, 1, 0), &a));
+        written.absorb(&block_mac(input(0, 0, 1, 1), &b));
+        let mut swapped = MacRegister::new();
+        swapped.absorb(&block_mac(input(0, 0, 1, 0), &b));
+        swapped.absorb(&block_mac(input(0, 0, 1, 1), &a));
+        assert_ne!(written, swapped);
+    }
+
+    #[test]
+    fn even_reads_of_readonly_data_cancel() {
+        // Paper §6.4: if an ifmap tile is read an even number of times the
+        // MAC_IR register returns to zero.
+        let block = [3u8; 64];
+        let m = block_mac(input(1, 0, 7, 0), &block);
+        let mut ir = MacRegister::new();
+        ir.absorb(&m);
+        ir.absorb(&m);
+        assert!(ir.is_zero());
+        ir.absorb(&m);
+        assert!(!ir.is_zero());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let mut r = MacRegister::new();
+        r.absorb(&[0xAB; 32]);
+        assert_eq!(r.to_string().len(), 64);
+        assert!(r.to_string().starts_with("abab"));
+    }
+}

@@ -1,0 +1,126 @@
+//! AES-XTS tweakable block cipher (IEEE 1619 style), used by the TNPU
+//! design and SGX-Server-class total memory encryption (paper §2.1.2,
+//! Table 5).
+//!
+//! Unlike CTR mode, XTS does not need a per-block counter store: the tweak
+//! is derived from the block's address (and, for TNPU, the tile version
+//! number), so ciphertext depends on *position* but freshness requires the
+//! VN folded into the tweak.
+
+use crate::aes::Aes128;
+use crate::gf::xts_mul_alpha;
+
+/// AES-XTS cipher over 64-byte memory blocks (four 16-byte data units,
+/// no ciphertext stealing — memory blocks are always a multiple of the
+/// AES block size).
+///
+/// # Examples
+///
+/// ```
+/// use seculator_crypto::xts::AesXts;
+///
+/// let xts = AesXts::new(b"data-key-16bytes", b"tweakkey-16bytes");
+/// let pt = [3u8; 64];
+/// let ct = xts.encrypt_block64(&pt, 0x1234);
+/// assert_eq!(xts.decrypt_block64(&ct, 0x1234), pt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesXts {
+    data_cipher: Aes128,
+    tweak_cipher: Aes128,
+}
+
+impl AesXts {
+    /// Creates an XTS cipher from independent data and tweak keys.
+    #[must_use]
+    pub fn new(data_key: &[u8; 16], tweak_key: &[u8; 16]) -> Self {
+        Self { data_cipher: Aes128::new(data_key), tweak_cipher: Aes128::new(tweak_key) }
+    }
+
+    fn initial_tweak(&self, tweak: u128) -> [u8; 16] {
+        self.tweak_cipher.encrypt_block(&tweak.to_le_bytes())
+    }
+
+    /// Encrypts a 64-byte block under the given 128-bit tweak (typically
+    /// the block address, optionally mixed with a version number).
+    #[must_use]
+    pub fn encrypt_block64(&self, plaintext: &[u8; 64], tweak: u128) -> [u8; 64] {
+        self.process(plaintext, tweak, true)
+    }
+
+    /// Decrypts a 64-byte block under the given tweak.
+    #[must_use]
+    pub fn decrypt_block64(&self, ciphertext: &[u8; 64], tweak: u128) -> [u8; 64] {
+        self.process(ciphertext, tweak, false)
+    }
+
+    fn process(&self, input: &[u8; 64], tweak: u128, encrypt: bool) -> [u8; 64] {
+        let mut t = self.initial_tweak(tweak);
+        let mut out = [0u8; 64];
+        for unit in 0..4 {
+            let mut buf = [0u8; 16];
+            buf.copy_from_slice(&input[16 * unit..16 * (unit + 1)]);
+            for i in 0..16 {
+                buf[i] ^= t[i];
+            }
+            let mut processed = if encrypt {
+                self.data_cipher.encrypt_block(&buf)
+            } else {
+                self.data_cipher.decrypt_block(&buf)
+            };
+            for i in 0..16 {
+                processed[i] ^= t[i];
+            }
+            out[16 * unit..16 * (unit + 1)].copy_from_slice(&processed);
+            t = xts_mul_alpha(&t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
+        let mut pt = [0u8; 64];
+        for (i, b) in pt.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        for tweak in [0u128, 1, 42, u128::MAX] {
+            let ct = xts.encrypt_block64(&pt, tweak);
+            assert_ne!(ct, pt);
+            assert_eq!(xts.decrypt_block64(&ct, tweak), pt);
+        }
+    }
+
+    #[test]
+    fn tweak_changes_ciphertext() {
+        let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
+        let pt = [0xEEu8; 64];
+        let a = xts.encrypt_block64(&pt, 10);
+        let b = xts.encrypt_block64(&pt, 11);
+        assert_ne!(a, b, "same data at different addresses must encrypt differently");
+    }
+
+    #[test]
+    fn units_within_block_differ_even_for_equal_plaintext() {
+        // The per-unit tweak progression (multiplication by alpha) must
+        // make identical 16-byte units encrypt differently.
+        let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
+        let pt = [0x77u8; 64];
+        let ct = xts.encrypt_block64(&pt, 5);
+        assert_ne!(&ct[0..16], &ct[16..32]);
+        assert_ne!(&ct[16..32], &ct[32..48]);
+    }
+
+    #[test]
+    fn wrong_tweak_fails_to_decrypt() {
+        let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
+        let pt = [1u8; 64];
+        let ct = xts.encrypt_block64(&pt, 100);
+        assert_ne!(xts.decrypt_block64(&ct, 101), pt);
+    }
+}

@@ -1,0 +1,158 @@
+//! Non-CNN workloads the paper's pattern analysis covers (§5.2):
+//! transformer-style matrix multiplications (Table 4), GAN generator /
+//! discriminator networks, and image pre-processing pipelines
+//! (Tables 8–10).
+
+use crate::network::Network;
+use seculator_arch::layer::{ConvShape, LayerKind, MatmulShape, PreprocStyle};
+
+/// One transformer encoder block's GEMMs for sequence length `seq` and
+/// model width `d`: QKV projections, attention score/context products,
+/// output projection and the two feed-forward matmuls.
+#[must_use]
+pub fn transformer_block(seq: u32, d: u32) -> Network {
+    let l = vec![
+        LayerKind::Matmul(MatmulShape::new(seq, d, d)), // Q proj
+        LayerKind::Matmul(MatmulShape::new(seq, d, d)), // K proj
+        LayerKind::Matmul(MatmulShape::new(seq, d, d)), // V proj
+        LayerKind::Matmul(MatmulShape::new(seq, d, seq)), // scores = Q·Kᵀ
+        LayerKind::Matmul(MatmulShape::new(seq, seq, d)), // context = A·V
+        LayerKind::Matmul(MatmulShape::new(seq, d, d)), // output proj
+        LayerKind::Matmul(MatmulShape::new(seq, d, 4 * d)), // FFN up
+        LayerKind::Matmul(MatmulShape::new(seq, 4 * d, d)), // FFN down
+    ];
+    Network::new(format!("Transformer(seq={seq},d={d})"), l)
+}
+
+/// A DCGAN-style generator: a projection followed by four transposed
+/// convolutions that upsample 4×4 → 64×64 (paper §5.2: deconvolution
+/// patterns follow the convolution tables).
+#[must_use]
+pub fn gan_generator(latent: u32) -> Network {
+    let deconv = |k: u32, c: u32, hw: u32| {
+        LayerKind::Deconv(ConvShape { k, c, h: hw, w: hw, r: 4, s: 4, stride: 1 })
+    };
+    let l = vec![
+        LayerKind::FullyConnected(MatmulShape::new(1, latent, 512 * 4 * 4)),
+        deconv(256, 512, 8),
+        deconv(128, 256, 16),
+        deconv(64, 128, 32),
+        deconv(3, 64, 64),
+    ];
+    Network::new("GAN-Generator", l)
+}
+
+/// A DCGAN-style discriminator: four strided convolutions and a
+/// classifier.
+#[must_use]
+pub fn gan_discriminator() -> Network {
+    let conv = |k: u32, c: u32, hw: u32| {
+        LayerKind::Conv(ConvShape { k, c, h: hw, w: hw, r: 4, s: 4, stride: 2 })
+    };
+    let l = vec![
+        conv(64, 3, 64),
+        conv(128, 64, 32),
+        conv(256, 128, 16),
+        conv(512, 256, 8),
+        LayerKind::FullyConnected(MatmulShape::new(1, 512 * 4 * 4, 1)),
+    ];
+    Network::new("GAN-Discriminator", l)
+}
+
+/// A full BERT-base-scale encoder: `blocks` stacked transformer blocks
+/// (12 blocks × 512 tokens × 768 width ≈ 85 M parameters in the GEMM
+/// weights). Demonstrates that the pattern machinery and security
+/// schemes scale to modern attention workloads, not just CNNs.
+#[must_use]
+pub fn bert_base(blocks: u32, seq: u32, d: u32) -> Network {
+    let mut l = Vec::new();
+    for _ in 0..blocks {
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, d, d))); // Q
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, d, d))); // K
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, d, d))); // V
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, d, seq))); // scores
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, seq, d))); // context
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, d, d))); // out proj
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, d, 4 * d))); // FFN up
+        l.push(LayerKind::Matmul(MatmulShape::new(seq, 4 * d, d))); // FFN down
+    }
+    Network::new(format!("BERT({blocks}x, seq={seq}, d={d})"), l)
+}
+
+/// An LSTM layer unrolled over `steps` timesteps: each step computes the
+/// four gate GEMMs against the input (`d_in`) and the recurrent state
+/// (`d_hidden`). The paper lists LSTMs among the convolution-family
+/// workloads its pattern analysis covers (§2.2) — each gate GEMM follows
+/// the Table 4 matmul patterns.
+#[must_use]
+pub fn lstm(steps: u32, d_in: u32, d_hidden: u32) -> Network {
+    let mut l = Vec::with_capacity(2 * steps as usize);
+    for _ in 0..steps {
+        // Input projection for the four gates (i, f, g, o) fused: W_x · x.
+        l.push(LayerKind::Matmul(MatmulShape::new(1, d_in, 4 * d_hidden)));
+        // Recurrent projection: W_h · h.
+        l.push(LayerKind::Matmul(MatmulShape::new(1, d_hidden, 4 * d_hidden)));
+    }
+    Network::new(format!("LSTM(T={steps},in={d_in},h={d_hidden})"), l)
+}
+
+/// An image pre-processing pipeline exercising all three computation
+/// styles of §5.2.1 on a `c × hw × hw` image: a per-channel filter
+/// (style 1), grayscale conversion (style 2), and a color-space
+/// transform (style 3), followed by 2×2 pooling.
+#[must_use]
+pub fn preproc_pipeline(c: u32, hw: u32) -> Network {
+    let l = vec![
+        LayerKind::Preproc { style: PreprocStyle::Style1, c, k_out: c, h: hw, w: hw },
+        LayerKind::Preproc { style: PreprocStyle::Style3, c, k_out: c, h: hw, w: hw },
+        LayerKind::Preproc { style: PreprocStyle::Style2, c, k_out: 1, h: hw, w: hw },
+        LayerKind::Pool { c: 1, h: hw, w: hw, window: 2 },
+    ];
+    Network::new("Preproc-Pipeline", l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformer_macs_scale_with_sequence_length() {
+        let short = transformer_block(64, 256);
+        let long = transformer_block(256, 256);
+        assert!(long.macs() > 4 * short.macs() / 2);
+        assert_eq!(short.depth(), 8);
+    }
+
+    #[test]
+    fn gan_networks_have_expected_shapes() {
+        let g = gan_generator(100);
+        let d = gan_discriminator();
+        assert_eq!(g.depth(), 5);
+        assert_eq!(d.depth(), 5);
+        assert!(g.params() > 1_000_000);
+    }
+
+    #[test]
+    fn bert_base_has_transformer_scale_parameters() {
+        let net = bert_base(12, 512, 768);
+        assert_eq!(net.depth(), 96);
+        // 12 blocks x (4 d² projections + 8 d² FFN) = 144 d² ≈ 85M.
+        let d = 768u64;
+        assert_eq!(net.params(), 12 * (4 * d * d + 8 * d * d + 2 * 512 * d));
+        assert!(net.params() > 80_000_000);
+    }
+
+    #[test]
+    fn lstm_unrolls_two_gemms_per_step() {
+        let net = lstm(4, 128, 256);
+        assert_eq!(net.depth(), 8);
+        assert_eq!(net.params(), 4 * ((128 * 4 * 256) as u64 + (256 * 4 * 256) as u64));
+    }
+
+    #[test]
+    fn preproc_pipeline_has_no_weights() {
+        let p = preproc_pipeline(3, 64);
+        assert_eq!(p.params(), 0);
+        assert_eq!(p.depth(), 4);
+    }
+}

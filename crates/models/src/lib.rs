@@ -1,0 +1,31 @@
+//! # seculator-models
+//!
+//! Workload definitions for the Seculator (HPCA 2023) reproduction:
+//!
+//! - [`zoo`] — the paper's Table 1 benchmarks (MobileNet, ResNet-18,
+//!   AlexNet, VGG16, VGG19) built from their published hyper-parameters,
+//!   plus fast scaled-down variants for tests.
+//! - [`extras`] — the other workload families the paper's pattern
+//!   analysis covers: transformer GEMMs (Table 4), GAN
+//!   generator/discriminator (§5.2), and the image pre-processing styles
+//!   (Tables 8–10).
+//! - [`network`] — the [`network::Network`] container with derived
+//!   statistics (depth, parameters, MACs).
+//!
+//! # Example
+//!
+//! ```
+//! let nets = seculator_models::zoo::paper_benchmarks();
+//! assert_eq!(nets.len(), 5);
+//! let vgg16 = &nets[3];
+//! assert!(vgg16.params() > 130_000_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod extras;
+pub mod network;
+pub mod zoo;
+
+pub use network::Network;

@@ -1,0 +1,72 @@
+//! Reproduce the paper's headline comparison (Figures 7 and 8) on one of
+//! the Table 1 benchmarks: normalized performance and DRAM traffic of all
+//! five designs.
+//!
+//! ```sh
+//! cargo run --release --example compare_schemes -- resnet
+//! ```
+//! Accepts: mobilenet | resnet | alexnet | vgg16 | vgg19 (default resnet).
+
+use seculator::core::{SchemeKind, TimingNpu};
+use seculator::models::{zoo, Network};
+use seculator::sim::config::NpuConfig;
+
+fn pick_network(name: &str) -> Network {
+    match name {
+        "mobilenet" => zoo::mobilenet(),
+        "alexnet" => zoo::alexnet(),
+        "vgg16" => zoo::vgg16(),
+        "vgg19" => zoo::vgg19(),
+        _ => zoo::resnet18(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "resnet".to_string());
+    let network = pick_network(&arg);
+    println!("workload: {network}");
+
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let schemes = [
+        SchemeKind::Baseline,
+        SchemeKind::Secure,
+        SchemeKind::Tnpu,
+        SchemeKind::GuardNn,
+        SchemeKind::Seculator,
+    ];
+    let runs = npu.compare_schemes(&network, &schemes)?;
+    let baseline = runs[0].clone();
+
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "scheme", "perf", "traffic", "meta bytes", "exposed"
+    );
+    for run in &runs {
+        let exposed: u64 = run.layers.iter().map(|l| l.security_cycles).sum();
+        let meta = run.dram_totals().meta_read_bytes + run.dram_totals().meta_write_bytes;
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>12} {:>10}",
+            run.scheme,
+            run.performance_vs(&baseline),
+            run.traffic_vs(&baseline),
+            meta,
+            exposed
+        );
+    }
+
+    let tnpu = runs.iter().find(|r| r.scheme == "tnpu").expect("tnpu run present");
+    let seculator = runs.iter().find(|r| r.scheme == "seculator").expect("seculator run");
+    println!(
+        "\nSeculator speedup over TNPU: {:.1}%  (paper reports ≈16%)",
+        100.0 * (tnpu.total_cycles() as f64 / seculator.total_cycles() as f64 - 1.0)
+    );
+
+    if let Some(mac) = runs.iter().find(|r| r.scheme == "secure").and_then(|r| r.mac_cache) {
+        println!(
+            "secure design MAC-cache miss rate: {:.1}% over {} accesses (Figure 5's story)",
+            100.0 * mac.miss_rate(),
+            mac.accesses()
+        );
+    }
+    Ok(())
+}

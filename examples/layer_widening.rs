@@ -1,0 +1,59 @@
+//! Seculator+ (paper §7.5, Figure 9): layer widening against model
+//! extraction attacks. Widen a 32×32×3 base network to the paper's sweep
+//! of sizes and compare how gracefully each design's latency scales —
+//! Seculator should be the most scalable because it carries no metadata
+//! traffic to amplify.
+//!
+//! ```sh
+//! cargo run --release --example layer_widening
+//! ```
+
+use seculator::core::widening::{intersperse_dummy, widen_network};
+use seculator::core::{SchemeKind, TimingNpu};
+use seculator::models::zoo::{tiny_cnn, tiny_mlp};
+use seculator::sim::config::NpuConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = tiny_cnn(); // 32×32×3 input, the paper's base geometry
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let schemes =
+        [SchemeKind::Secure, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::SeculatorPlus];
+    let widths = [32u32, 56, 64, 128, 160, 192];
+
+    // Latency at each width, normalized per scheme to its 32×32 latency
+    // (the paper's Figure 9 normalization).
+    let mut base_cycles = vec![0u64; schemes.len()];
+    println!("{:<8} {:>10} {:>10} {:>10} {:>12}", "width", "secure", "tnpu", "guardnn", "seculator+");
+    for (wi, width) in widths.iter().enumerate() {
+        let net = widen_network(&base, *width, 32);
+        let mut row = format!("{width:<8}");
+        for (si, scheme) in schemes.iter().enumerate() {
+            let run = npu.run(&net, *scheme)?;
+            if wi == 0 {
+                base_cycles[si] = run.total_cycles();
+            }
+            let norm = run.total_cycles() as f64 / base_cycles[si] as f64;
+            let w = if si == schemes.len() - 1 { 12 } else { 10 };
+            row.push_str(&format!(" {norm:>w$.2}"));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nEach column is normalized to that design's own 32×32 latency; \
+         smaller growth = more scalable widening (Figure 9)."
+    );
+
+    // The other §7.5 knob: intersperse a dummy network as noise.
+    let noisy = intersperse_dummy(&base, &tiny_mlp());
+    let clean = npu.run(&base, SchemeKind::SeculatorPlus)?;
+    let obfuscated = npu.run(&noisy, SchemeKind::SeculatorPlus)?;
+    println!(
+        "\ndummy-network interspersing: {} layers → {} layers, {:.2}× cycles \
+         (address-trace depth is hidden)",
+        base.depth(),
+        noisy.depth(),
+        obfuscated.total_cycles() as f64 / clean.total_cycles() as f64
+    );
+    Ok(())
+}

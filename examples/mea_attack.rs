@@ -1,0 +1,69 @@
+//! Model-extraction attack vs Seculator+ defenses (paper §3, §7.5).
+//!
+//! Encryption hides *values*, but a memory-bus snooper still sees the
+//! *address trace*, and DNN traffic is structured enough to recover the
+//! architecture from it. This example plays both sides: it mounts the
+//! dimension-inference attack against an undefended run, then shows how
+//! layer widening and dummy-network interspersing degrade the attack.
+//!
+//! ```sh
+//! cargo run --release --example mea_attack
+//! ```
+
+use seculator::core::mea::{evaluate_defense, infer_layer_dims, AddressTraceObserver};
+use seculator::core::widening::{intersperse_dummy, widen_network};
+use seculator::core::TimingNpu;
+use seculator::models::zoo::{tiny_cnn, tiny_mlp};
+use seculator::sim::config::NpuConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = tiny_cnn();
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let schedules = npu.map(&net)?;
+    let real_pixels: Vec<u64> = net.layers.iter().map(|l| l.ofmap_bytes() / 4).collect();
+
+    // ── The attack on the undefended execution ──
+    println!("attacker's view of {} (address trace only, all data encrypted):\n", net.name);
+    let observations = AddressTraceObserver::observe_network(&schedules);
+    let inferred = infer_layer_dims(&observations);
+    println!(
+        "{:<8} {:>16} {:>16} {:>18}",
+        "layer", "real K·H·W", "inferred K·H·W", "inferred params ≤"
+    );
+    for (i, (inf, real)) in inferred.iter().zip(&real_pixels).enumerate() {
+        println!(
+            "{:<8} {:>16} {:>16} {:>18}",
+            i, real, inf.ofmap_pixels, inf.params_upper_bound
+        );
+    }
+    println!("\n→ an unprotected address trace leaks the architecture almost exactly.\n");
+
+    // ── Defenses ──
+    println!("{:<28} {:>16} {:>16}", "defense", "mean rel. error", "apparent depth");
+    let none = evaluate_defense(&schedules, &schedules, &real_pixels);
+    println!("{:<28} {:>16.3} {:>16}", "none", none.error_undefended, none.observed_depth_undefended);
+
+    for (num, den, label) in [(56u32, 32u32, "widen 32→56"), (2, 1, "widen 2x"), (4, 1, "widen 4x")]
+    {
+        let widened = widen_network(&net, num, den);
+        let report = evaluate_defense(&schedules, &npu.map(&widened)?, &real_pixels);
+        println!(
+            "{:<28} {:>16.3} {:>16}",
+            label, report.error_defended, report.observed_depth_defended
+        );
+    }
+
+    let noisy = intersperse_dummy(&net, &tiny_mlp());
+    let report = evaluate_defense(&schedules, &npu.map(&noisy)?, &real_pixels);
+    println!(
+        "{:<28} {:>16.3} {:>16}",
+        "dummy interspersing", report.error_defended, report.observed_depth_defended
+    );
+
+    println!(
+        "\nWidening inflates every inferred dimension; dummy layers disguise the\n\
+         depth. Seculator+ can afford both because its per-layer security adds\n\
+         no metadata traffic to amplify (see `figures fig9` for the cost side)."
+    );
+    Ok(())
+}

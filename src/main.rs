@@ -1,0 +1,186 @@
+//! `seculator` — command-line front end for the reproduction.
+//!
+//! ```sh
+//! seculator run --network vgg16 --scheme seculator
+//! seculator compare --network resnet
+//! seculator patterns --k 32 --c 16 --hw 32
+//! seculator attack
+//! seculator storage --network mobilenet
+//! ```
+
+use seculator::arch::dataflow::{ConvDataflow, Dataflow};
+use seculator::arch::layer::{ConvShape, LayerDesc, LayerKind};
+use seculator::arch::tiling::TileConfig;
+use seculator::arch::trace::LayerSchedule;
+use seculator::core::storage::table7_rows;
+use seculator::core::{Attack, FunctionalNpu, SchemeKind, TimingNpu};
+use seculator::crypto::DeviceSecret;
+use seculator::models::{zoo, Network};
+use seculator::sim::config::NpuConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: seculator <command> [options]\n\n\
+         commands:\n\
+           run      --network <name> --scheme <name>   simulate one inference\n\
+           compare  --network <name>                   all designs side by side\n\
+           patterns [--k N --c N --hw N]               derive VN patterns\n\
+           attack                                      functional attack demo\n\
+           storage  --network <name>                   Table 7 metadata footprints\n\
+           describe --network <name>                   per-layer mapped loop nests\n\n\
+         networks: mobilenet resnet alexnet vgg16 vgg19 tiny\n\
+         schemes:  baseline secure tnpu guardnn seculator seculator+"
+    );
+    std::process::exit(2);
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn network(name: &str) -> Network {
+    match name {
+        "mobilenet" => zoo::mobilenet(),
+        "resnet" => zoo::resnet18(),
+        "alexnet" => zoo::alexnet(),
+        "vgg16" => zoo::vgg16(),
+        "vgg19" => zoo::vgg19(),
+        "tiny" => zoo::tiny_cnn(),
+        other => {
+            eprintln!("unknown network `{other}`");
+            usage()
+        }
+    }
+}
+
+fn scheme(name: &str) -> SchemeKind {
+    match name {
+        "baseline" => SchemeKind::Baseline,
+        "secure" => SchemeKind::Secure,
+        "tnpu" => SchemeKind::Tnpu,
+        "guardnn" => SchemeKind::GuardNn,
+        "seculator" => SchemeKind::Seculator,
+        "seculator+" => SchemeKind::SeculatorPlus,
+        other => {
+            eprintln!("unknown scheme `{other}`");
+            usage()
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let npu = TimingNpu::new(NpuConfig::paper());
+
+    match cmd.as_str() {
+        "run" => {
+            let net = network(&opt(&args, "--network").unwrap_or_else(|| "resnet".into()));
+            let sch = scheme(&opt(&args, "--scheme").unwrap_or_else(|| "seculator".into()));
+            let stats = npu.run(&net, sch)?;
+            let cfg = NpuConfig::paper();
+            println!("workload : {net}");
+            println!("scheme   : {}", stats.scheme);
+            println!("cycles   : {}", stats.total_cycles());
+            println!(
+                "time     : {:.3} ms @ {} GHz",
+                1e3 * cfg.cycles_to_seconds(stats.total_cycles()),
+                cfg.frequency_ghz
+            );
+            println!(
+                "dram     : {:.1} MB ({:.1}% metadata)",
+                stats.total_dram_bytes() as f64 / 1e6,
+                100.0 * stats.dram_totals().metadata_fraction()
+            );
+            if let Some(mc) = stats.mac_cache {
+                println!("mac cache: {:.1}% miss", 100.0 * mc.miss_rate());
+            }
+            if let Some(cc) = stats.counter_cache {
+                println!("ctr cache: {:.2}% miss", 100.0 * cc.miss_rate());
+            }
+        }
+        "compare" => {
+            let net = network(&opt(&args, "--network").unwrap_or_else(|| "resnet".into()));
+            let runs = npu.compare_schemes(&net, &SchemeKind::ALL[..5])?;
+            let base = runs[0].clone();
+            println!("workload: {net}\n");
+            println!("{:<12} {:>10} {:>10}", "scheme", "perf", "traffic");
+            for r in &runs {
+                println!(
+                    "{:<12} {:>10.3} {:>10.3}",
+                    r.scheme,
+                    r.performance_vs(&base),
+                    r.traffic_vs(&base)
+                );
+            }
+        }
+        "patterns" => {
+            let get = |name: &str, default: u32| {
+                opt(&args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+            };
+            let (k, c, hw) = (get("--k", 32), get("--c", 16), get("--hw", 32));
+            let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(k, c, hw, 3)));
+            let tiling = TileConfig {
+                kt: (k / 4).max(1),
+                ct: (c / 4).max(1),
+                ht: (hw / 2).max(1),
+                wt: (hw / 2).max(1),
+            };
+            println!("K={k} C={c} H=W={hw}\n");
+            for df in ConvDataflow::ALL {
+                let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling)?;
+                let wp = s.write_pattern();
+                println!("{} — WP {}   [{}]", df.style_name(), wp.notation(), wp.family());
+                println!("{}\n", wp.ascii_plot(48));
+            }
+        }
+        "attack" => {
+            let layers = [
+                LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3))),
+                LayerDesc::new(1, LayerKind::Conv(ConvShape::simple(4, 8, 16, 3))),
+            ];
+            let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+            let schedules: Vec<LayerSchedule> = layers
+                .iter()
+                .map(|l| {
+                    LayerSchedule::new(
+                        *l,
+                        Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+                        tiling,
+                    )
+                    .expect("static shapes resolve")
+                })
+                .collect();
+            for (name, attack) in [
+                ("tamper", Attack::TamperOfmap { layer_id: 0, block_index: 1 }),
+                ("replay", Attack::ReplayOfmap { layer_id: 0, block_index: 2 }),
+                ("swap", Attack::SwapOfmapBlocks { layer_id: 0, a: 0, b: 3 }),
+            ] {
+                let mut fnpu = FunctionalNpu::new(DeviceSecret::from_seed(1), 1);
+                fnpu.inject(attack);
+                match fnpu.run(&schedules) {
+                    Ok(_) => println!("{name:<8} NOT DETECTED (violation!)"),
+                    Err(e) => println!("{name:<8} detected: {e}"),
+                }
+            }
+        }
+        "describe" => {
+            let net = network(&opt(&args, "--network").unwrap_or_else(|| "tiny".into()));
+            println!("{net}\n");
+            for s in npu.map(&net)? {
+                println!("{}\n", s.describe());
+            }
+        }
+        "storage" => {
+            let net = network(&opt(&args, "--network").unwrap_or_else(|| "resnet".into()));
+            let schedules = npu.map(&net)?;
+            println!("{net}\n");
+            println!("{:<20} {:>14}", "design", "metadata bytes");
+            for (name, f) in table7_rows(&schedules) {
+                println!("{:<20} {:>14}", name, f.total());
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Smoke tests for the `seculator` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_seculator"))
+        .args(args)
+        .output()
+        .expect("cli binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn run_subcommand_reports_cycles_and_traffic() {
+    let (ok, stdout, _) = run(&["run", "--network", "tiny", "--scheme", "seculator"]);
+    assert!(ok);
+    assert!(stdout.contains("cycles"));
+    assert!(stdout.contains("0.0% metadata"), "seculator is metadata-free: {stdout}");
+}
+
+#[test]
+fn compare_subcommand_lists_all_designs() {
+    let (ok, stdout, _) = run(&["compare", "--network", "tiny"]);
+    assert!(ok);
+    for s in ["baseline", "secure", "tnpu", "guardnn", "seculator"] {
+        assert!(stdout.contains(s), "missing {s}: {stdout}");
+    }
+}
+
+#[test]
+fn attack_subcommand_detects_everything() {
+    let (ok, stdout, _) = run(&["attack"]);
+    assert!(ok);
+    assert_eq!(stdout.matches("detected:").count(), 3, "{stdout}");
+    assert!(!stdout.contains("NOT DETECTED"), "{stdout}");
+}
+
+#[test]
+fn patterns_subcommand_draws_plots() {
+    let (ok, stdout, _) = run(&["patterns", "--k", "8", "--c", "4", "--hw", "8"]);
+    assert!(ok);
+    assert!(stdout.contains('▪'), "ascii plots present");
+    assert!(stdout.contains("P1:Multi-step"));
+}
+
+#[test]
+fn storage_subcommand_prints_table7() {
+    let (ok, stdout, _) = run(&["storage", "--network", "tiny"]);
+    assert!(ok);
+    assert!(stdout.contains("seculator"));
+    assert!(stdout.contains("metadata bytes"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_help() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration: the functional Seculator datapath over
+//! mapper-produced schedules, with randomized attack injection — every
+//! attack class of the threat model (§3) must be detected, and clean
+//! runs must always verify.
+
+use proptest::prelude::*;
+use seculator::arch::dataflow::{ConvDataflow, Dataflow};
+use seculator::arch::layer::{ConvShape, LayerDesc, LayerKind};
+use seculator::arch::tiling::TileConfig;
+use seculator::arch::trace::LayerSchedule;
+use seculator::core::{Attack, FunctionalNpu, SecurityError};
+use seculator::crypto::DeviceSecret;
+
+fn network_schedules(depth: u32, df: ConvDataflow) -> Vec<LayerSchedule> {
+    let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+    (0..depth)
+        .map(|i| {
+            // Alternate 8→8 channel layers so ofmap/ifmap chain exactly.
+            let layer = LayerDesc::new(i, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3)));
+            LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves")
+        })
+        .collect()
+}
+
+#[test]
+fn clean_runs_verify_for_all_accumulating_dataflows() {
+    for df in [
+        ConvDataflow::IrMultiChannelAlongChannel,
+        ConvDataflow::IrMultiChannelAlongSpace,
+        ConvDataflow::IrChannelWise,
+        ConvDataflow::WrMultiChannelWise,
+    ] {
+        let schedules = network_schedules(3, df);
+        let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(11), 5);
+        let report = npu.run(&schedules).unwrap_or_else(|e| panic!("{df:?}: {e}"));
+        assert!(report.blocks_written > 0);
+        assert_eq!(report.layers_verified, 3, "every layer boundary check ran");
+    }
+}
+
+#[test]
+fn clean_runs_verify_for_single_write_dataflows() {
+    for df in [ConvDataflow::IrFullChannel, ConvDataflow::OrPartialChannel] {
+        let schedules = network_schedules(3, df);
+        let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(12), 6);
+        npu.run(&schedules).unwrap_or_else(|e| panic!("{df:?}: {e}"));
+    }
+}
+
+#[test]
+fn deeper_networks_chain_verification_across_many_layers() {
+    let schedules = network_schedules(8, ConvDataflow::IrMultiChannelAlongChannel);
+    let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(13), 7);
+    let report = npu.run(&schedules).expect("8-layer chain verifies");
+    assert!(report.blocks_read > report.blocks_written / 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random tampering with any ofmap block of any layer is detected.
+    #[test]
+    fn random_ofmap_tamper_is_always_detected(
+        layer in 0u32..3,
+        block in 0u64..64,
+        nonce in any::<u64>(),
+    ) {
+        let schedules = network_schedules(3, ConvDataflow::IrMultiChannelAlongChannel);
+        let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(21), nonce);
+        npu.inject(Attack::TamperOfmap { layer_id: layer, block_index: block });
+        let err = npu.run(&schedules).expect_err("tamper must be detected");
+        let detected = matches!(
+            err,
+            SecurityError::LayerIntegrity { .. } | SecurityError::OutputIntegrity
+        );
+        prop_assert!(detected, "unexpected error class: {:?}", err);
+    }
+
+    /// Random replay of a stale version is detected.
+    #[test]
+    fn random_replay_is_always_detected(layer in 0u32..3, block in 0u64..64) {
+        let schedules = network_schedules(3, ConvDataflow::IrMultiChannelAlongChannel);
+        let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(22), 9);
+        npu.inject(Attack::ReplayOfmap { layer_id: layer, block_index: block });
+        let err = npu.run(&schedules).expect_err("replay must be detected");
+        let detected = matches!(
+            err,
+            SecurityError::LayerIntegrity { .. } | SecurityError::OutputIntegrity
+        );
+        prop_assert!(detected, "unexpected error class: {:?}", err);
+    }
+
+    /// Swapping any two distinct blocks is detected.
+    #[test]
+    fn random_swap_is_always_detected(layer in 0u32..3, a in 0u64..64, b in 0u64..64) {
+        prop_assume!(a != b);
+        let schedules = network_schedules(3, ConvDataflow::IrMultiChannelAlongChannel);
+        let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(23), 10);
+        npu.inject(Attack::SwapOfmapBlocks { layer_id: layer, a, b });
+        let err = npu.run(&schedules).expect_err("swap must be detected");
+        let detected = matches!(
+            err,
+            SecurityError::LayerIntegrity { .. } | SecurityError::OutputIntegrity
+        );
+        prop_assert!(detected, "unexpected error class: {:?}", err);
+    }
+
+    /// Weight corruption is detected for every layer.
+    #[test]
+    fn random_weight_tamper_is_always_detected(layer in 0u32..3, block in 0u64..16) {
+        let schedules = network_schedules(3, ConvDataflow::IrMultiChannelAlongChannel);
+        let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(24), 11);
+        npu.inject(Attack::TamperWeights { layer_id: layer, block_index: block });
+        let err = npu.run(&schedules).expect_err("weight tamper must be detected");
+        prop_assert_eq!(err, SecurityError::WeightIntegrity { layer_id: layer });
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_nonce_and_fresh_per_execution() {
+    let schedules = network_schedules(2, ConvDataflow::IrMultiChannelAlongChannel);
+    let r1 = FunctionalNpu::new(DeviceSecret::from_seed(31), 12).run(&schedules).unwrap();
+    let r2 = FunctionalNpu::new(DeviceSecret::from_seed(31), 12).run(&schedules).unwrap();
+    assert_eq!(r1, r2, "same secret + nonce must reproduce the run exactly");
+    // A different execution nonce re-keys the session but still verifies.
+    let r3 = FunctionalNpu::new(DeviceSecret::from_seed(31), 13).run(&schedules).unwrap();
+    assert_eq!(r1.blocks_written, r3.blocks_written);
+}

@@ -1,0 +1,93 @@
+//! End-to-end timing runs for the non-CNN workload families the paper's
+//! pattern analysis covers (§5.2): transformers, LSTMs, GANs, and the
+//! pre-processing pipeline all map, run under every design, and show the
+//! same qualitative ordering as the CNN benchmarks.
+
+use seculator::core::{SchemeKind, TimingNpu};
+use seculator::models::extras::{
+    bert_base, gan_discriminator, gan_generator, lstm, preproc_pipeline, transformer_block,
+};
+use seculator::models::Network;
+use seculator::sim::config::NpuConfig;
+
+fn all_workloads() -> Vec<Network> {
+    vec![
+        transformer_block(128, 256),
+        bert_base(2, 128, 256), // two blocks keep the test fast
+
+        lstm(4, 128, 256),
+        gan_generator(100),
+        gan_discriminator(),
+        preproc_pipeline(3, 128),
+    ]
+}
+
+#[test]
+fn every_auxiliary_workload_maps_and_runs() {
+    let npu = TimingNpu::new(NpuConfig::paper());
+    for net in all_workloads() {
+        let stats = npu
+            .run(&net, SchemeKind::Seculator)
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name));
+        assert!(stats.total_cycles() > 0, "{}", net.name);
+        assert_eq!(stats.layers.len(), net.depth(), "{}", net.name);
+        let d = stats.dram_totals();
+        assert_eq!(d.meta_read_bytes + d.meta_write_bytes, 0, "{}: seculator is metadata-free", net.name);
+    }
+}
+
+#[test]
+fn ordering_holds_beyond_cnns() {
+    let npu = TimingNpu::new(NpuConfig::paper());
+    for net in all_workloads() {
+        let runs = npu
+            .compare_schemes(
+                &net,
+                &[SchemeKind::Baseline, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::Seculator],
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name));
+        let cycles: std::collections::HashMap<&str, u64> =
+            runs.iter().map(|r| (r.scheme.as_str(), r.total_cycles())).collect();
+        assert!(cycles["baseline"] <= cycles["seculator"], "{}", net.name);
+        assert!(cycles["seculator"] < cycles["tnpu"], "{}: {cycles:?}", net.name);
+        assert!(cycles["tnpu"] < cycles["guardnn"], "{}: {cycles:?}", net.name);
+    }
+}
+
+#[test]
+fn gan_generator_uses_conv_patterns_for_deconvolutions() {
+    // Paper §5.2: deconvolution patterns follow the convolution tables.
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let schedules = npu.map(&gan_generator(100)).expect("maps");
+    for s in &schedules {
+        // Each schedule's formula must replay exactly.
+        let predicted: Vec<u32> = s.write_pattern().iter().collect();
+        assert_eq!(s.observed_write_vns(), predicted, "layer {}", s.layer().id);
+    }
+}
+
+#[test]
+fn lstm_gate_gemms_follow_table4() {
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let schedules = npu.map(&lstm(2, 64, 128)).expect("maps");
+    for s in &schedules {
+        assert!(
+            matches!(s.dataflow(), seculator::arch::dataflow::Dataflow::Matmul(_)),
+            "LSTM layers are GEMMs"
+        );
+        let predicted: Vec<u32> = s.write_pattern().iter().collect();
+        assert_eq!(s.observed_write_vns(), predicted);
+    }
+}
+
+#[test]
+fn preprocessing_is_the_worst_case_for_per_block_schemes() {
+    // Streaming-only workloads should show a *larger* GuardNN traffic
+    // penalty than compute-heavy CNN layers do.
+    let npu = TimingNpu::new(NpuConfig::paper());
+    let runs = npu
+        .compare_schemes(&preproc_pipeline(3, 256), &[SchemeKind::Baseline, SchemeKind::GuardNn])
+        .expect("maps");
+    let penalty = runs[1].traffic_vs(&runs[0]);
+    assert!(penalty > 1.3, "streaming pipeline must amplify metadata cost, got {penalty}");
+}

@@ -1,0 +1,107 @@
+//! Statistical sanity of the crypto substrate: avalanche behaviour and
+//! ciphertext balance. These are not proofs of security (AES and SHA-256
+//! carry their own analyses); they are regression tripwires that would
+//! catch a broken round function, a mis-wired key schedule, or a
+//! truncated hash immediately.
+
+use proptest::prelude::*;
+use seculator::crypto::ctr::{AesCtr, BlockCounter};
+use seculator::crypto::{Aes128, Sha256};
+
+fn hamming(a: &[u8], b: &[u8]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flipping one plaintext bit flips ~half the ciphertext bits.
+    #[test]
+    fn aes_plaintext_avalanche(
+        key in prop::array::uniform16(any::<u8>()),
+        block in prop::array::uniform16(any::<u8>()),
+        byte in 0usize..16,
+        bit in 0u8..8,
+    ) {
+        let aes = Aes128::new(&key);
+        let c1 = aes.encrypt_block(&block);
+        let mut flipped = block;
+        flipped[byte] ^= 1 << bit;
+        let c2 = aes.encrypt_block(&flipped);
+        let d = hamming(&c1, &c2);
+        // 128 bits, expect ≈64; accept a generous window.
+        prop_assert!((32..=96).contains(&d), "avalanche too weak/strong: {d} bits");
+    }
+
+    /// Flipping one key bit also avalanches.
+    #[test]
+    fn aes_key_avalanche(
+        key in prop::array::uniform16(any::<u8>()),
+        block in prop::array::uniform16(any::<u8>()),
+        byte in 0usize..16,
+        bit in 0u8..8,
+    ) {
+        let c1 = Aes128::new(&key).encrypt_block(&block);
+        let mut key2 = key;
+        key2[byte] ^= 1 << bit;
+        let c2 = Aes128::new(&key2).encrypt_block(&block);
+        let d = hamming(&c1, &c2);
+        prop_assert!((32..=96).contains(&d), "key avalanche too weak/strong: {d} bits");
+    }
+
+    /// SHA-256 avalanche on a one-bit message change.
+    #[test]
+    fn sha256_avalanche(
+        msg in prop::collection::vec(any::<u8>(), 1..128),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let h1 = Sha256::digest(&msg);
+        let mut msg2 = msg.clone();
+        let i = idx.index(msg2.len());
+        msg2[i] ^= 1 << bit;
+        let h2 = Sha256::digest(&msg2);
+        let d = hamming(&h1, &h2);
+        // 256 bits, expect ≈128.
+        prop_assert!((80..=176).contains(&d), "digest avalanche off: {d} bits");
+    }
+
+    /// Adjacent CTR pads are uncorrelated (no pad reuse / drift).
+    #[test]
+    fn ctr_pads_are_pairwise_distant(key in prop::array::uniform16(any::<u8>()), idx in 0u32..1000) {
+        let ctr = AesCtr::new(&key);
+        let p1 = ctr.pad64(BlockCounter::from_parts(0, 0, 1, idx));
+        let p2 = ctr.pad64(BlockCounter::from_parts(0, 0, 1, idx + 1));
+        let d = hamming(&p1, &p2);
+        // 512 bits, expect ≈256.
+        prop_assert!((170..=340).contains(&d), "adjacent pads too correlated: {d} bits");
+    }
+}
+
+#[test]
+fn ciphertext_bit_balance_over_a_stream() {
+    // Encrypt a long all-zeros stream; ones-density must be ~50%.
+    let ctr = AesCtr::new(b"balance-test-key");
+    let mut ones = 0u64;
+    let mut total = 0u64;
+    for i in 0..512u32 {
+        let c = ctr.encrypt_block64(&[0u8; 64], BlockCounter::from_parts(1, 1, 1, i));
+        ones += c.iter().map(|b| u64::from(b.count_ones())).sum::<u64>();
+        total += 512;
+    }
+    let density = ones as f64 / total as f64;
+    assert!((0.48..=0.52).contains(&density), "bit density {density}");
+}
+
+#[test]
+fn sha256_digest_bytes_are_balanced() {
+    let mut ones = 0u64;
+    let mut total = 0u64;
+    for i in 0..1000u32 {
+        let d = Sha256::digest(&i.to_le_bytes());
+        ones += d.iter().map(|b| u64::from(b.count_ones())).sum::<u64>();
+        total += 256;
+    }
+    let density = ones as f64 / total as f64;
+    assert!((0.48..=0.52).contains(&density), "bit density {density}");
+}

@@ -1,0 +1,211 @@
+//! Property-based validation of the paper's central claim: for *every*
+//! dataflow and *every* legal layer shape, the master-equation formula
+//! `(1^η, 2^η, …, κ^η)^ρ` reproduces the exact VN sequence an explicit
+//! per-tile version table would record (paper §7.4: "the generated VNs
+//! ... were rigorously experimentally validated").
+
+use proptest::prelude::*;
+use seculator::arch::dataflow::{ConvDataflow, Dataflow, MatmulDataflow};
+use seculator::arch::layer::{ConvShape, LayerDesc, LayerKind, MatmulShape};
+use seculator::arch::tiling::TileConfig;
+use seculator::arch::trace::{AccessOp, LayerSchedule, ReferenceVnTable, TensorClass};
+use seculator::core::vngen::VnGenerator;
+
+/// A random layer whose dims are exact multiples of its tile sizes, so
+/// tile partitions cover tensors exactly.
+fn conv_case() -> impl Strategy<Value = (LayerDesc, TileConfig)> {
+    (1u32..=4, 1u32..=4, 1u32..=3, 1u32..=3, 1u32..=4, 1u32..=4).prop_map(
+        |(ak, ac, ah, aw, kt, ct)| {
+            let (ht, wt) = (4, 4);
+            let layer = LayerDesc::new(
+                0,
+                LayerKind::Conv(ConvShape {
+                    k: ak * kt,
+                    c: ac * ct,
+                    h: ah * ht,
+                    w: aw * wt,
+                    r: 3,
+                    s: 3,
+                    stride: 1,
+                }),
+            );
+            (layer, TileConfig { kt, ct, ht, wt })
+        },
+    )
+}
+
+fn any_conv_dataflow() -> impl Strategy<Value = ConvDataflow> {
+    prop::sample::select(ConvDataflow::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The formula-generated write-VN sequence equals the reference
+    /// table's log, element for element.
+    #[test]
+    fn write_vns_match_reference_table((layer, tiling) in conv_case(), df in any_conv_dataflow()) {
+        let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves");
+        let mut table = ReferenceVnTable::new();
+        let mut scheduled = Vec::new();
+        s.for_each_step(|step| {
+            for a in &step.accesses {
+                if a.tensor == TensorClass::Ofmap && a.op == AccessOp::Write {
+                    table.record_write(a.tile);
+                    scheduled.push(a.vn);
+                }
+            }
+        });
+        let predicted: Vec<u32> = s.write_pattern().iter().collect();
+        prop_assert_eq!(table.write_log(), &scheduled[..], "table vs schedule");
+        prop_assert_eq!(&scheduled[..], &predicted[..], "schedule vs formula");
+    }
+
+    /// The hardware FSM (`VnGenerator`) reproduces both the write and
+    /// read VN streams of the schedule with O(1) state.
+    #[test]
+    fn vn_generator_follows_schedule((layer, tiling) in conv_case(), df in any_conv_dataflow()) {
+        let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves");
+        let mut gen = VnGenerator::new(s.write_pattern(), s.read_pattern(), 1);
+        let mut ok = true;
+        s.for_each_step(|step| {
+            for a in &step.accesses {
+                if a.tensor == TensorClass::Ofmap {
+                    let vn = match a.op {
+                        AccessOp::Write => gen.next_write_vn(),
+                        AccessOp::Read => gen.next_read_vn(),
+                    };
+                    ok &= vn == Some(a.vn);
+                }
+            }
+        });
+        prop_assert!(ok, "generator diverged from schedule for {df:?}");
+        prop_assert!(gen.writes_complete());
+    }
+
+    /// Analytic traffic totals equal the sum over the streamed trace.
+    #[test]
+    fn traffic_is_conserved((layer, tiling) in conv_case(), df in any_conv_dataflow()) {
+        let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves");
+        let mut totals = seculator::arch::trace::TrafficSummary::default();
+        s.for_each_step(|step| {
+            for a in &step.accesses {
+                match (a.tensor, a.op) {
+                    (TensorClass::Ifmap, _) => totals.ifmap_read += a.bytes,
+                    (TensorClass::Weight, _) => totals.weight_read += a.bytes,
+                    (TensorClass::Ofmap, AccessOp::Read) => totals.ofmap_read += a.bytes,
+                    (TensorClass::Ofmap, AccessOp::Write) => totals.ofmap_write += a.bytes,
+                }
+            }
+        });
+        prop_assert_eq!(totals, s.traffic());
+    }
+
+    /// Every ofmap tile's final write carries VN = κ, and every ifmap
+    /// tile is first-read exactly once — the two facts the layer-level
+    /// MAC equation relies on.
+    #[test]
+    fn mac_equation_preconditions_hold((layer, tiling) in conv_case(), df in any_conv_dataflow()) {
+        let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves");
+        let kappa = s.write_pattern().final_vn();
+        let mut final_writes = std::collections::HashMap::new();
+        let mut first_reads = std::collections::HashSet::new();
+        s.for_each_step(|step| {
+            for a in &step.accesses {
+                match (a.tensor, a.op) {
+                    (TensorClass::Ofmap, AccessOp::Write) if a.last_write => {
+                        final_writes.insert(a.tile, a.vn);
+                    }
+                    (TensorClass::Ifmap, AccessOp::Read) if a.first_read => {
+                        first_reads.insert(a.tile);
+                    }
+                    _ => {}
+                }
+            }
+        });
+        prop_assert_eq!(final_writes.len() as u64, s.ofmap_tiles());
+        prop_assert!(final_writes.values().all(|&vn| vn == kappa));
+        prop_assert_eq!(first_reads.len() as u64, s.ifmap_tiles());
+    }
+
+    /// Pre-processing dataflows (Tables 8–10) match the reference table
+    /// for all three computation styles.
+    #[test]
+    fn preproc_patterns_match_reference(
+        c in 1u32..=4,
+        ah in 1u32..=3,
+        aw in 1u32..=3,
+        style in prop::sample::select(vec![
+            seculator::arch::layer::PreprocStyle::Style1,
+            seculator::arch::layer::PreprocStyle::Style2,
+            seculator::arch::layer::PreprocStyle::Style3,
+        ]),
+        df in prop::sample::select(seculator::arch::dataflow::PreprocDataflow::ALL.to_vec()),
+    ) {
+        let (ht, wt) = (4u32, 4u32);
+        let layer = LayerDesc::new(
+            0,
+            LayerKind::Preproc { style, c, k_out: c, h: ah * ht, w: aw * wt },
+        );
+        let tiling = TileConfig { kt: 1, ct: 1, ht, wt };
+        let s = LayerSchedule::new(layer, Dataflow::Preproc(df), tiling).expect("resolves");
+        let mut table = ReferenceVnTable::new();
+        let mut scheduled = Vec::new();
+        s.for_each_step(|step| {
+            for a in &step.accesses {
+                if a.tensor == TensorClass::Ofmap && a.op == AccessOp::Write {
+                    table.record_write(a.tile);
+                    scheduled.push(a.vn);
+                }
+            }
+        });
+        let predicted: Vec<u32> = s.write_pattern().iter().collect();
+        prop_assert_eq!(table.write_log(), &scheduled[..], "table vs schedule");
+        prop_assert_eq!(&scheduled[..], &predicted[..], "schedule vs formula");
+    }
+
+    /// Deconvolution (GAN generators, §5.2) follows the convolution
+    /// tables unchanged.
+    #[test]
+    fn deconv_patterns_match_reference(
+        (layer, tiling) in conv_case(),
+        df in any_conv_dataflow(),
+    ) {
+        let deconv = match layer.kind {
+            LayerKind::Conv(s) => LayerDesc::new(layer.id, LayerKind::Deconv(s)),
+            _ => unreachable!("conv_case generates convolutions"),
+        };
+        let s = LayerSchedule::new(deconv, Dataflow::Conv(df), tiling).expect("resolves");
+        let observed = s.observed_write_vns();
+        let predicted: Vec<u32> = s.write_pattern().iter().collect();
+        prop_assert_eq!(observed, predicted);
+    }
+
+    /// Matmul dataflows satisfy the same invariants.
+    #[test]
+    fn matmul_patterns_match_reference(
+        ah in 1u32..=4, ac in 1u32..=4, aw in 1u32..=4,
+        df in prop::sample::select(MatmulDataflow::ALL.to_vec()),
+    ) {
+        let (ht, ct, wt) = (8, 8, 8);
+        let layer = LayerDesc::new(
+            0,
+            LayerKind::Matmul(MatmulShape::new(ah * ht, ac * ct, aw * wt)),
+        );
+        let tiling = TileConfig { kt: 1, ct, ht, wt };
+        let s = LayerSchedule::new(layer, Dataflow::Matmul(df), tiling).expect("resolves");
+        let mut table = ReferenceVnTable::new();
+        let mut scheduled = Vec::new();
+        s.for_each_step(|step| {
+            for a in &step.accesses {
+                if a.tensor == TensorClass::Ofmap && a.op == AccessOp::Write {
+                    table.record_write(a.tile);
+                    scheduled.push(a.vn);
+                }
+            }
+        });
+        let predicted: Vec<u32> = s.write_pattern().iter().collect();
+        prop_assert_eq!(table.write_log(), &scheduled[..], "table vs schedule");
+        prop_assert_eq!(&scheduled[..], &predicted[..], "schedule vs formula");
+    }
+}
