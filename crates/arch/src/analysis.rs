@@ -55,7 +55,11 @@ pub fn roofline(schedule: &LayerSchedule, machine: &MachineBalance) -> LayerRoof
     let bytes = schedule.traffic().total().max(1) as f64;
     let intensity = macs / bytes;
     let ridge = machine.ridge();
-    let bound = if intensity >= ridge { Bound::Compute } else { Bound::Memory };
+    let bound = if intensity >= ridge {
+        Bound::Compute
+    } else {
+        Bound::Memory
+    };
     LayerRoofline {
         layer_id: schedule.layer().id,
         intensity,
@@ -72,8 +76,7 @@ pub fn network_roofline(
     schedules: &[LayerSchedule],
     machine: &MachineBalance,
 ) -> (Vec<LayerRoofline>, f64) {
-    let rooflines: Vec<LayerRoofline> =
-        schedules.iter().map(|s| roofline(s, machine)).collect();
+    let rooflines: Vec<LayerRoofline> = schedules.iter().map(|s| roofline(s, machine)).collect();
     let total_macs: u64 = schedules.iter().map(|s| s.layer().macs()).sum();
     let compute_macs: u64 = schedules
         .iter()
@@ -81,7 +84,11 @@ pub fn network_roofline(
         .filter(|(_, r)| r.bound == Bound::Compute)
         .map(|(s, _)| s.layer().macs())
         .sum();
-    let share = if total_macs == 0 { 0.0 } else { compute_macs as f64 / total_macs as f64 };
+    let share = if total_macs == 0 {
+        0.0
+    } else {
+        compute_macs as f64 / total_macs as f64
+    };
     (rooflines, share)
 }
 
@@ -94,7 +101,10 @@ mod tests {
     use crate::tiling::TileConfig;
 
     fn paper_machine() -> MachineBalance {
-        MachineBalance { macs_per_cycle: 1024.0, bytes_per_cycle: 14.0 }
+        MachineBalance {
+            macs_per_cycle: 1024.0,
+            bytes_per_cycle: 14.0,
+        }
     }
 
     #[test]
@@ -111,14 +121,20 @@ mod tests {
         assert!(r.intensity > 30.0, "deep convs still sit near the ridge");
         // On a machine with 4x the bandwidth (ridge ≈ 18) the same layer
         // becomes compute-bound.
-        let fat_memory = MachineBalance { macs_per_cycle: 1024.0, bytes_per_cycle: 56.0 };
+        let fat_memory = MachineBalance {
+            macs_per_cycle: 1024.0,
+            bytes_per_cycle: 56.0,
+        };
         assert_eq!(roofline(&s, &fat_memory).bound, Bound::Compute);
     }
 
     #[test]
     fn fully_connected_layers_are_memory_bound() {
         // FC layers read each weight exactly once: intensity ≈ 1/4.
-        let layer = LayerDesc::new(1, LayerKind::FullyConnected(MatmulShape::new(1, 4096, 4096)));
+        let layer = LayerDesc::new(
+            1,
+            LayerKind::FullyConnected(MatmulShape::new(1, 4096, 4096)),
+        );
         let s = map_layer(&layer, &MapperConfig::default()).unwrap();
         let r = roofline(&s, &paper_machine());
         assert_eq!(r.bound, Bound::Memory, "intensity {}", r.intensity);
@@ -128,13 +144,14 @@ mod tests {
     #[test]
     fn wasteful_dataflows_lower_intensity() {
         let layer = LayerDesc::new(2, LayerKind::Conv(ConvShape::simple(32, 32, 32, 3)));
-        let tiling = TileConfig { kt: 8, ct: 8, ht: 16, wt: 16 };
-        let good = LayerSchedule::new(
-            layer,
-            Dataflow::Conv(ConvDataflow::IrFullChannel),
-            tiling,
-        )
-        .unwrap();
+        let tiling = TileConfig {
+            kt: 8,
+            ct: 8,
+            ht: 16,
+            wt: 16,
+        };
+        let good =
+            LayerSchedule::new(layer, Dataflow::Conv(ConvDataflow::IrFullChannel), tiling).unwrap();
         let wasteful = LayerSchedule::new(
             layer,
             Dataflow::Conv(ConvDataflow::OrPartialChannel),
@@ -150,9 +167,12 @@ mod tests {
 
     #[test]
     fn network_share_is_a_fraction() {
-        let layers = vec![
+        let layers = [
             LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(64, 64, 28, 3))),
-            LayerDesc::new(1, LayerKind::FullyConnected(MatmulShape::new(1, 1024, 1024))),
+            LayerDesc::new(
+                1,
+                LayerKind::FullyConnected(MatmulShape::new(1, 1024, 1024)),
+            ),
         ];
         let schedules: Vec<_> = layers
             .iter()

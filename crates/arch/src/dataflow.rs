@@ -182,8 +182,12 @@ pub enum PreprocDataflow {
 
 impl PreprocDataflow {
     /// Every pre-processing dataflow.
-    pub const ALL: [Self; 4] =
-        [Self::ChannelWise, Self::TileAlongChannel, Self::TileAlongSpace, Self::FullChannel];
+    pub const ALL: [Self; 4] = [
+        Self::ChannelWise,
+        Self::TileAlongChannel,
+        Self::TileAlongSpace,
+        Self::FullChannel,
+    ];
 }
 
 /// A dataflow choice for any layer kind.
@@ -263,18 +267,22 @@ impl Dataflow {
         requested: TileConfig,
     ) -> Result<GeneratorSpec, DataflowError> {
         let d = layer.dims();
-        let applies = match (self, layer.kind) {
+        let applies = matches!(
+            (self, layer.kind),
             (
                 Dataflow::Conv(_),
                 LayerKind::Conv(_)
-                | LayerKind::Deconv(_)
-                | LayerKind::DepthwiseConv(_)
-                | LayerKind::Pool { .. },
-            ) => true,
-            (Dataflow::Matmul(_), LayerKind::Matmul(_) | LayerKind::FullyConnected(_)) => true,
-            (Dataflow::Preproc(_), LayerKind::Preproc { .. } | LayerKind::Pool { .. }) => true,
-            _ => false,
-        };
+                    | LayerKind::Deconv(_)
+                    | LayerKind::DepthwiseConv(_)
+                    | LayerKind::Pool { .. },
+            ) | (
+                Dataflow::Matmul(_),
+                LayerKind::Matmul(_) | LayerKind::FullyConnected(_)
+            ) | (
+                Dataflow::Preproc(_),
+                LayerKind::Preproc { .. } | LayerKind::Pool { .. }
+            )
+        );
         if !applies {
             return Err(DataflowError::KindMismatch { dataflow: *self });
         }
@@ -286,55 +294,97 @@ impl Dataflow {
                 match c {
                     Cd::IrPartialChannelAlongChannel => {
                         t.ct = 1;
-                        (ScheduleShape::AccumAlongChannel, ReadFactor::Once, ReadFactor::PerSpatialTile)
+                        (
+                            ScheduleShape::AccumAlongChannel,
+                            ReadFactor::Once,
+                            ReadFactor::PerSpatialTile,
+                        )
                     }
-                    Cd::IrMultiChannelAlongChannel => {
-                        (ScheduleShape::AccumAlongChannel, ReadFactor::Once, ReadFactor::PerSpatialTile)
-                    }
+                    Cd::IrMultiChannelAlongChannel => (
+                        ScheduleShape::AccumAlongChannel,
+                        ReadFactor::Once,
+                        ReadFactor::PerSpatialTile,
+                    ),
                     Cd::IrPartialChannelAlongSpace => {
                         t.ct = 1;
-                        (ScheduleShape::AccumAlongSpace, ReadFactor::Once, ReadFactor::PerSpatialTile)
+                        (
+                            ScheduleShape::AccumAlongSpace,
+                            ReadFactor::Once,
+                            ReadFactor::PerSpatialTile,
+                        )
                     }
-                    Cd::IrMultiChannelAlongSpace => {
-                        (ScheduleShape::AccumAlongSpace, ReadFactor::Once, ReadFactor::PerSpatialTile)
-                    }
+                    Cd::IrMultiChannelAlongSpace => (
+                        ScheduleShape::AccumAlongSpace,
+                        ReadFactor::Once,
+                        ReadFactor::PerSpatialTile,
+                    ),
                     Cd::IrChannelWise => {
                         t.ht = d.h;
                         t.wt = d.w;
-                        (ScheduleShape::AccumAlongChannel, ReadFactor::Once, ReadFactor::Once)
+                        (
+                            ScheduleShape::AccumAlongChannel,
+                            ReadFactor::Once,
+                            ReadFactor::Once,
+                        )
                     }
                     Cd::IrFullChannel => {
                         t.ct = d.c;
-                        (ScheduleShape::SingleWrite, ReadFactor::Once, ReadFactor::PerSpatialTile)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::Once,
+                            ReadFactor::PerSpatialTile,
+                        )
                     }
-                    Cd::OrPartialChannel => {
-                        (ScheduleShape::SingleWrite, ReadFactor::PerOutputGroup, ReadFactor::PerSpatialTile)
-                    }
+                    Cd::OrPartialChannel => (
+                        ScheduleShape::SingleWrite,
+                        ReadFactor::PerOutputGroup,
+                        ReadFactor::PerSpatialTile,
+                    ),
                     Cd::OrChannelWise => {
                         t.ht = d.h;
                         t.wt = d.w;
-                        (ScheduleShape::SingleWrite, ReadFactor::PerOutputGroup, ReadFactor::Once)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::PerOutputGroup,
+                            ReadFactor::Once,
+                        )
                     }
                     Cd::OrFullChannel => {
                         t.ct = d.c;
-                        (ScheduleShape::SingleWrite, ReadFactor::Once, ReadFactor::PerSpatialTile)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::Once,
+                            ReadFactor::PerSpatialTile,
+                        )
                     }
                     Cd::WrMultiChannelWise => {
                         t.ht = d.h;
                         t.wt = d.w;
-                        (ScheduleShape::AccumAlongChannel, ReadFactor::PerOutputGroup, ReadFactor::Once)
+                        (
+                            ScheduleShape::AccumAlongChannel,
+                            ReadFactor::PerOutputGroup,
+                            ReadFactor::Once,
+                        )
                     }
                     Cd::WrChannelWise => {
                         t.ht = d.h;
                         t.wt = d.w;
                         t.ct = 1;
-                        (ScheduleShape::SingleWrite, ReadFactor::PerOutputGroup, ReadFactor::Once)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::PerOutputGroup,
+                            ReadFactor::Once,
+                        )
                     }
                     Cd::WrFullFilter => {
                         t.ht = d.h;
                         t.wt = d.w;
                         t.ct = d.c;
-                        (ScheduleShape::SingleWrite, ReadFactor::PerOutputGroup, ReadFactor::Once)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::PerOutputGroup,
+                            ReadFactor::Once,
+                        )
                     }
                 }
             }
@@ -344,12 +394,16 @@ impl Dataflow {
                     // The generic generator's (spatial, accum, group)
                     // axes map to (hT, cT, wT) for FixP and (wT, cT, hT)
                     // for FixQ; the trace module performs that mapping.
-                    Md::FixP | Md::FixQ => {
-                        (ScheduleShape::AccumAlongChannel, ReadFactor::Once, ReadFactor::PerSpatialTile)
-                    }
-                    Md::FixR => {
-                        (ScheduleShape::SingleWrite, ReadFactor::PerOutputGroup, ReadFactor::PerSpatialTile)
-                    }
+                    Md::FixP | Md::FixQ => (
+                        ScheduleShape::AccumAlongChannel,
+                        ReadFactor::Once,
+                        ReadFactor::PerSpatialTile,
+                    ),
+                    Md::FixR => (
+                        ScheduleShape::SingleWrite,
+                        ReadFactor::PerOutputGroup,
+                        ReadFactor::PerSpatialTile,
+                    ),
                 }
             }
             Dataflow::Preproc(p) => {
@@ -368,24 +422,44 @@ impl Dataflow {
                             // output is produced in one shot per group.
                             t.ct = d.c;
                         }
-                        (ScheduleShape::SingleWrite, ReadFactor::Once, ReadFactor::Once)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::Once,
+                            ReadFactor::Once,
+                        )
                     }
                     Pd::TileAlongChannel => {
                         if accumulates {
                             t.ct = d.c;
                         }
-                        (ScheduleShape::SingleWrite, ReadFactor::Once, ReadFactor::Once)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::Once,
+                            ReadFactor::Once,
+                        )
                     }
                     Pd::TileAlongSpace => {
                         if accumulates {
-                            (ScheduleShape::AccumAlongSpace, ReadFactor::Once, ReadFactor::Once)
+                            (
+                                ScheduleShape::AccumAlongSpace,
+                                ReadFactor::Once,
+                                ReadFactor::Once,
+                            )
                         } else {
-                            (ScheduleShape::SingleWrite, ReadFactor::Once, ReadFactor::Once)
+                            (
+                                ScheduleShape::SingleWrite,
+                                ReadFactor::Once,
+                                ReadFactor::Once,
+                            )
                         }
                     }
                     Pd::FullChannel => {
                         t.ct = d.c;
-                        (ScheduleShape::SingleWrite, ReadFactor::Once, ReadFactor::Once)
+                        (
+                            ScheduleShape::SingleWrite,
+                            ReadFactor::Once,
+                            ReadFactor::Once,
+                        )
                     }
                 }
             }
@@ -393,7 +467,13 @@ impl Dataflow {
 
         t.validate(layer)?;
         let alphas = self.alphas_for(layer, t);
-        Ok(GeneratorSpec { shape, ifmap_factor, weight_factor, alphas, tiling: t })
+        Ok(GeneratorSpec {
+            shape,
+            ifmap_factor,
+            weight_factor,
+            alphas,
+            tiling: t,
+        })
     }
 
     /// Computes the (possibly axis-remapped) alphas. Matmul dataflows map
@@ -450,7 +530,12 @@ mod tests {
     }
 
     fn tiling() -> TileConfig {
-        TileConfig { kt: 8, ct: 4, ht: 16, wt: 16 }
+        TileConfig {
+            kt: 8,
+            ct: 4,
+            ht: 16,
+            wt: 16,
+        }
     }
 
     #[test]
@@ -465,8 +550,9 @@ mod tests {
 
     #[test]
     fn channel_wise_forces_full_spatial_tiles() {
-        let spec =
-            Dataflow::Conv(ConvDataflow::IrChannelWise).resolve(&conv_layer(), tiling()).unwrap();
+        let spec = Dataflow::Conv(ConvDataflow::IrChannelWise)
+            .resolve(&conv_layer(), tiling())
+            .unwrap();
         assert_eq!(spec.alphas.alpha_hw, 1);
         assert_eq!(spec.tiling.ht, 32);
         assert_eq!(spec.tiling.wt, 32);
@@ -474,8 +560,9 @@ mod tests {
 
     #[test]
     fn full_channel_is_single_write() {
-        let spec =
-            Dataflow::Conv(ConvDataflow::IrFullChannel).resolve(&conv_layer(), tiling()).unwrap();
+        let spec = Dataflow::Conv(ConvDataflow::IrFullChannel)
+            .resolve(&conv_layer(), tiling())
+            .unwrap();
         assert_eq!(spec.shape, ScheduleShape::SingleWrite);
         assert_eq!(spec.alphas.alpha_c, 1);
     }
@@ -489,8 +576,15 @@ mod tests {
     #[test]
     fn matmul_fixp_remaps_axes() {
         let layer = LayerDesc::new(1, LayerKind::Matmul(MatmulShape::new(64, 128, 32)));
-        let t = TileConfig { kt: 1, ct: 32, ht: 16, wt: 8 };
-        let spec = Dataflow::Matmul(MatmulDataflow::FixP).resolve(&layer, t).unwrap();
+        let t = TileConfig {
+            kt: 1,
+            ct: 32,
+            ht: 16,
+            wt: 8,
+        };
+        let spec = Dataflow::Matmul(MatmulDataflow::FixP)
+            .resolve(&layer, t)
+            .unwrap();
         assert_eq!(spec.alphas.alpha_k, 4, "group axis = W/WT = 32/8");
         assert_eq!(spec.alphas.alpha_c, 4, "accum axis = C/CT = 128/32");
         assert_eq!(spec.alphas.alpha_hw, 4, "spatial axis = H/HT = 64/16");
@@ -499,8 +593,15 @@ mod tests {
     #[test]
     fn matmul_fixr_is_output_stationary() {
         let layer = LayerDesc::new(1, LayerKind::Matmul(MatmulShape::new(64, 128, 32)));
-        let t = TileConfig { kt: 1, ct: 32, ht: 16, wt: 8 };
-        let spec = Dataflow::Matmul(MatmulDataflow::FixR).resolve(&layer, t).unwrap();
+        let t = TileConfig {
+            kt: 1,
+            ct: 32,
+            ht: 16,
+            wt: 8,
+        };
+        let spec = Dataflow::Matmul(MatmulDataflow::FixR)
+            .resolve(&layer, t)
+            .unwrap();
         assert_eq!(spec.shape, ScheduleShape::SingleWrite);
         assert_eq!(spec.alphas.alpha_k, 1);
         assert_eq!(spec.alphas.alpha_hw, 4 * 4);

@@ -36,7 +36,15 @@ impl ConvShape {
     /// A square convolution with stride 1.
     #[must_use]
     pub fn simple(k: u32, c: u32, hw: u32, rs: u32) -> Self {
-        Self { k, c, h: hw, w: hw, r: rs, s: rs, stride: 1 }
+        Self {
+            k,
+            c,
+            h: hw,
+            w: hw,
+            r: rs,
+            s: rs,
+            stride: 1,
+        }
     }
 
     /// Output feature-map height.
@@ -175,18 +183,16 @@ impl LayerDesc {
     #[must_use]
     pub fn dims(&self) -> LayerDims {
         match self.kind {
-            LayerKind::Conv(s) | LayerKind::Deconv(s) | LayerKind::DepthwiseConv(s) => {
-                LayerDims {
-                    k: s.k,
-                    c: s.c,
-                    h: s.out_h(),
-                    w: s.out_w(),
-                    in_h: s.h,
-                    in_w: s.w,
-                    r: s.r,
-                    s: s.s,
-                }
-            }
+            LayerKind::Conv(s) | LayerKind::Deconv(s) | LayerKind::DepthwiseConv(s) => LayerDims {
+                k: s.k,
+                c: s.c,
+                h: s.out_h(),
+                w: s.out_w(),
+                in_h: s.h,
+                in_w: s.w,
+                r: s.r,
+                s: s.s,
+            },
             LayerKind::FullyConnected(m) | LayerKind::Matmul(m) => LayerDims {
                 k: 1,
                 c: m.c,
@@ -207,12 +213,27 @@ impl LayerDesc {
                 r: window,
                 s: window,
             },
-            LayerKind::Preproc { style, c, k_out, h, w } => {
+            LayerKind::Preproc {
+                style,
+                c,
+                k_out,
+                h,
+                w,
+            } => {
                 let k = match style {
                     PreprocStyle::Style2 => 1,
                     _ => k_out,
                 };
-                LayerDims { k, c, h, w, in_h: h, in_w: w, r: 1, s: 1 }
+                LayerDims {
+                    k,
+                    c,
+                    h,
+                    w,
+                    in_h: h,
+                    in_w: w,
+                    r: 1,
+                    s: 1,
+                }
             }
         }
     }
@@ -242,12 +263,8 @@ impl LayerDesc {
     pub fn params(&self) -> u64 {
         match self.kind {
             LayerKind::Conv(s) | LayerKind::Deconv(s) => s.params(),
-            LayerKind::DepthwiseConv(s) => {
-                u64::from(s.k) * u64::from(s.r) * u64::from(s.s)
-            }
-            LayerKind::FullyConnected(m) | LayerKind::Matmul(m) => {
-                u64::from(m.c) * u64::from(m.w)
-            }
+            LayerKind::DepthwiseConv(s) => u64::from(s.k) * u64::from(s.r) * u64::from(s.s),
+            LayerKind::FullyConnected(m) | LayerKind::Matmul(m) => u64::from(m.c) * u64::from(m.w),
             LayerKind::Pool { .. } => 0,
             LayerKind::Preproc { .. } => 0,
         }
@@ -312,7 +329,15 @@ mod tests {
 
     #[test]
     fn strided_conv_shrinks_ofmap() {
-        let s = ConvShape { k: 64, c: 3, h: 224, w: 224, r: 7, s: 7, stride: 2 };
+        let s = ConvShape {
+            k: 64,
+            c: 3,
+            h: 224,
+            w: 224,
+            r: 7,
+            s: 7,
+            stride: 2,
+        };
         assert_eq!(s.out_h(), 112);
         assert_eq!(s.out_w(), 112);
     }
@@ -328,7 +353,15 @@ mod tests {
 
     #[test]
     fn pool_has_no_params_and_shrinks() {
-        let layer = LayerDesc::new(2, LayerKind::Pool { c: 64, h: 112, w: 112, window: 2 });
+        let layer = LayerDesc::new(
+            2,
+            LayerKind::Pool {
+                c: 64,
+                h: 112,
+                w: 112,
+                window: 2,
+            },
+        );
         assert_eq!(layer.params(), 0);
         let d = layer.dims();
         assert_eq!((d.h, d.w), (56, 56));
@@ -339,7 +372,13 @@ mod tests {
     fn preproc_style2_has_single_output_channel() {
         let layer = LayerDesc::new(
             3,
-            LayerKind::Preproc { style: PreprocStyle::Style2, c: 3, k_out: 3, h: 32, w: 32 },
+            LayerKind::Preproc {
+                style: PreprocStyle::Style2,
+                c: 3,
+                k_out: 3,
+                h: 32,
+                w: 32,
+            },
         );
         assert_eq!(layer.dims().k, 1);
     }

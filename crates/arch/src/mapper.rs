@@ -24,7 +24,10 @@ pub struct MapperConfig {
 
 impl Default for MapperConfig {
     fn default() -> Self {
-        Self { global_buffer_bytes: 240 * 1024, max_candidates: usize::MAX }
+        Self {
+            global_buffer_bytes: 240 * 1024,
+            max_candidates: usize::MAX,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl std::fmt::Display for MapperError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoFeasibleMapping { layer_id } => {
-                write!(f, "no feasible mapping for layer {layer_id} fits the global buffer")
+                write!(
+                    f,
+                    "no feasible mapping for layer {layer_id} fits the global buffer"
+                )
             }
         }
     }
@@ -68,15 +74,21 @@ fn candidate_dataflows(layer: &LayerDesc) -> Vec<Dataflow> {
         LayerKind::Conv(_)
         | LayerKind::Deconv(_)
         | LayerKind::DepthwiseConv(_)
-        | LayerKind::Pool { .. } => {
-            ConvDataflow::ALL.iter().copied().map(Dataflow::Conv).collect()
-        }
-        LayerKind::Matmul(_) | LayerKind::FullyConnected(_) => {
-            MatmulDataflow::ALL.iter().copied().map(Dataflow::Matmul).collect()
-        }
-        LayerKind::Preproc { .. } => {
-            PreprocDataflow::ALL.iter().copied().map(Dataflow::Preproc).collect()
-        }
+        | LayerKind::Pool { .. } => ConvDataflow::ALL
+            .iter()
+            .copied()
+            .map(Dataflow::Conv)
+            .collect(),
+        LayerKind::Matmul(_) | LayerKind::FullyConnected(_) => MatmulDataflow::ALL
+            .iter()
+            .copied()
+            .map(Dataflow::Matmul)
+            .collect(),
+        LayerKind::Preproc { .. } => PreprocDataflow::ALL
+            .iter()
+            .copied()
+            .map(Dataflow::Preproc)
+            .collect(),
     }
 }
 
@@ -113,9 +125,7 @@ pub fn map_layer(layer: &LayerDesc, cfg: &MapperConfig) -> Result<LayerSchedule,
                         let steps = schedule.write_pattern().len();
                         let better = match &best {
                             None => true,
-                            Some((bt, bs, _)) => {
-                                traffic < *bt || (traffic == *bt && steps < *bs)
-                            }
+                            Some((bt, bs, _)) => traffic < *bt || (traffic == *bt && steps < *bs),
                         };
                         if better {
                             best = Some((traffic, steps, schedule));
@@ -126,7 +136,8 @@ pub fn map_layer(layer: &LayerDesc, cfg: &MapperConfig) -> Result<LayerSchedule,
         }
     }
 
-    best.map(|(_, _, s)| s).ok_or(MapperError::NoFeasibleMapping { layer_id: layer.id })
+    best.map(|(_, _, s)| s)
+        .ok_or(MapperError::NoFeasibleMapping { layer_id: layer.id })
 }
 
 /// Maps every layer of a network with the same configuration.
@@ -156,13 +167,20 @@ mod tests {
         let compulsory = layer.ifmap_bytes() + layer.weight_bytes() + layer.ofmap_bytes();
         assert!(s.traffic().total() >= compulsory);
         // ...and a good mapping should be within 4x of compulsory here.
-        assert!(s.traffic().total() <= 4 * compulsory, "traffic {}", s.traffic().total());
+        assert!(
+            s.traffic().total() <= 4 * compulsory,
+            "traffic {}",
+            s.traffic().total()
+        );
     }
 
     #[test]
     fn tiny_buffer_still_maps_via_small_tiles() {
         let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3)));
-        let cfg = MapperConfig { global_buffer_bytes: 4 * 1024, max_candidates: usize::MAX };
+        let cfg = MapperConfig {
+            global_buffer_bytes: 4 * 1024,
+            max_candidates: usize::MAX,
+        };
         let s = map_layer(&layer, &cfg).unwrap();
         assert!(s.resident_bytes() <= cfg.global_buffer_bytes);
     }
@@ -177,7 +195,10 @@ mod tests {
     #[test]
     fn infeasible_when_even_minimum_tile_exceeds_buffer() {
         let layer = LayerDesc::new(2, LayerKind::Conv(ConvShape::simple(8, 8, 64, 3)));
-        let cfg = MapperConfig { global_buffer_bytes: 8, max_candidates: usize::MAX };
+        let cfg = MapperConfig {
+            global_buffer_bytes: 8,
+            max_candidates: usize::MAX,
+        };
         assert!(map_layer(&layer, &cfg).is_err());
     }
 }

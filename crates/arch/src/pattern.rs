@@ -46,7 +46,10 @@ impl PatternSpec {
     /// by `Option::<PatternSpec>::None` throughout this crate).
     #[must_use]
     pub fn new(eta: u64, kappa: u32, rho: u64) -> Self {
-        assert!(eta > 0 && kappa > 0 && rho > 0, "pattern components must be non-zero");
+        assert!(
+            eta > 0 && kappa > 0 && rho > 0,
+            "pattern components must be non-zero"
+        );
         Self { eta, kappa, rho }
     }
 
@@ -84,7 +87,10 @@ impl PatternSpec {
     /// Iterates the full VN sequence.
     #[must_use]
     pub fn iter(&self) -> VnSequence {
-        VnSequence { spec: *self, next: 0 }
+        VnSequence {
+            spec: *self,
+            next: 0,
+        }
     }
 
     /// Renders the pattern in the paper's notation, e.g.
@@ -96,7 +102,10 @@ impl PatternSpec {
         } else if self.kappa == 2 {
             format!("1^{}, 2^{}", self.eta, self.eta)
         } else {
-            format!("1^{}, 2^{}, …, {}^{}", self.eta, self.eta, self.kappa, self.eta)
+            format!(
+                "1^{}, 2^{}, …, {}^{}",
+                self.eta, self.eta, self.kappa, self.eta
+            )
         };
         if self.rho == 1 {
             body
@@ -115,15 +124,22 @@ impl PatternSpec {
         let len = self.len();
         let height = self.kappa.min(8) as usize;
         let mut grid = vec![vec![' '; width]; height];
-        for col in 0..width.min(len as usize) {
-            let n = col as u64 * len / width.min(len as usize) as u64;
+        let cols = width.min(len as usize);
+        // Indexing `grid[row][col]` is clearer than zipping row iterators
+        // for this 2-D scatter.
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..cols {
+            let n = col as u64 * len / cols as u64;
             let vn = self.vn_at(n);
             // Scale VN to the plot height.
             let row = ((u64::from(vn) - 1) * height as u64 / u64::from(self.kappa)) as usize;
             let row = row.min(height - 1);
             grid[height - 1 - row][col] = '▪';
         }
-        grid.into_iter().map(|r| r.into_iter().collect::<String>()).collect::<Vec<_>>().join("\n")
+        grid.into_iter()
+            .map(|r| r.into_iter().collect::<String>())
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Classifies the pattern into the paper's five named families
@@ -212,11 +228,9 @@ pub fn write_pattern(shape: ScheduleShape, a: Alphas) -> PatternSpec {
         ScheduleShape::AccumAlongChannel => {
             PatternSpec::new(u64::from(a.alpha_k), a.alpha_c, u64::from(a.alpha_hw))
         }
-        ScheduleShape::AccumAlongSpace => PatternSpec::new(
-            u64::from(a.alpha_k) * u64::from(a.alpha_hw),
-            a.alpha_c,
-            1,
-        ),
+        ScheduleShape::AccumAlongSpace => {
+            PatternSpec::new(u64::from(a.alpha_k) * u64::from(a.alpha_hw), a.alpha_c, 1)
+        }
         ScheduleShape::SingleWrite => {
             PatternSpec::new(u64::from(a.alpha_k) * u64::from(a.alpha_hw), 1, 1)
         }
@@ -249,7 +263,11 @@ mod tests {
     use super::*;
 
     fn alphas(k: u32, c: u32, hw: u32) -> Alphas {
-        Alphas { alpha_k: k, alpha_c: c, alpha_hw: hw }
+        Alphas {
+            alpha_k: k,
+            alpha_c: c,
+            alpha_hw: hw,
+        }
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl MappingRecipe {
     /// Captures a mapped network.
     #[must_use]
     pub fn of(schedules: &[LayerSchedule]) -> Self {
-        Self { layers: schedules.iter().map(ScheduleRecipe::of).collect() }
+        Self {
+            layers: schedules.iter().map(ScheduleRecipe::of).collect(),
+        }
     }
 
     /// Reconstructs all schedules.
@@ -62,7 +64,10 @@ impl MappingRecipe {
     ///
     /// Propagates the first [`DataflowError`].
     pub fn instantiate(&self) -> Result<Vec<LayerSchedule>, DataflowError> {
-        self.layers.iter().map(ScheduleRecipe::instantiate).collect()
+        self.layers
+            .iter()
+            .map(ScheduleRecipe::instantiate)
+            .collect()
     }
 }
 
@@ -97,7 +102,12 @@ mod tests {
         let recipe = ScheduleRecipe {
             layer,
             dataflow: Dataflow::Conv(crate::dataflow::ConvDataflow::IrFullChannel),
-            tiling: TileConfig { kt: 2, ct: 2, ht: 4, wt: 4 },
+            tiling: TileConfig {
+                kt: 2,
+                ct: 2,
+                ht: 4,
+                wt: 4,
+            },
         };
         let clone = recipe;
         assert_eq!(recipe, clone);
@@ -110,7 +120,12 @@ mod tests {
         let recipe = ScheduleRecipe {
             layer,
             dataflow: Dataflow::Conv(crate::dataflow::ConvDataflow::IrFullChannel),
-            tiling: TileConfig { kt: 0, ct: 2, ht: 4, wt: 4 },
+            tiling: TileConfig {
+                kt: 0,
+                ct: 2,
+                ht: 4,
+                wt: 4,
+            },
         };
         assert!(recipe.instantiate().is_err());
     }

@@ -75,7 +75,12 @@ impl TileConfig {
     #[must_use]
     pub fn untiled(layer: &LayerDesc) -> Self {
         let d = layer.dims();
-        Self { kt: d.k, ct: d.c, ht: d.h, wt: d.w }
+        Self {
+            kt: d.k,
+            ct: d.c,
+            ht: d.h,
+            wt: d.w,
+        }
     }
 
     /// Validates the configuration against `layer`.
@@ -89,9 +94,12 @@ impl TileConfig {
             return Err(TileError::ZeroDimension);
         }
         let d = layer.dims();
-        for (dim, tile, full) in
-            [("kt", self.kt, d.k), ("ct", self.ct, d.c), ("ht", self.ht, d.h), ("wt", self.wt, d.w)]
-        {
+        for (dim, tile, full) in [
+            ("kt", self.kt, d.k),
+            ("ct", self.ct, d.c),
+            ("ht", self.ht, d.h),
+            ("wt", self.wt, d.w),
+        ] {
             if tile > full {
                 return Err(TileError::TileLargerThanLayer { dim });
             }
@@ -142,7 +150,12 @@ mod tests {
 
     #[test]
     fn alphas_match_paper_definitions() {
-        let t = TileConfig { kt: 16, ct: 8, ht: 14, wt: 28 };
+        let t = TileConfig {
+            kt: 16,
+            ct: 8,
+            ht: 14,
+            wt: 28,
+        };
         let a = t.alphas(&layer());
         assert_eq!(a.alpha_k, 4);
         assert_eq!(a.alpha_c, 4);
@@ -152,7 +165,12 @@ mod tests {
 
     #[test]
     fn ceil_division_handles_non_divisible_tiles() {
-        let t = TileConfig { kt: 48, ct: 30, ht: 50, wt: 56 };
+        let t = TileConfig {
+            kt: 48,
+            ct: 30,
+            ht: 50,
+            wt: 56,
+        };
         let a = t.alphas(&layer());
         assert_eq!(a.alpha_k, 2);
         assert_eq!(a.alpha_c, 2);
@@ -162,11 +180,23 @@ mod tests {
     #[test]
     fn validation_rejects_bad_tiles() {
         assert_eq!(
-            TileConfig { kt: 0, ct: 1, ht: 1, wt: 1 }.validate(&layer()),
+            TileConfig {
+                kt: 0,
+                ct: 1,
+                ht: 1,
+                wt: 1
+            }
+            .validate(&layer()),
             Err(TileError::ZeroDimension)
         );
         assert_eq!(
-            TileConfig { kt: 128, ct: 1, ht: 1, wt: 1 }.validate(&layer()),
+            TileConfig {
+                kt: 128,
+                ct: 1,
+                ht: 1,
+                wt: 1
+            }
+            .validate(&layer()),
             Err(TileError::TileLargerThanLayer { dim: "kt" })
         );
         assert!(TileConfig::untiled(&layer()).validate(&layer()).is_ok());
@@ -174,7 +204,12 @@ mod tests {
 
     #[test]
     fn tile_byte_sizes() {
-        let t = TileConfig { kt: 16, ct: 8, ht: 14, wt: 28 };
+        let t = TileConfig {
+            kt: 16,
+            ct: 8,
+            ht: 14,
+            wt: 28,
+        };
         assert_eq!(t.ifmap_tile_bytes(), 8 * 14 * 28 * 4);
         assert_eq!(t.ofmap_tile_bytes(), 16 * 14 * 28 * 4);
         assert_eq!(t.weight_tile_bytes(&layer()), 16 * 8 * 9 * 4);

@@ -7,7 +7,9 @@
 //! encryption, MAC aggregation, and VN generation; `seculator-sim`
 //! consumes them to charge DRAM/cache/crypto cycles.
 
-use crate::dataflow::{Dataflow, DataflowError, GeneratorSpec, MatmulDataflow, ReadFactor, ScheduleShape};
+use crate::dataflow::{
+    Dataflow, DataflowError, GeneratorSpec, MatmulDataflow, ReadFactor, ScheduleShape,
+};
 use crate::layer::{LayerDesc, PIXEL_BYTES};
 use crate::pattern::{read_pattern, write_pattern, PatternSpec};
 use crate::tiling::TileConfig;
@@ -113,7 +115,11 @@ impl LayerSchedule {
         tiling: TileConfig,
     ) -> Result<Self, DataflowError> {
         let spec = dataflow.resolve(&layer, tiling)?;
-        Ok(Self { layer, dataflow, spec })
+        Ok(Self {
+            layer,
+            dataflow,
+            spec,
+        })
     }
 
     /// The layer this schedule executes.
@@ -219,14 +225,20 @@ impl LayerSchedule {
     /// statistics should not collect them.
     pub fn for_each_step<F: FnMut(&Step)>(&self, mut f: F) {
         let a = self.spec.alphas;
-        let (ak, ac, ahw) =
-            (u64::from(a.alpha_k), u64::from(a.alpha_c), u64::from(a.alpha_hw));
+        let (ak, ac, ahw) = (
+            u64::from(a.alpha_k),
+            u64::from(a.alpha_c),
+            u64::from(a.alpha_hw),
+        );
         let ifmap_b = self.ifmap_tile_bytes();
         let weight_b = self.weight_tile_bytes();
         let ofmap_b = self.ofmap_tile_bytes();
         let total_macs = self.layer.macs();
 
-        let mut step = Step { accesses: Vec::with_capacity(4), macs: 0 };
+        let mut step = Step {
+            accesses: Vec::with_capacity(4),
+            macs: 0,
+        };
         match self.spec.shape {
             ScheduleShape::AccumAlongChannel => {
                 let macs_per = total_macs / (ahw * ac * ak).max(1);
@@ -420,8 +432,11 @@ impl LayerSchedule {
     #[must_use]
     pub fn traffic(&self) -> TrafficSummary {
         let a = self.spec.alphas;
-        let (ak, ac, ahw) =
-            (u64::from(a.alpha_k), u64::from(a.alpha_c), u64::from(a.alpha_hw));
+        let (ak, ac, ahw) = (
+            u64::from(a.alpha_k),
+            u64::from(a.alpha_c),
+            u64::from(a.alpha_hw),
+        );
         let ifmap_tiles = ac * ahw;
         let ifmap_factor = match self.spec.ifmap_factor {
             ReadFactor::Once | ReadFactor::PerSpatialTile => 1,
@@ -481,7 +496,8 @@ impl LayerSchedule {
             self.weight_tile_bytes(),
             self.ofmap_tile_bytes(),
             self.write_pattern().notation(),
-            self.read_pattern().map_or_else(|| "–".to_string(), |p| p.notation()),
+            self.read_pattern()
+                .map_or_else(|| "–".to_string(), |p| p.notation()),
         )
     }
 
@@ -560,7 +576,12 @@ mod tests {
 
     fn schedule(df: ConvDataflow) -> LayerSchedule {
         let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
-        let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+        let tiling = TileConfig {
+            kt: 4,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        };
         LayerSchedule::new(layer, Dataflow::Conv(df), tiling).unwrap()
     }
 
@@ -579,8 +600,10 @@ mod tests {
         for df in ConvDataflow::ALL {
             let s = schedule(df);
             let observed = s.observed_read_vns();
-            let predicted: Vec<u32> =
-                s.read_pattern().map(|p| p.iter().collect()).unwrap_or_default();
+            let predicted: Vec<u32> = s
+                .read_pattern()
+                .map(|p| p.iter().collect())
+                .unwrap_or_default();
             assert_eq!(observed, predicted, "read pattern mismatch for {df:?}");
         }
     }
@@ -598,7 +621,10 @@ mod tests {
                     }
                 }
             });
-            assert_eq!(table.write_log(), &s.write_pattern().iter().collect::<Vec<_>>()[..]);
+            assert_eq!(
+                table.write_log(),
+                &s.write_pattern().iter().collect::<Vec<_>>()[..]
+            );
         }
     }
 
@@ -671,7 +697,10 @@ mod tests {
                 s.ifmap_tiles(),
                 "every ifmap tile must be first-read once under {df:?}"
             );
-            assert_eq!(first_reads, seen, "reads of never-first-read tiles under {df:?}");
+            assert_eq!(
+                first_reads, seen,
+                "reads of never-first-read tiles under {df:?}"
+            );
         }
     }
 
@@ -687,11 +716,24 @@ mod tests {
 
     #[test]
     fn pooling_layers_emit_no_weight_traffic() {
-        let layer = LayerDesc::new(3, LayerKind::Pool { c: 8, h: 16, w: 16, window: 2 });
+        let layer = LayerDesc::new(
+            3,
+            LayerKind::Pool {
+                c: 8,
+                h: 16,
+                w: 16,
+                window: 2,
+            },
+        );
         let s = LayerSchedule::new(
             layer,
             Dataflow::Conv(ConvDataflow::IrFullChannel),
-            TileConfig { kt: 8, ct: 8, ht: 4, wt: 4 },
+            TileConfig {
+                kt: 8,
+                ct: 8,
+                ht: 4,
+                wt: 4,
+            },
         )
         .unwrap();
         assert_eq!(s.traffic().weight_read, 0);

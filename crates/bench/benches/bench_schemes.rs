@@ -22,9 +22,13 @@ fn bench_schemes(c: &mut Criterion) {
         SchemeKind::GuardNn,
         SchemeKind::Seculator,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &s| {
-            b.iter(|| black_box(npu.run_schedules(&net.name, &schedules, s).total_cycles()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| black_box(npu.run_schedules(&net.name, &schedules, s).total_cycles()));
+            },
+        );
     }
     g.finish();
 }

@@ -15,7 +15,12 @@ use std::hint::black_box;
 fn bench_trace_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_generation");
     let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(64, 64, 56, 3)));
-    let tiling = TileConfig { kt: 8, ct: 8, ht: 14, wt: 14 };
+    let tiling = TileConfig {
+        kt: 8,
+        ct: 8,
+        ht: 14,
+        wt: 14,
+    };
     let schedule = LayerSchedule::new(
         layer,
         Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
@@ -38,7 +43,12 @@ fn bench_functional_datapath(c: &mut Criterion) {
     let mut g = c.benchmark_group("functional_datapath");
     g.sample_size(10);
     let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
-    let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+    let tiling = TileConfig {
+        kt: 4,
+        ct: 2,
+        ht: 8,
+        wt: 8,
+    };
     let schedules = vec![LayerSchedule::new(
         layer,
         Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),

@@ -19,7 +19,9 @@ fn bench_widening(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(width), &net, |b, n| {
             b.iter(|| {
                 black_box(
-                    npu.run(n, SchemeKind::SeculatorPlus).expect("maps").total_cycles(),
+                    npu.run(n, SchemeKind::SeculatorPlus)
+                        .expect("maps")
+                        .total_cycles(),
                 )
             });
         });

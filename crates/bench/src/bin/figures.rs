@@ -41,9 +41,18 @@ fn main() {
     exp!("table4", table4());
     exp!("table5", table5());
     exp!("table6", table6());
-    exp!("table8", preproc_table(PreprocStyle::Style1, "Style-1 / pooling"));
-    exp!("table9", preproc_table(PreprocStyle::Style2, "Style-2 (S = T(R,G,B))"));
-    exp!("table10", preproc_table(PreprocStyle::Style3, "Style-3 (Si = Ti(R,G,B))"));
+    exp!(
+        "table8",
+        preproc_table(PreprocStyle::Style1, "Style-1 / pooling")
+    );
+    exp!(
+        "table9",
+        preproc_table(PreprocStyle::Style2, "Style-2 (S = T(R,G,B))")
+    );
+    exp!(
+        "table10",
+        preproc_table(PreprocStyle::Style3, "Style-3 (Si = Ti(R,G,B))")
+    );
     exp!("fig4", fig4());
     exp!("fig5", fig5());
     exp!("fig7", fig7_fig8(true));
@@ -75,16 +84,30 @@ fn table1() {
     let cfg = NpuConfig::paper();
     println!("NPU configuration (paper Table 1):");
     println!("  PE array            {}x{}", cfg.pe_rows, cfg.pe_cols);
-    println!("  Global buffer       {} KB", cfg.global_buffer_bytes / 1024);
+    println!(
+        "  Global buffer       {} KB",
+        cfg.global_buffer_bytes / 1024
+    );
     println!("  Frequency           {} GHz", cfg.frequency_ghz);
-    println!("  DRAM                dual-channel DDR4, {} cyc latency", cfg.dram.latency_cycles);
+    println!(
+        "  DRAM                dual-channel DDR4, {} cyc latency",
+        cfg.dram.latency_cycles
+    );
     println!("  Block size          {} B", cfg.block_bytes);
-    println!("  Counter cache       {} KB", cfg.counter_cache_bytes / 1024);
+    println!(
+        "  Counter cache       {} KB",
+        cfg.counter_cache_bytes / 1024
+    );
     println!("  MAC cache           {} KB", cfg.mac_cache_bytes / 1024);
     println!("\nBenchmarks:");
     println!("  {:<12} {:>8} {:>14}", "workload", "layers", "parameters");
     for net in zoo::paper_benchmarks() {
-        println!("  {:<12} {:>8} {:>13.1}M", net.name, net.depth(), net.params() as f64 / 1e6);
+        println!(
+            "  {:<12} {:>8} {:>13.1}M",
+            net.name,
+            net.depth(),
+            net.params() as f64 / 1e6
+        );
     }
 }
 
@@ -92,13 +115,21 @@ fn table1() {
 fn pattern_layer() -> (LayerDesc, TileConfig) {
     (
         LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(32, 16, 32, 3))),
-        TileConfig { kt: 8, ct: 4, ht: 16, wt: 16 },
+        TileConfig {
+            kt: 8,
+            ct: 4,
+            ht: 16,
+            wt: 16,
+        },
     )
 }
 
 fn print_pattern_row(style: &str, order: &str, schedule: &LayerSchedule) {
     let wp = schedule.write_pattern();
-    let rp = schedule.read_pattern().map(|p| p.notation()).unwrap_or_else(|| "–".to_string());
+    let rp = schedule
+        .read_pattern()
+        .map(|p| p.notation())
+        .unwrap_or_else(|| "–".to_string());
     // Validate against the replayed schedule before printing.
     let observed = schedule.observed_write_vns();
     let predicted: Vec<u32> = wp.iter().collect();
@@ -135,9 +166,11 @@ fn table2() {
 fn table3() {
     let (layer, tiling) = pattern_layer();
     println!("Weight-reuse VN patterns:");
-    for df in
-        [ConvDataflow::WrMultiChannelWise, ConvDataflow::WrChannelWise, ConvDataflow::WrFullFilter]
-    {
+    for df in [
+        ConvDataflow::WrMultiChannelWise,
+        ConvDataflow::WrChannelWise,
+        ConvDataflow::WrFullFilter,
+    ] {
         let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves");
         print_pattern_row(df.style_name(), df.loop_order(), &s);
     }
@@ -145,7 +178,12 @@ fn table3() {
 
 fn table4() {
     let layer = LayerDesc::new(0, LayerKind::Matmul(MatmulShape::new(128, 256, 64)));
-    let tiling = TileConfig { kt: 1, ct: 64, ht: 32, wt: 16 };
+    let tiling = TileConfig {
+        kt: 1,
+        ct: 64,
+        ht: 32,
+        wt: 16,
+    };
     println!("Matrix-multiplication VN patterns (R = P×Q, H=128 C=256 W=64):");
     for df in MatmulDataflow::ALL {
         let s = LayerSchedule::new(layer, Dataflow::Matmul(df), tiling).expect("resolves");
@@ -193,8 +231,22 @@ fn table6() {
 }
 
 fn preproc_table(style: PreprocStyle, title: &str) {
-    let layer = LayerDesc::new(0, LayerKind::Preproc { style, c: 3, k_out: 3, h: 64, w: 64 });
-    let tiling = TileConfig { kt: 1, ct: 1, ht: 16, wt: 16 };
+    let layer = LayerDesc::new(
+        0,
+        LayerKind::Preproc {
+            style,
+            c: 3,
+            k_out: 3,
+            h: 64,
+            w: 64,
+        },
+    );
+    let tiling = TileConfig {
+        kt: 1,
+        ct: 1,
+        ht: 16,
+        wt: 16,
+    };
     println!("Image pre-processing VN patterns — {title} (C=3, 64×64, HT=WT=16):");
     for df in PreprocDataflow::ALL {
         let s = LayerSchedule::new(layer, Dataflow::Preproc(df), tiling).expect("resolves");
@@ -209,7 +261,12 @@ fn fig4() {
     println!("Paper: secure ≈ 0.68 (−32%), TNPU ≈ 0.78 (−22%), GuardNN ≈ 0.56 (−44%).\n");
     let npu = TimingNpu::new(NpuConfig::paper());
     let all = run_comparison(&npu, &zoo::paper_benchmarks());
-    let schemes = [SchemeKind::Baseline, SchemeKind::Secure, SchemeKind::Tnpu, SchemeKind::GuardNn];
+    let schemes = [
+        SchemeKind::Baseline,
+        SchemeKind::Secure,
+        SchemeKind::Tnpu,
+        SchemeKind::GuardNn,
+    ];
     print!("{:<12}", "workload");
     for s in schemes {
         print!(" {:>10}", s.name());
@@ -236,11 +293,20 @@ fn fig5() {
     println!("Metadata-cache miss rates of the Secure (SGX-like) design.");
     println!("Paper: MAC-cache misses ≫ counter-cache misses (≈8× coverage gap).\n");
     let npu = TimingNpu::new(NpuConfig::paper());
-    println!("{:<12} {:>16} {:>18} {:>10}", "workload", "MAC miss rate", "counter miss rate", "ratio");
+    println!(
+        "{:<12} {:>16} {:>18} {:>10}",
+        "workload", "MAC miss rate", "counter miss rate", "ratio"
+    );
     for net in zoo::paper_benchmarks() {
         let run = npu.run(&net, SchemeKind::Secure).expect("maps");
-        let mac = run.mac_cache.expect("secure design has a MAC cache").miss_rate();
-        let ctr = run.counter_cache.expect("secure design has a counter cache").miss_rate();
+        let mac = run
+            .mac_cache
+            .expect("secure design has a MAC cache")
+            .miss_rate();
+        let ctr = run
+            .counter_cache
+            .expect("secure design has a counter cache")
+            .miss_rate();
         println!(
             "{:<12} {:>15.1}% {:>17.2}% {:>9.1}x",
             run.workload,
@@ -309,9 +375,16 @@ fn fig9() {
     println!("Lower curve = cheaper widening; paper: Seculator is the most scalable.\n");
     let base = zoo::tiny_cnn();
     let npu = TimingNpu::new(NpuConfig::paper());
-    let schemes =
-        [SchemeKind::Secure, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::SeculatorPlus];
-    let base_cycles = npu.run(&base, SchemeKind::Baseline).expect("maps").total_cycles() as f64;
+    let schemes = [
+        SchemeKind::Secure,
+        SchemeKind::Tnpu,
+        SchemeKind::GuardNn,
+        SchemeKind::SeculatorPlus,
+    ];
+    let base_cycles = npu
+        .run(&base, SchemeKind::Baseline)
+        .expect("maps")
+        .total_cycles() as f64;
     print!("{:<8}", "width");
     for s in schemes {
         print!(" {:>12}", s.name());
@@ -381,7 +454,10 @@ fn mea() {
     let net = zoo::tiny_cnn();
     let real = npu.map(&net).expect("maps");
     let pixels: Vec<u64> = net.layers.iter().map(|l| l.ofmap_bytes() / 4).collect();
-    println!("{:<28} {:>14} {:>14}", "defense", "mean rel. err", "observed depth");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "defense", "mean rel. err", "observed depth"
+    );
     let undefended = seculator_core::mea::evaluate_defense(&real, &real, &pixels);
     println!(
         "{:<28} {:>14.3} {:>14}",
@@ -398,10 +474,8 @@ fn mea() {
             report.observed_depth_defended
         );
     }
-    let noisy = seculator_core::widening::intersperse_dummy(
-        &net,
-        &seculator_models::zoo::tiny_mlp(),
-    );
+    let noisy =
+        seculator_core::widening::intersperse_dummy(&net, &seculator_models::zoo::tiny_mlp());
     let obf = npu.map(&noisy).expect("maps");
     let report = seculator_core::mea::evaluate_defense(&real, &obf, &pixels);
     println!(
@@ -427,8 +501,7 @@ fn roofline_exp() {
     );
     for net in zoo::paper_benchmarks() {
         let schedules = npu.map(&net).expect("maps");
-        let (rooflines, share) =
-            seculator_arch::analysis::network_roofline(&schedules, &machine);
+        let (rooflines, share) = seculator_arch::analysis::network_roofline(&schedules, &machine);
         let mut intensities: Vec<f64> = rooflines.iter().map(|r| r.intensity).collect();
         intensities.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = intensities[intensities.len() / 2];
@@ -449,7 +522,10 @@ fn audit_exp() {
     println!("final-VN uniformity, write/read-back closure, first-read coverage,");
     println!("counter uniqueness, and formula fidelity for every mapped layer.\n");
     let npu = TimingNpu::new(NpuConfig::paper());
-    println!("{:<12} {:>8} {:>10} {:>10}", "workload", "layers", "tiles", "verdict");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "workload", "layers", "tiles", "verdict"
+    );
     for net in zoo::paper_benchmarks() {
         let schedules = npu.map(&net).expect("maps");
         let report = seculator_core::audit::audit_network(&schedules);
@@ -458,7 +534,11 @@ fn audit_exp() {
             net.name,
             report.layers,
             report.tiles_checked,
-            if report.is_clean() { "CLEAN" } else { "VIOLATIONS" }
+            if report.is_clean() {
+                "CLEAN"
+            } else {
+                "VIOLATIONS"
+            }
         );
         assert!(report.is_clean(), "{:?}", report.findings);
     }
@@ -488,7 +568,7 @@ fn reuse_exp() {
                     continue;
                 }
                 let base = region_for[&format!("{:?}", a.tensor)];
-                let blocks = (a.bytes + 63) / 64;
+                let blocks = a.bytes.div_ceil(64);
                 let tile_base = base + a.tile * blocks * 64;
                 for b in 0..blocks {
                     let addr = tile_base + b * 64;
@@ -507,8 +587,18 @@ fn reuse_exp() {
     let mac_sim = run.mac_cache.expect("cache").miss_rate();
     let ctr_sim = run.counter_cache.expect("cache").miss_rate();
     println!("{:<16} {:>14} {:>14}", "cache", "predicted", "simulated");
-    println!("{:<16} {:>13.1}% {:>13.1}%", "MAC (8 KB)", 100.0 * mac_pred, 100.0 * mac_sim);
-    println!("{:<16} {:>13.2}% {:>13.2}%", "counter (4 KB)", 100.0 * ctr_pred, 100.0 * ctr_sim);
+    println!(
+        "{:<16} {:>13.1}% {:>13.1}%",
+        "MAC (8 KB)",
+        100.0 * mac_pred,
+        100.0 * mac_sim
+    );
+    println!(
+        "{:<16} {:>13.2}% {:>13.2}%",
+        "counter (4 KB)",
+        100.0 * ctr_pred,
+        100.0 * ctr_sim
+    );
     println!(
         "\ncold fraction: MAC {:.1}%, counter {:.2}% — streaming compulsory misses\n         dominate, which is the paper's §4.1.1 argument in distribution form.",
         100.0 * mac_hist.cold as f64 / mac_hist.total() as f64,
@@ -524,7 +614,10 @@ fn noise_exp() {
     let schedules = npu.map(&net).expect("maps");
     let real: Vec<u64> = net.layers.iter().map(|l| l.ofmap_bytes() / 4).collect();
     let real_total: u64 = schedules.iter().map(|s| s.traffic().total()).sum();
-    println!("{:<10} {:>18} {:>18}", "ratio", "extraction error", "traffic overhead");
+    println!(
+        "{:<10} {:>18} {:>18}",
+        "ratio", "extraction error", "traffic overhead"
+    );
     for ratio in [0.0f64, 0.25, 0.5, 1.0, 2.0] {
         let cfg = seculator_core::noise::NoiseConfig { ratio, seed: 7 };
         let noisy = seculator_core::noise::observe_network_with_noise(&schedules, &cfg);
@@ -664,11 +757,20 @@ fn ablate_maccache() {
     println!("Ablation: MAC-cache size for the Secure design (paper §4.1.1's point:");
     println!("caches barely help streaming DNN data — miss rate floors at 1/8).\n");
     let net = zoo::resnet18();
-    println!("{:<12} {:>14} {:>14}", "cache size", "miss rate", "norm. perf");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "cache size", "miss rate", "norm. perf"
+    );
     for kb in [2u64, 4, 8, 16, 32, 64, 128] {
-        let cfg = NpuConfig { mac_cache_bytes: kb * 1024, ..NpuConfig::paper() };
+        let cfg = NpuConfig {
+            mac_cache_bytes: kb * 1024,
+            ..NpuConfig::paper()
+        };
         let npu = TimingNpu::new(cfg);
-        let base = npu.run(&net, SchemeKind::Baseline).expect("maps").total_cycles();
+        let base = npu
+            .run(&net, SchemeKind::Baseline)
+            .expect("maps")
+            .total_cycles();
         let run = npu.run(&net, SchemeKind::Secure).expect("maps");
         println!(
             "{:>9} KB {:>13.1}% {:>14.3}",
@@ -685,13 +787,17 @@ fn ablate_blocksize() {
     println!("we show the traffic trade-off that motivates the temptation).\n");
     let net = zoo::resnet18();
     let npu = TimingNpu::new(NpuConfig::paper());
-    let runs =
-        npu.compare_schemes(&net, &[SchemeKind::Baseline, SchemeKind::GuardNn]).expect("maps");
+    let runs = npu
+        .compare_schemes(&net, &[SchemeKind::Baseline, SchemeKind::GuardNn])
+        .expect("maps");
     let meta64 = runs[1].dram_totals();
     // 512-byte MAC granularity = 1 MAC per 8 blocks: metadata shrinks 8x
     // but every consumer must read in 512-byte order (a functional
     // restriction on the next layer's dataflow, not a slowdown).
-    println!("{:<18} {:>16} {:>16}", "granularity", "meta read bytes", "meta write bytes");
+    println!(
+        "{:<18} {:>16} {:>16}",
+        "granularity", "meta read bytes", "meta write bytes"
+    );
     println!(
         "{:<18} {:>16} {:>16}",
         "64 B (GuardNN)", meta64.meta_read_bytes, meta64.meta_write_bytes

@@ -55,21 +55,26 @@ impl WorkloadRuns {
 /// mapping (workloads are run in parallel across threads).
 #[must_use]
 pub fn run_comparison(npu: &TimingNpu, workloads: &[Network]) -> Vec<WorkloadRuns> {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = workloads
             .iter()
             .map(|net| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let runs = npu
                         .compare_schemes(net, &COMPARED_SCHEMES)
                         .expect("paper benchmarks map onto the 240 KB global buffer");
-                    WorkloadRuns { name: net.name.clone(), runs }
+                    WorkloadRuns {
+                        name: net.name.clone(),
+                        runs,
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
     })
-    .expect("thread scope")
 }
 
 /// Geometric mean of a slice of ratios.

@@ -25,7 +25,14 @@ fn table2_prints_all_nine_rows_with_validated_patterns() {
 #[test]
 fn table5_lists_all_six_designs() {
     let out = run("table5");
-    for name in ["baseline", "secure", "tnpu", "guardnn", "seculator", "seculator+"] {
+    for name in [
+        "baseline",
+        "secure",
+        "tnpu",
+        "guardnn",
+        "seculator",
+        "seculator+",
+    ] {
         assert!(out.contains(name), "missing {name}");
     }
 }
@@ -42,7 +49,10 @@ fn table6_reports_paper_and_model_columns() {
 fn table7_shows_the_register_budget() {
     let out = run("table7");
     assert!(out.contains("seculator"));
-    assert!(out.contains("272"), "Seculator's constant 272-byte footprint");
+    assert!(
+        out.contains("272"),
+        "Seculator's constant 272-byte footprint"
+    );
 }
 
 #[test]

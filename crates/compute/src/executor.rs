@@ -61,10 +61,14 @@ pub fn execute_conv(
     };
     if input.c != dims.c as usize || input.h != dims.in_h as usize || input.w != dims.in_w as usize
     {
-        return Err(ExecError::ShapeMismatch { what: "input tensor vs layer dims" });
+        return Err(ExecError::ShapeMismatch {
+            what: "input tensor vs layer dims",
+        });
     }
     if weights.k != dims.k as usize || weights.c != dims.c as usize {
-        return Err(ExecError::ShapeMismatch { what: "weight tensor vs layer dims" });
+        return Err(ExecError::ShapeMismatch {
+            what: "weight tensor vs layer dims",
+        });
     }
 
     let t = schedule.spec().tiling;
@@ -104,8 +108,7 @@ pub fn execute_conv(
         }
     };
 
-    let (ak, ac, ahw) =
-        (a.alpha_k as usize, a.alpha_c as usize, a.alpha_hw as usize);
+    let (ak, ac, ahw) = (a.alpha_k as usize, a.alpha_c as usize, a.alpha_hw as usize);
     match schedule.spec().shape {
         ScheduleShape::AccumAlongChannel => {
             for st in 0..ahw {
@@ -167,7 +170,12 @@ mod tests {
 
     fn schedule(df: ConvDataflow, k: u32, c: u32, hw: u32) -> LayerSchedule {
         let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(k, c, hw, 3)));
-        let tiling = TileConfig { kt: (k / 2).max(1), ct: (c / 2).max(1), ht: hw / 2, wt: hw / 2 };
+        let tiling = TileConfig {
+            kt: (k / 2).max(1),
+            ct: (c / 2).max(1),
+            ht: hw / 2,
+            wt: hw / 2,
+        };
         LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves")
     }
 
@@ -186,7 +194,12 @@ mod tests {
     fn non_divisible_tiles_still_compute_correctly() {
         // K=5 with KT=2 -> ragged last group; H=W=6 with HT=WT=3.
         let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(5, 3, 6, 3)));
-        let tiling = TileConfig { kt: 2, ct: 2, ht: 3, wt: 3 };
+        let tiling = TileConfig {
+            kt: 2,
+            ct: 2,
+            ht: 3,
+            wt: 3,
+        };
         let s = LayerSchedule::new(
             layer,
             Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),

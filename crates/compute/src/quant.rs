@@ -31,7 +31,13 @@ impl QTensor3 {
     #[must_use]
     pub fn zeros(c: usize, h: usize, w: usize, scale: f32) -> Self {
         assert!(c > 0 && h > 0 && w > 0, "dimensions must be non-zero");
-        Self { c, h, w, scale, data: vec![0; c * h * w] }
+        Self {
+            c,
+            h,
+            w,
+            scale,
+            data: vec![0; c * h * w],
+        }
     }
 
     /// Deterministic pseudo-random int8 fill.
@@ -105,7 +111,10 @@ impl QTensor4 {
     /// Panics if a dimension is zero.
     #[must_use]
     pub fn seeded(k: usize, c: usize, r: usize, s: usize, seed: u64) -> Self {
-        assert!(k > 0 && c > 0 && r > 0 && s > 0, "dimensions must be non-zero");
+        assert!(
+            k > 0 && c > 0 && r > 0 && s > 0,
+            "dimensions must be non-zero"
+        );
         let mut data = vec![0i8; k * c * r * s];
         let mut state = seed.wrapping_mul(0x9E6C_63D0_876A_9A43).max(1);
         for v in &mut data {
@@ -114,7 +123,14 @@ impl QTensor4 {
             state ^= state << 17;
             *v = (state % 255) as i64 as i8;
         }
-        Self { k, c, r, s, scale: 1.0 / 128.0, data }
+        Self {
+            k,
+            c,
+            r,
+            s,
+            scale: 1.0 / 128.0,
+            data,
+        }
     }
 
     /// Value at `(k, c, r, s)`.
@@ -150,7 +166,12 @@ impl QAccum3 {
     #[must_use]
     pub fn zeros(k: usize, h: usize, w: usize) -> Self {
         assert!(k > 0 && h > 0 && w > 0, "dimensions must be non-zero");
-        Self { k, h, w, data: vec![0; k * h * w] }
+        Self {
+            k,
+            h,
+            w,
+            data: vec![0; k * h * w],
+        }
     }
 
     /// Value at `(k, y, x)`.

@@ -14,7 +14,10 @@ use crate::tensor::{Matrix, Tensor3, Tensor4};
 /// Panics if the filter's channel count does not match the input's.
 #[must_use]
 pub fn conv2d(input: &Tensor3, weights: &Tensor4, stride: usize) -> Tensor3 {
-    assert_eq!(input.c, weights.c, "filter channels must match input channels");
+    assert_eq!(
+        input.c, weights.c,
+        "filter channels must match input channels"
+    );
     assert!(stride > 0, "stride must be positive");
     let out_h = input.h.div_ceil(stride);
     let out_w = input.w.div_ceil(stride);
@@ -50,7 +53,10 @@ pub fn conv2d(input: &Tensor3, weights: &Tensor4, stride: usize) -> Tensor3 {
 /// Panics if `weights.c != 1` or channel counts disagree.
 #[must_use]
 pub fn depthwise_conv2d(input: &Tensor3, weights: &Tensor4, stride: usize) -> Tensor3 {
-    assert_eq!(weights.c, 1, "depthwise filters have one input channel each");
+    assert_eq!(
+        weights.c, 1,
+        "depthwise filters have one input channel each"
+    );
     assert_eq!(weights.k, input.c, "one filter per channel");
     let out_h = input.h.div_ceil(stride);
     let out_w = input.w.div_ceil(stride);
@@ -172,7 +178,10 @@ mod tests {
         }
         let out = conv2d(&input, &w, 1);
         assert!((out.get(0, 2, 2) - 9.0).abs() < 1e-6, "interior");
-        assert!((out.get(0, 0, 0) - 4.0).abs() < 1e-6, "corner sees 2x2 valid window");
+        assert!(
+            (out.get(0, 0, 0) - 4.0).abs() < 1e-6,
+            "corner sees 2x2 valid window"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl SystolicGrid {
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
-        Self { rows, cols, pes: vec![Pe::default(); rows * cols], cycles_run: 0 }
+        Self {
+            rows,
+            cols,
+            pes: vec![Pe::default(); rows * cols],
+            cycles_run: 0,
+        }
     }
 
     /// Total cycles stepped since construction or the last reset.
@@ -215,6 +220,9 @@ mod tests {
         let mut grid = SystolicGrid::new(4, 4);
         let first = grid.run_patch(&p, &q);
         let second = grid.run_patch(&p, &q);
-        assert!(first.max_abs_diff(&second) < 1e-6, "accumulators must reset");
+        assert!(
+            first.max_abs_diff(&second) < 1e-6,
+            "accumulators must reset"
+        );
     }
 }

@@ -22,8 +22,16 @@ impl Tensor3 {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
-        Self { c, h, w, data: vec![0.0; c * h * w] }
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     /// Creates a tensor with a deterministic pseudo-random fill (keyed by
@@ -101,7 +109,11 @@ impl Tensor3 {
     /// Panics if shapes differ.
     #[must_use]
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
-        assert_eq!((self.c, self.h, self.w), (other.c, other.h, other.w), "shape mismatch");
+        assert_eq!(
+            (self.c, self.h, self.w),
+            (other.c, other.h, other.w),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -132,8 +144,17 @@ impl Tensor4 {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn zeros(k: usize, c: usize, r: usize, s: usize) -> Self {
-        assert!(k > 0 && c > 0 && r > 0 && s > 0, "filter dimensions must be non-zero");
-        Self { k, c, r, s, data: vec![0.0; k * c * r * s] }
+        assert!(
+            k > 0 && c > 0 && r > 0 && s > 0,
+            "filter dimensions must be non-zero"
+        );
+        Self {
+            k,
+            c,
+            r,
+            s,
+            data: vec![0.0; k * c * r * s],
+        }
     }
 
     /// Deterministic pseudo-random filters.
@@ -191,7 +212,11 @@ impl Matrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Deterministic pseudo-random matrix.
@@ -236,7 +261,11 @@ impl Matrix {
     /// Panics if shapes differ.
     #[must_use]
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

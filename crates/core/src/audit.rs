@@ -159,10 +159,9 @@ fn audit_layer(
     // 3. Consumer coverage (block counts; both partitions are linear over
     // the same tensor bytes).
     if let Some(c) = consumer {
-        let written_blocks =
-            s.ofmap_tiles() * ((s.ofmap_tile_bytes() + 63) / 64);
+        let written_blocks = s.ofmap_tiles() * s.ofmap_tile_bytes().div_ceil(64);
         let mut first_read_blocks = 0u64;
-        let ifmap_bpt = (c.ifmap_tile_bytes() + 63) / 64;
+        let ifmap_bpt = c.ifmap_tile_bytes().div_ceil(64);
         c.for_each_step(|step| {
             for a in &step.accesses {
                 if a.tensor == TensorClass::Ifmap && a.op == AccessOp::Read && a.first_read {
@@ -210,12 +209,135 @@ pub fn audit_network(schedules: &[LayerSchedule]) -> AuditReport {
         // The next layer consumes this one's ofmap *if* tensor byte sizes
         // chain (branching topologies are checked pairwise where they do).
         let consumer = schedules.get(i + 1).filter(|c| {
-            c.ifmap_tiles() * ((c.ifmap_tile_bytes() + 63) / 64)
-                == s.ofmap_tiles() * ((s.ofmap_tile_bytes() + 63) / 64)
+            c.ifmap_tiles() * c.ifmap_tile_bytes().div_ceil(64)
+                == s.ofmap_tiles() * s.ofmap_tile_bytes().div_ceil(64)
         });
         tiles += audit_layer(s, consumer, &mut findings);
     }
-    AuditReport { findings, layers: schedules.len() as u32, tiles_checked: tiles }
+    AuditReport {
+        findings,
+        layers: schedules.len() as u32,
+        tiles_checked: tiles,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime incident records (detect-and-recover audit trail)
+// ---------------------------------------------------------------------------
+
+/// A recovery action taken by the resilient inference driver
+/// ([`crate::secure_infer::infer_resilient`]) in response to a detected
+/// integrity breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// The consumer re-fetched the producer's output tensor from DRAM
+    /// (recovers transient read corruption).
+    Refetch,
+    /// The layer was re-executed from the last verified on-chip
+    /// checkpoint under a fresh VN base (recovers persistent corruption
+    /// of the stored ciphertext and on-chip register glitches).
+    ReExecute,
+    /// Every recovery avenue was exhausted; the inference was aborted.
+    Abort,
+}
+
+impl RecoveryAction {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Refetch => "refetch",
+            Self::ReExecute => "re-execute",
+            Self::Abort => "abort",
+        }
+    }
+}
+
+/// One detected breach and the action taken in response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentRecord {
+    /// Layer where the breach was detected.
+    pub layer_id: u32,
+    /// Execution attempt of that layer (0 = first execution).
+    pub attempt: u32,
+    /// What the engine did about it.
+    pub action: RecoveryAction,
+    /// The detection that triggered the action.
+    pub cause: crate::error::SecurityError,
+}
+
+/// The full audit trail of one resilient inference: every detected
+/// breach and every recovery action, in order. Returned on success (so
+/// callers can see recovered incidents) and attached to the abort report
+/// on failure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncidentLog {
+    /// All incidents, in detection order.
+    pub records: Vec<IncidentRecord>,
+}
+
+impl IncidentLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: IncidentRecord) {
+        self.records.push(record);
+    }
+
+    /// True when the run saw no breach at all — the required outcome of
+    /// every fault-free execution (zero false positives).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of re-fetch recoveries.
+    #[must_use]
+    pub fn refetches(&self) -> u32 {
+        self.count(RecoveryAction::Refetch)
+    }
+
+    /// Number of layer re-executions.
+    #[must_use]
+    pub fn reexecutions(&self) -> u32 {
+        self.count(RecoveryAction::ReExecute)
+    }
+
+    /// True when the run ended in an abort.
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.action == RecoveryAction::Abort)
+    }
+
+    fn count(&self, action: RecoveryAction) -> u32 {
+        self.records.iter().filter(|r| r.action == action).count() as u32
+    }
+
+    /// Human-readable one-line-per-incident summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.records.is_empty() {
+            return "no incidents".to_string();
+        }
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "layer {} attempt {}: {} → {}\n",
+                r.layer_id,
+                r.attempt,
+                r.cause,
+                r.action.name()
+            ));
+        }
+        out.pop();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -240,23 +362,57 @@ mod tests {
 
     #[test]
     fn all_dataflows_audit_clean_on_chained_layers() {
-        let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+        let tiling = TileConfig {
+            kt: 4,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        };
         for df in ConvDataflow::ALL {
             let schedules: Vec<_> = (0..3u32)
                 .map(|i| {
-                    let layer =
-                        LayerDesc::new(i, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3)));
-                    seculator_arch::trace::LayerSchedule::new(
-                        layer,
-                        Dataflow::Conv(df),
-                        tiling,
-                    )
-                    .unwrap()
+                    let layer = LayerDesc::new(i, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3)));
+                    seculator_arch::trace::LayerSchedule::new(layer, Dataflow::Conv(df), tiling)
+                        .unwrap()
                 })
                 .collect();
             let report = audit_network(&schedules);
             assert!(report.is_clean(), "{df:?}: {:?}", report.findings);
         }
+    }
+
+    #[test]
+    fn incident_log_aggregates_by_action() {
+        use crate::error::SecurityError;
+        let mut log = IncidentLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.summary(), "no incidents");
+        log.push(IncidentRecord {
+            layer_id: 1,
+            attempt: 0,
+            action: RecoveryAction::Refetch,
+            cause: SecurityError::LayerIntegrity { layer_id: 1 },
+        });
+        log.push(IncidentRecord {
+            layer_id: 1,
+            attempt: 0,
+            action: RecoveryAction::ReExecute,
+            cause: SecurityError::LayerIntegrity { layer_id: 1 },
+        });
+        log.push(IncidentRecord {
+            layer_id: 1,
+            attempt: 1,
+            action: RecoveryAction::Abort,
+            cause: SecurityError::RecoveryExhausted {
+                layer_id: 1,
+                refetches: 2,
+                reexecutions: 1,
+            },
+        });
+        assert_eq!(log.refetches(), 1);
+        assert_eq!(log.reexecutions(), 1);
+        assert!(log.aborted());
+        assert!(log.summary().contains("re-execute"));
     }
 
     #[test]
@@ -268,7 +424,12 @@ mod tests {
         // with different first-read behavior, the mismatch must surface.
         // Here we simply verify the auditor stays clean when the chain
         // breaks (the functional layer skips the equation in that case).
-        let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+        let tiling = TileConfig {
+            kt: 4,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        };
         let l0 = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3)));
         let l1 = LayerDesc::new(1, LayerKind::Conv(ConvShape::simple(4, 4, 16, 3)));
         let schedules = vec![
@@ -281,7 +442,12 @@ mod tests {
             seculator_arch::trace::LayerSchedule::new(
                 l1,
                 Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
-                TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 },
+                TileConfig {
+                    kt: 4,
+                    ct: 2,
+                    ht: 8,
+                    wt: 8,
+                },
             )
             .unwrap(),
         ];

@@ -60,12 +60,21 @@ fn encode(command: &Command) -> Vec<u8> {
     // A stable, explicit wire encoding (field-order serialization).
     let mut out = Vec::with_capacity(32);
     match *command {
-        Command::LoadModel { layers, weight_base } => {
+        Command::LoadModel {
+            layers,
+            weight_base,
+        } => {
             out.push(1);
             out.extend_from_slice(&layers.to_le_bytes());
             out.extend_from_slice(&weight_base.to_le_bytes());
         }
-        Command::ConfigureLayer { layer_id, write_eta, write_kappa, write_rho, prev_final_vn } => {
+        Command::ConfigureLayer {
+            layer_id,
+            write_eta,
+            write_kappa,
+            write_rho,
+            prev_final_vn,
+        } => {
             out.push(2);
             out.extend_from_slice(&layer_id.to_le_bytes());
             out.extend_from_slice(&write_eta.to_le_bytes());
@@ -118,23 +127,26 @@ impl HostChannel {
     /// Opens a channel under the shared session key.
     #[must_use]
     pub fn new(key: SessionKey) -> Self {
-        Self { key, next_sequence: 0 }
+        Self {
+            key,
+            next_sequence: 0,
+        }
     }
 
     /// Signs and sequences a command for transmission.
     pub fn send(&mut self, command: Command) -> AuthenticatedCommand {
         let sequence = self.next_sequence;
         self.next_sequence += 1;
-        AuthenticatedCommand { command, sequence, tag: tag_for(&self.key, sequence, &command) }
+        AuthenticatedCommand {
+            command,
+            sequence,
+            tag: tag_for(&self.key, sequence, &command),
+        }
     }
 
     /// Convenience: the `ConfigureLayer` command for a pattern triplet.
     #[must_use]
-    pub fn configure_layer(
-        layer_id: u32,
-        pattern: PatternSpec,
-        prev_final_vn: u32,
-    ) -> Command {
+    pub fn configure_layer(layer_id: u32, pattern: PatternSpec, prev_final_vn: u32) -> Command {
         Command::ConfigureLayer {
             layer_id,
             write_eta: pattern.eta,
@@ -265,10 +277,16 @@ mod tests {
         let mut host = HostChannel::new(key());
         let mut npu = NpuCommandProcessor::new(key());
         let pattern = PatternSpec::new(4, 3, 2);
-        npu.receive(&host.send(Command::LoadModel { layers: 2, weight_base: 0x1000 })).unwrap();
+        npu.receive(&host.send(Command::LoadModel {
+            layers: 2,
+            weight_base: 0x1000,
+        }))
+        .unwrap();
         for layer in 0..2 {
-            npu.receive(&host.send(HostChannel::configure_layer(layer, pattern, 1))).unwrap();
-            npu.receive(&host.send(Command::RunLayer { layer_id: layer })).unwrap();
+            npu.receive(&host.send(HostChannel::configure_layer(layer, pattern, 1)))
+                .unwrap();
+            npu.receive(&host.send(Command::RunLayer { layer_id: layer }))
+                .unwrap();
         }
         npu.receive(&host.send(Command::Finalize)).unwrap();
         assert_eq!(npu.layers_run(), 2);
@@ -278,9 +296,15 @@ mod tests {
     fn tampered_command_is_rejected() {
         let mut host = HostChannel::new(key());
         let mut npu = NpuCommandProcessor::new(key());
-        let mut msg = host.send(Command::LoadModel { layers: 2, weight_base: 0 });
+        let mut msg = host.send(Command::LoadModel {
+            layers: 2,
+            weight_base: 0,
+        });
         // In-flight modification of the payload.
-        msg.command = Command::LoadModel { layers: 99, weight_base: 0 };
+        msg.command = Command::LoadModel {
+            layers: 99,
+            weight_base: 0,
+        };
         assert_eq!(npu.receive(&msg), Err(CommandError::BadTag));
     }
 
@@ -297,18 +321,30 @@ mod tests {
     fn replayed_command_is_rejected() {
         let mut host = HostChannel::new(key());
         let mut npu = NpuCommandProcessor::new(key());
-        let msg = host.send(Command::LoadModel { layers: 1, weight_base: 0 });
+        let msg = host.send(Command::LoadModel {
+            layers: 1,
+            weight_base: 0,
+        });
         npu.receive(&msg).unwrap();
-        assert!(matches!(npu.receive(&msg), Err(CommandError::BadSequence { .. })));
+        assert!(matches!(
+            npu.receive(&msg),
+            Err(CommandError::BadSequence { .. })
+        ));
     }
 
     #[test]
     fn reordered_commands_are_rejected() {
         let mut host = HostChannel::new(key());
         let mut npu = NpuCommandProcessor::new(key());
-        let first = host.send(Command::LoadModel { layers: 1, weight_base: 0 });
+        let first = host.send(Command::LoadModel {
+            layers: 1,
+            weight_base: 0,
+        });
         let second = host.send(Command::Finalize);
-        assert!(matches!(npu.receive(&second), Err(CommandError::BadSequence { .. })));
+        assert!(matches!(
+            npu.receive(&second),
+            Err(CommandError::BadSequence { .. })
+        ));
         // The legitimate order still works afterwards.
         npu.receive(&first).unwrap();
         npu.receive(&second).unwrap();
@@ -318,8 +354,15 @@ mod tests {
     fn run_without_configure_is_a_protocol_violation() {
         let mut host = HostChannel::new(key());
         let mut npu = NpuCommandProcessor::new(key());
-        npu.receive(&host.send(Command::LoadModel { layers: 1, weight_base: 0 })).unwrap();
+        npu.receive(&host.send(Command::LoadModel {
+            layers: 1,
+            weight_base: 0,
+        }))
+        .unwrap();
         let msg = host.send(Command::RunLayer { layer_id: 0 });
-        assert_eq!(npu.receive(&msg), Err(CommandError::NotConfigured { layer_id: 0 }));
+        assert_eq!(
+            npu.receive(&msg),
+            Err(CommandError::NotConfigured { layer_id: 0 })
+        );
     }
 }

@@ -60,11 +60,15 @@ pub fn detection_latency(scheme: SchemeKind, run: &RunStats) -> DetectionLatency
     match scheme {
         SchemeKind::Baseline => {
             // No integrity: never detected.
-            DetectionLatency { expected_cycles: f64::INFINITY, worst_case_cycles: u64::MAX }
+            DetectionLatency {
+                expected_cycles: f64::INFINITY,
+                worst_case_cycles: u64::MAX,
+            }
         }
-        SchemeKind::Secure | SchemeKind::Tnpu | SchemeKind::GuardNn => {
-            DetectionLatency { expected_cycles: 0.0, worst_case_cycles: 0 }
-        }
+        SchemeKind::Secure | SchemeKind::Tnpu | SchemeKind::GuardNn => DetectionLatency {
+            expected_cycles: 0.0,
+            worst_case_cycles: 0,
+        },
         SchemeKind::Seculator | SchemeKind::SeculatorPlus => {
             let cycles: Vec<u64> = run.layers.iter().map(|l| l.cycles).collect();
             if cycles.len() < 2 {
@@ -87,9 +91,12 @@ pub fn detection_latency(scheme: SchemeKind, run: &RunStats) -> DetectionLatency
             }
             // A tamper during the last layer is caught at the output
             // drain (end of that layer).
-            let last = *cycles.last().expect("non-empty");
+            let last = cycles.last().copied().unwrap_or(0);
             weighted += last as f64 / total as f64 * (last as f64 / 2.0);
-            DetectionLatency { expected_cycles: weighted, worst_case_cycles: worst }
+            DetectionLatency {
+                expected_cycles: weighted,
+                worst_case_cycles: worst,
+            }
         }
     }
 }
@@ -105,7 +112,9 @@ pub struct RecoveryModel {
 impl Default for RecoveryModel {
     fn default() -> Self {
         // ~100 µs at 2.75 GHz.
-        Self { reboot_cycles: 275_000 }
+        Self {
+            reboot_cycles: 275_000,
+        }
     }
 }
 
@@ -141,6 +150,43 @@ impl RecoveryModel {
     }
 }
 
+/// Cycle-cost model of the *local* recovery actions taken by the
+/// detect-and-recover driver ([`crate::secure_infer::infer_resilient`]),
+/// as opposed to the paper's full system reboot
+/// ([`RecoveryModel::reboot_cycles`]). A re-fetch streams the producer's
+/// output tensor through the crypto pipeline once more; a re-execution
+/// additionally recomputes the layer and rewrites both tensor versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryCost {
+    /// Cycles per 64-byte block to re-fetch + decrypt + re-MAC.
+    pub refetch_cycles_per_block: u64,
+    /// Cycles per block to re-execute the layer (recompute + two write
+    /// passes + read-back + consume pass).
+    pub reexecute_cycles_per_block: u64,
+}
+
+impl Default for RecoveryCost {
+    fn default() -> Self {
+        // A block is one DRAM burst (~4 cycles pipelined) plus the AES
+        // pipeline fill; re-execution moves each block ~4× and recomputes.
+        Self {
+            refetch_cycles_per_block: 8,
+            reexecute_cycles_per_block: 96,
+        }
+    }
+}
+
+impl RecoveryCost {
+    /// Total recovery latency for a run that spent `refetches` re-fetch
+    /// passes and `reexecutions` layer re-executions over a tensor of
+    /// `tensor_blocks` blocks.
+    #[must_use]
+    pub fn cycles(&self, refetches: u32, reexecutions: u32, tensor_blocks: u64) -> u64 {
+        u64::from(refetches) * tensor_blocks * self.refetch_cycles_per_block
+            + u64::from(reexecutions) * tensor_blocks * self.reexecute_cycles_per_block
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,7 +195,9 @@ mod tests {
     use seculator_sim::config::NpuConfig;
 
     fn seculator_run() -> RunStats {
-        TimingNpu::new(NpuConfig::paper()).run(&tiny_cnn(), SchemeKind::Seculator).unwrap()
+        TimingNpu::new(NpuConfig::paper())
+            .run(&tiny_cnn(), SchemeKind::Seculator)
+            .unwrap()
     }
 
     #[test]
@@ -192,6 +240,23 @@ mod tests {
         let hostile = m.expected_completion_cycles(run.total_cycles(), d, 0.5);
         assert!((quiet - run.total_cycles() as f64).abs() < 1e-6);
         assert!(hostile > quiet);
+    }
+
+    #[test]
+    fn local_recovery_is_cheaper_than_reboot() {
+        let cost = RecoveryCost::default();
+        // One refetch of a 64-block tensor, one re-execution of same.
+        let local = cost.cycles(1, 1, 64);
+        assert!(local > 0);
+        assert!(
+            local < RecoveryModel::default().reboot_cycles,
+            "local recovery ({local}) must undercut a full reboot"
+        );
+        assert_eq!(cost.cycles(0, 0, 64), 0, "no actions, no cost");
+        assert!(
+            cost.cycles(0, 1, 64) > cost.cycles(1, 0, 64),
+            "re-execution costs more"
+        );
     }
 
     #[test]

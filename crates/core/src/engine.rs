@@ -14,6 +14,7 @@
 //! *mechanisms* — which structures exist and what they touch — follow the
 //! paper; the latency constants come from [`NpuConfig`].
 
+use crate::error::SecurityError;
 use seculator_arch::trace::{AccessOp, TileAccess};
 use seculator_sim::cache::{Cache, CacheStats};
 use seculator_sim::config::NpuConfig;
@@ -42,8 +43,14 @@ pub enum SchemeKind {
 
 impl SchemeKind {
     /// All designs in Table 5 order.
-    pub const ALL: [Self; 6] =
-        [Self::Baseline, Self::Secure, Self::Tnpu, Self::GuardNn, Self::Seculator, Self::SeculatorPlus];
+    pub const ALL: [Self; 6] = [
+        Self::Baseline,
+        Self::Secure,
+        Self::Tnpu,
+        Self::GuardNn,
+        Self::Seculator,
+        Self::SeculatorPlus,
+    ];
 
     /// Display name used in figures.
     #[must_use]
@@ -125,6 +132,37 @@ pub trait SchemeTiming: std::fmt::Debug {
     fn mac_cache(&self) -> Option<CacheStats> {
         None
     }
+
+    /// Counter-cache statistics, or a structured error naming the scheme
+    /// and the missing structure — for callers that *require* the cache
+    /// to exist (reports, comparisons) and must not panic if it doesn't.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::MetadataStructureMissing`] when the design keeps
+    /// no counter cache (e.g. Seculator generates VNs on the fly).
+    fn require_counter_cache(&self) -> Result<CacheStats, SecurityError> {
+        self.counter_cache()
+            .ok_or(SecurityError::MetadataStructureMissing {
+                scheme: self.kind(),
+                structure: "counter cache",
+            })
+    }
+
+    /// MAC-cache statistics, or a structured error naming the scheme and
+    /// the missing structure.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::MetadataStructureMissing`] when the design keeps
+    /// no MAC cache (e.g. Seculator's MACs never leave the chip).
+    fn require_mac_cache(&self) -> Result<CacheStats, SecurityError> {
+        self.mac_cache()
+            .ok_or(SecurityError::MetadataStructureMissing {
+                scheme: self.kind(),
+                structure: "mac cache",
+            })
+    }
 }
 
 /// Builds the timing engine for a design.
@@ -193,7 +231,11 @@ impl SecureTiming {
                 cfg.block_bytes,
                 cfg.cache_associativity,
             ),
-            mac_cache: Cache::new(cfg.mac_cache_bytes, cfg.block_bytes, cfg.cache_associativity),
+            mac_cache: Cache::new(
+                cfg.mac_cache_bytes,
+                cfg.block_bytes,
+                cfg.cache_associativity,
+            ),
             merkle_levels: cfg.merkle_levels_in_dram,
             crypto_fill: cfg.aes_block_cycles,
         }
@@ -218,7 +260,9 @@ impl SchemeTiming for SecureTiming {
         for b in 0..blocks {
             let addr = base_addr + b * 64;
             // Counter lookup (and bump on write).
-            let c = self.counter_cache.access(addr / COUNTER_LINE_COVERAGE, is_write);
+            let c = self
+                .counter_cache
+                .access(addr / COUNTER_LINE_COVERAGE, is_write);
             if !c.hit {
                 // Fetch the counter line and verify it up the tree.
                 meta_read += 64 * (1 + u64::from(self.merkle_levels));
@@ -266,7 +310,11 @@ impl TnpuTiming {
     #[must_use]
     pub fn new(cfg: &NpuConfig) -> Self {
         Self {
-            mac_cache: Cache::new(cfg.mac_cache_bytes, cfg.block_bytes, cfg.cache_associativity),
+            mac_cache: Cache::new(
+                cfg.mac_cache_bytes,
+                cfg.block_bytes,
+                cfg.cache_associativity,
+            ),
             tensor_table_cycles: cfg.tensor_table_cycles,
             crypto_fill: cfg.aes_block_cycles,
         }
@@ -331,7 +379,10 @@ impl GuardNnTiming {
     /// Creates the engine.
     #[must_use]
     pub fn new(cfg: &NpuConfig) -> Self {
-        Self { host_roundtrip: cfg.host_roundtrip_cycles, crypto_fill: cfg.aes_block_cycles }
+        Self {
+            host_roundtrip: cfg.host_roundtrip_cycles,
+            crypto_fill: cfg.aes_block_cycles,
+        }
     }
 }
 
@@ -369,8 +420,7 @@ impl SchemeTiming for GuardNnTiming {
         dram.record_read(meta_read, TrafficClass::Metadata);
         dram.record_write(meta_write, TrafficClass::Metadata);
         TileSecurityCost {
-            memory_cycles: self.crypto_fill
-                + dram.pipelined_meta_cycles(meta_read + meta_write),
+            memory_cycles: self.crypto_fill + dram.pipelined_meta_cycles(meta_read + meta_write),
             exposed_cycles,
         }
     }
@@ -391,8 +441,14 @@ impl SeculatorTiming {
     /// workload, not the datapath).
     #[must_use]
     pub fn new(cfg: &NpuConfig, kind: SchemeKind) -> Self {
-        debug_assert!(matches!(kind, SchemeKind::Seculator | SchemeKind::SeculatorPlus));
-        Self { kind, crypto_fill: cfg.aes_block_cycles }
+        debug_assert!(matches!(
+            kind,
+            SchemeKind::Seculator | SchemeKind::SeculatorPlus
+        ));
+        Self {
+            kind,
+            crypto_fill: cfg.aes_block_cycles,
+        }
     }
 }
 
@@ -408,7 +464,10 @@ impl SchemeTiming for SeculatorTiming {
         _blocks: u64,
         _dram: &mut Dram,
     ) -> TileSecurityCost {
-        TileSecurityCost { memory_cycles: self.crypto_fill, exposed_cycles: 0 }
+        TileSecurityCost {
+            memory_cycles: self.crypto_fill,
+            exposed_cycles: 0,
+        }
     }
 
     fn layer_end(&mut self, _dram: &mut Dram) -> u64 {
@@ -450,7 +509,7 @@ mod tests {
     }
 
     #[test]
-    fn secure_streaming_miss_rates_match_coverage_ratios() {
+    fn secure_streaming_miss_rates_match_coverage_ratios() -> Result<(), SecurityError> {
         let cfg = NpuConfig::paper();
         let mut e = SecureTiming::new(&cfg);
         let mut d = dram();
@@ -459,13 +518,22 @@ mod tests {
         // MAC 1/8 = 12.5 %, counter 1/64 ≈ 1.6 %.
         let blocks_per_tile = 1024;
         for t in 0..1024u64 {
-            let _ = e.on_tile(&access(AccessOp::Read), t * blocks_per_tile * 64, blocks_per_tile, &mut d);
+            let _ = e.on_tile(
+                &access(AccessOp::Read),
+                t * blocks_per_tile * 64,
+                blocks_per_tile,
+                &mut d,
+            );
         }
-        let mac = e.mac_cache().unwrap().miss_rate();
-        let ctr = e.counter_cache().unwrap().miss_rate();
+        let mac = e.require_mac_cache()?.miss_rate();
+        let ctr = e.require_counter_cache()?.miss_rate();
         assert!((mac - 0.125).abs() < 0.01, "mac miss rate {mac}");
         assert!((ctr - 1.0 / 64.0).abs() < 0.005, "counter miss rate {ctr}");
-        assert!(mac > 5.0 * ctr, "paper: MAC cache misses ≫ counter cache misses");
+        assert!(
+            mac > 5.0 * ctr,
+            "paper: MAC cache misses ≫ counter cache misses"
+        );
+        Ok(())
     }
 
     #[test]
@@ -523,9 +591,17 @@ mod tests {
                 let _ = e.on_tile(&access(AccessOp::Write), i * 64 * 64, 64, &mut d);
                 let _ = e.on_tile(&access(AccessOp::Read), i * 64 * 64, 64, &mut d);
             }
-            meta.push((e.kind(), d.stats().meta_read_bytes + d.stats().meta_write_bytes));
+            meta.push((
+                e.kind(),
+                d.stats().meta_read_bytes + d.stats().meta_write_bytes,
+            ));
         }
-        let get = |k: SchemeKind| meta.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        let get = |k: SchemeKind| {
+            meta.iter()
+                .find(|(kk, _)| *kk == k)
+                .map(|(_, bytes)| *bytes)
+                .unwrap_or_else(|| panic!("scheme {k} missing from sweep"))
+        };
         assert!(get(SchemeKind::GuardNn) > get(SchemeKind::Tnpu));
         assert!(get(SchemeKind::Tnpu) > get(SchemeKind::Seculator));
         assert_eq!(get(SchemeKind::Seculator), 0);
@@ -535,7 +611,11 @@ mod tests {
     fn secure_dirty_evictions_write_metadata_back() {
         // A tiny MAC cache forced to evict dirty lines must emit
         // metadata *writes*, not just reads.
-        let cfg = NpuConfig { mac_cache_bytes: 256, counter_cache_bytes: 256, ..NpuConfig::paper() };
+        let cfg = NpuConfig {
+            mac_cache_bytes: 256,
+            counter_cache_bytes: 256,
+            ..NpuConfig::paper()
+        };
         let mut e = SecureTiming::new(&cfg);
         let mut d = dram();
         // Write tiles far apart so every line is dirty and then evicted.
@@ -553,6 +633,29 @@ mod tests {
         assert_eq!(e.layer_end(&mut d), 0);
         assert!(e.counter_cache().is_none());
         assert!(e.mac_cache().is_none());
+    }
+
+    #[test]
+    fn missing_metadata_structures_surface_as_structured_errors() {
+        let cfg = NpuConfig::paper();
+        let e = SeculatorTiming::new(&cfg, SchemeKind::Seculator);
+        let err = e.require_mac_cache().unwrap_err();
+        assert_eq!(
+            err,
+            SecurityError::MetadataStructureMissing {
+                scheme: SchemeKind::Seculator,
+                structure: "mac cache",
+            }
+        );
+        assert!(
+            !err.is_breach(),
+            "a missing cache is API misuse, not tampering"
+        );
+        assert!(e.require_counter_cache().is_err());
+        // Designs that do keep the structures succeed.
+        let s = SecureTiming::new(&cfg);
+        assert!(s.require_mac_cache().is_ok());
+        assert!(s.require_counter_cache().is_ok());
     }
 
     #[test]

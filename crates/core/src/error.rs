@@ -1,0 +1,169 @@
+//! The structured error type of the secure pipeline.
+//!
+//! Every failure the secure datapath can observe — integrity breaches,
+//! exhausted recovery, malformed state — surfaces as a [`SecurityError`]
+//! instead of a panic, so the serving layer can distinguish "tampering
+//! detected and handled" from "bug". The enum is hand-implemented in the
+//! `thiserror` idiom (`Display` + `std::error::Error` per variant)
+//! because this build environment has no registry access for the derive
+//! crate; the shape is drop-in compatible if it ever lands.
+
+use crate::engine::SchemeKind;
+
+/// Why a secure operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityError {
+    /// A layer-boundary `MAC_W = MAC_FR ⊕ MAC_R` check failed.
+    LayerIntegrity {
+        /// Layer whose write-set failed verification.
+        layer_id: u32,
+    },
+    /// A read-only tensor (weights) failed verification.
+    WeightIntegrity {
+        /// Layer whose weights failed.
+        layer_id: u32,
+    },
+    /// The final output drain failed verification.
+    OutputIntegrity,
+    /// Detection fired and every recovery avenue was exhausted; the
+    /// engine aborted the inference gracefully (audit record emitted).
+    RecoveryExhausted {
+        /// Layer that could not be recovered.
+        layer_id: u32,
+        /// Re-fetch attempts spent on the layer.
+        refetches: u32,
+        /// Layer re-executions spent on the layer.
+        reexecutions: u32,
+    },
+    /// The VN generator ran dry mid-layer: the schedule requested more
+    /// version numbers than the write/read pattern provides.
+    VnExhausted {
+        /// Layer whose schedule overran its pattern.
+        layer_id: u32,
+        /// `true` for the write sequence, `false` for the read sequence.
+        write: bool,
+    },
+    /// A schedule step touched a tensor that was never given an address
+    /// region (e.g. a weight read on a weight-less layer).
+    MissingRegion {
+        /// Layer with the malformed schedule.
+        layer_id: u32,
+        /// Human-readable tensor name.
+        tensor: &'static str,
+    },
+    /// A schedule step combined a tensor and operation the secure
+    /// datapath never issues (e.g. a weight write at inference time).
+    MalformedAccess {
+        /// Layer with the malformed schedule.
+        layer_id: u32,
+        /// Human-readable description of the access.
+        access: &'static str,
+    },
+    /// A caller asked a timing engine for a metadata structure the
+    /// scheme does not have (e.g. Seculator's MAC cache).
+    MetadataStructureMissing {
+        /// The scheme that was asked.
+        scheme: SchemeKind,
+        /// The structure that does not exist.
+        structure: &'static str,
+    },
+}
+
+impl SecurityError {
+    /// True when the error reports *detected tampering* (as opposed to a
+    /// malformed schedule or a misuse of the API). Integrity-violating
+    /// faults must always surface as one of these.
+    #[must_use]
+    pub fn is_breach(&self) -> bool {
+        matches!(
+            self,
+            Self::LayerIntegrity { .. }
+                | Self::WeightIntegrity { .. }
+                | Self::OutputIntegrity
+                | Self::RecoveryExhausted { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for SecurityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LayerIntegrity { layer_id } => {
+                write!(
+                    f,
+                    "integrity breach detected for layer {layer_id}'s write set"
+                )
+            }
+            Self::WeightIntegrity { layer_id } => {
+                write!(f, "weight tensor of layer {layer_id} failed verification")
+            }
+            Self::OutputIntegrity => write!(f, "network output failed final verification"),
+            Self::RecoveryExhausted {
+                layer_id,
+                refetches,
+                reexecutions,
+            } => write!(
+                f,
+                "recovery exhausted at layer {layer_id} \
+                 ({refetches} re-fetches, {reexecutions} re-executions); inference aborted"
+            ),
+            Self::VnExhausted { layer_id, write } => write!(
+                f,
+                "layer {layer_id}: {} VN sequence exhausted before the schedule finished",
+                if *write { "write" } else { "read" }
+            ),
+            Self::MissingRegion { layer_id, tensor } => {
+                write!(f, "layer {layer_id}: no address region bound for {tensor}")
+            }
+            Self::MalformedAccess { layer_id, access } => {
+                write!(
+                    f,
+                    "layer {layer_id}: schedule contains unexpected access ({access})"
+                )
+            }
+            Self::MetadataStructureMissing { scheme, structure } => {
+                write!(f, "scheme {scheme} has no {structure}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecurityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breach_classification() {
+        assert!(SecurityError::LayerIntegrity { layer_id: 0 }.is_breach());
+        assert!(SecurityError::OutputIntegrity.is_breach());
+        assert!(SecurityError::RecoveryExhausted {
+            layer_id: 1,
+            refetches: 2,
+            reexecutions: 3
+        }
+        .is_breach());
+        assert!(!SecurityError::VnExhausted {
+            layer_id: 0,
+            write: true
+        }
+        .is_breach());
+        assert!(!SecurityError::MetadataStructureMissing {
+            scheme: SchemeKind::Seculator,
+            structure: "mac cache"
+        }
+        .is_breach());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SecurityError::RecoveryExhausted {
+            layer_id: 2,
+            refetches: 3,
+            reexecutions: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("layer 2") && s.contains("3 re-fetches"), "{s}");
+    }
+}

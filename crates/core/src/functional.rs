@@ -17,38 +17,7 @@ use seculator_crypto::keys::DeviceSecret;
 use seculator_crypto::xor_mac::MacRegister;
 use seculator_sim::address::{AddressAllocator, TensorRegion};
 
-/// Why a functional run was declared insecure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SecurityError {
-    /// A layer-boundary `MAC_W = MAC_FR ⊕ MAC_R` check failed.
-    LayerIntegrity {
-        /// Layer whose write-set failed verification.
-        layer_id: u32,
-    },
-    /// A read-only tensor (weights) failed verification.
-    WeightIntegrity {
-        /// Layer whose weights failed.
-        layer_id: u32,
-    },
-    /// The final output drain failed verification.
-    OutputIntegrity,
-}
-
-impl std::fmt::Display for SecurityError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::LayerIntegrity { layer_id } => {
-                write!(f, "integrity breach detected for layer {layer_id}'s write set")
-            }
-            Self::WeightIntegrity { layer_id } => {
-                write!(f, "weight tensor of layer {layer_id} failed verification")
-            }
-            Self::OutputIntegrity => write!(f, "network output failed final verification"),
-        }
-    }
-}
-
-impl std::error::Error for SecurityError {}
+pub use crate::error::SecurityError;
 
 /// An attack to inject at a chosen point of the run (between schedule
 /// steps), driving the adversary API of [`UntrustedDram`].
@@ -159,7 +128,11 @@ impl FunctionalNpu {
             dram: UntrustedDram::new(),
             verifier: LayerMacVerifier::new(),
             attacks: Vec::new(),
-            report: FunctionalReport { blocks_written: 0, blocks_read: 0, layers_verified: 0 },
+            report: FunctionalReport {
+                blocks_written: 0,
+                blocks_read: 0,
+                layers_verified: 0,
+            },
         }
     }
 
@@ -222,7 +195,8 @@ impl FunctionalNpu {
         let mut weight_refs: Vec<Option<MacRegister>> = Vec::with_capacity(schedules.len());
         for (s, r) in schedules.iter().zip(&regions) {
             weight_refs.push(
-                r.weights.map(|w| self.provision_tensor(w, weight_producer_id(s.layer().id), 1)),
+                r.weights
+                    .map(|w| self.provision_tensor(w, weight_producer_id(s.layer().id), 1)),
             );
         }
 
@@ -234,7 +208,11 @@ impl FunctionalNpu {
             .filter(|a| matches!(a, Attack::TamperWeights { .. }))
             .collect();
         for a in weight_attacks {
-            if let Attack::TamperWeights { layer_id, block_index } = a {
+            if let Attack::TamperWeights {
+                layer_id,
+                block_index,
+            } = a
+            {
                 if let Some(region) = regions.get(layer_id as usize).and_then(|r| r.weights) {
                     let addr = region.block_addr(block_index % region.blocks().max(1));
                     self.dram.tamper_bit(addr, 0, 0);
@@ -257,7 +235,9 @@ impl FunctionalNpu {
                     version: final_vn,
                     block_index: b as u32,
                 };
-                let (_, mac) = self.datapath.read_block(&self.dram, r.ofmap.block_addr(b), coords);
+                let (_, mac) = self
+                    .datapath
+                    .read_block(&self.dram, r.ofmap.block_addr(b), coords);
                 self.report.blocks_read += 1;
                 self.verifier.record_output_drain(&mac);
             }
@@ -281,7 +261,8 @@ impl FunctionalNpu {
             };
             let content = synthetic_block(region.fmap_id, layer_id, vn, b);
             let mac =
-                self.datapath.write_block(&mut self.dram, region.block_addr(b), coords, &content);
+                self.datapath
+                    .write_block(&mut self.dram, region.block_addr(b), coords, &content);
             agg.absorb(&mac);
             self.report.blocks_written += 1;
         }
@@ -292,13 +273,19 @@ impl FunctionalNpu {
         let attacks: Vec<Attack> = self.attacks.clone();
         for a in attacks {
             match a {
-                Attack::TamperOfmap { layer_id: l, block_index } if l == layer_id => {
+                Attack::TamperOfmap {
+                    layer_id: l,
+                    block_index,
+                } if l == layer_id => {
                     let addr = r.ofmap.block_addr(block_index % r.ofmap.blocks().max(1));
                     self.dram.tamper_bit(addr, 7, 3);
                 }
                 Attack::SwapOfmapBlocks { layer_id: l, a, b } if l == layer_id => {
                     let blocks = r.ofmap.blocks().max(1);
-                    self.dram.swap(r.ofmap.block_addr(a % blocks), r.ofmap.block_addr(b % blocks));
+                    self.dram.swap(
+                        r.ofmap.block_addr(a % blocks),
+                        r.ofmap.block_addr(b % blocks),
+                    );
                 }
                 _ => {}
             }
@@ -313,8 +300,7 @@ impl FunctionalNpu {
         weight_ref: Option<&MacRegister>,
     ) -> Result<(), SecurityError> {
         self.verifier.begin_layer();
-        let mut vngen =
-            VnGenerator::new(s.write_pattern(), s.read_pattern(), r.ifmap_vn);
+        let mut vngen = VnGenerator::new(s.write_pattern(), s.read_pattern(), r.ifmap_vn);
         let mut weights = ReadOnlyVerifier::new();
         let layer_id = s.layer().id;
         let ifmap_tile_b = s.ifmap_tile_bytes();
@@ -327,9 +313,10 @@ impl FunctionalNpu {
             .attacks
             .iter()
             .filter_map(|a| match a {
-                Attack::ReplayOfmap { layer_id: l, block_index } if *l == layer_id => {
-                    Some(*block_index % r.ofmap.blocks().max(1))
-                }
+                Attack::ReplayOfmap {
+                    layer_id: l,
+                    block_index,
+                } if *l == layer_id => Some(*block_index % r.ofmap.blocks().max(1)),
                 _ => None,
             })
             .collect();
@@ -351,11 +338,9 @@ impl FunctionalNpu {
                                 version: r.ifmap_vn,
                                 block_index: b as u32,
                             };
-                            let (_, mac) = self.datapath.read_block(
-                                &self.dram,
-                                r.ifmap.block_addr(b),
-                                coords,
-                            );
+                            let (_, mac) =
+                                self.datapath
+                                    .read_block(&self.dram, r.ifmap.block_addr(b), coords);
                             self.report.blocks_read += 1;
                             if a.first_read {
                                 self.verifier.on_first_read(&mac);
@@ -363,8 +348,14 @@ impl FunctionalNpu {
                         }
                     }
                     (TensorClass::Weight, AccessOp::Read) => {
+                        let Some(w) = r.weights else {
+                            error = Some(SecurityError::MissingRegion {
+                                layer_id,
+                                tensor: "weights",
+                            });
+                            return;
+                        };
                         for b in tile_blocks(a.tile, weight_tile_b) {
-                            let w = r.weights.expect("weight read without weight region");
                             let coords = BlockCoords {
                                 fmap_id: w.fmap_id,
                                 layer_id: weight_producer_id(layer_id),
@@ -372,13 +363,20 @@ impl FunctionalNpu {
                                 block_index: b as u32,
                             };
                             let (_, mac) =
-                                self.datapath.read_block(&self.dram, w.block_addr(b), coords);
+                                self.datapath
+                                    .read_block(&self.dram, w.block_addr(b), coords);
                             self.report.blocks_read += 1;
                             weights.on_read(&mac, a.first_read);
                         }
                     }
                     (TensorClass::Ofmap, AccessOp::Read) => {
-                        let vn = vngen.next_read_vn().expect("read VN underflow");
+                        let Some(vn) = vngen.next_read_vn() else {
+                            error = Some(SecurityError::VnExhausted {
+                                layer_id,
+                                write: false,
+                            });
+                            return;
+                        };
                         debug_assert_eq!(vn, a.vn, "generator must agree with schedule");
                         for b in tile_blocks(a.tile, ofmap_tile_b) {
                             let coords = BlockCoords {
@@ -387,17 +385,21 @@ impl FunctionalNpu {
                                 version: vn,
                                 block_index: b as u32,
                             };
-                            let (_, mac) = self.datapath.read_block(
-                                &self.dram,
-                                r.ofmap.block_addr(b),
-                                coords,
-                            );
+                            let (_, mac) =
+                                self.datapath
+                                    .read_block(&self.dram, r.ofmap.block_addr(b), coords);
                             self.report.blocks_read += 1;
                             self.verifier.on_read(&mac);
                         }
                     }
                     (TensorClass::Ofmap, AccessOp::Write) => {
-                        let vn = vngen.next_write_vn().expect("write VN underflow");
+                        let Some(vn) = vngen.next_write_vn() else {
+                            error = Some(SecurityError::VnExhausted {
+                                layer_id,
+                                write: true,
+                            });
+                            return;
+                        };
                         debug_assert_eq!(vn, a.vn, "generator must agree with schedule");
                         for b in tile_blocks(a.tile, ofmap_tile_b) {
                             let coords = BlockCoords {
@@ -406,8 +408,7 @@ impl FunctionalNpu {
                                 version: vn,
                                 block_index: b as u32,
                             };
-                            let content =
-                                synthetic_block(r.ofmap.fmap_id, layer_id, vn, b);
+                            let content = synthetic_block(r.ofmap.fmap_id, layer_id, vn, b);
                             let mac = self.datapath.write_block(
                                 &mut self.dram,
                                 r.ofmap.block_addr(b),
@@ -429,7 +430,12 @@ impl FunctionalNpu {
                             }
                         }
                     }
-                    (t, op) => unreachable!("unexpected access {t:?}/{op:?}"),
+                    _ => {
+                        error = Some(SecurityError::MalformedAccess {
+                            layer_id,
+                            access: "write to a read-only tensor class",
+                        });
+                    }
                 }
             }
         });
@@ -458,7 +464,9 @@ impl FunctionalNpu {
 
         // Closing the boundary check verifies the *previous* layer.
         if !self.verifier.end_layer().is_verified() {
-            return Err(SecurityError::LayerIntegrity { layer_id: layer_id.saturating_sub(1) });
+            return Err(SecurityError::LayerIntegrity {
+                layer_id: layer_id.saturating_sub(1),
+            });
         }
         self.report.layers_verified += 1;
         Ok(())
@@ -478,7 +486,8 @@ fn weight_read_parity(s: &LayerSchedule) -> bool {
     let reads_per_tile = match s.spec().weight_factor {
         ReadFactor::Once => 1,
         _ => match s.spec().shape {
-            ScheduleShape::SingleWrite | ScheduleShape::AccumAlongChannel
+            ScheduleShape::SingleWrite
+            | ScheduleShape::AccumAlongChannel
             | ScheduleShape::AccumAlongSpace => u64::from(s.spec().alphas.alpha_hw),
         },
     };
@@ -497,19 +506,34 @@ mod tests {
         // output channels.
         let l0 = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
         let l1 = LayerDesc::new(1, LayerKind::Conv(ConvShape::simple(4, 8, 16, 3)));
-        let t = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+        let t = TileConfig {
+            kt: 4,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        };
         vec![
-            LayerSchedule::new(l0, Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel), t)
-                .unwrap(),
-            LayerSchedule::new(l1, Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel), t)
-                .unwrap(),
+            LayerSchedule::new(
+                l0,
+                Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+                t,
+            )
+            .unwrap(),
+            LayerSchedule::new(
+                l1,
+                Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+                t,
+            )
+            .unwrap(),
         ]
     }
 
     #[test]
     fn clean_run_verifies_all_layers() {
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(7), 1);
-        let report = npu.run(&two_layer_schedules()).expect("clean run must verify");
+        let report = npu
+            .run(&two_layer_schedules())
+            .expect("clean run must verify");
         assert!(report.blocks_written > 0);
         assert!(report.blocks_read > 0);
     }
@@ -517,15 +541,24 @@ mod tests {
     #[test]
     fn ofmap_tamper_is_detected() {
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(7), 1);
-        npu.inject(Attack::TamperOfmap { layer_id: 0, block_index: 3 });
+        npu.inject(Attack::TamperOfmap {
+            layer_id: 0,
+            block_index: 3,
+        });
         let err = npu.run(&two_layer_schedules()).unwrap_err();
-        assert!(matches!(err, SecurityError::LayerIntegrity { layer_id: 0 }), "{err:?}");
+        assert!(
+            matches!(err, SecurityError::LayerIntegrity { layer_id: 0 }),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn last_layer_tamper_is_caught_at_output_drain() {
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(7), 1);
-        npu.inject(Attack::TamperOfmap { layer_id: 1, block_index: 0 });
+        npu.inject(Attack::TamperOfmap {
+            layer_id: 1,
+            block_index: 0,
+        });
         let err = npu.run(&two_layer_schedules()).unwrap_err();
         assert_eq!(err, SecurityError::OutputIntegrity);
     }
@@ -533,23 +566,39 @@ mod tests {
     #[test]
     fn replay_attack_is_detected() {
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(7), 1);
-        npu.inject(Attack::ReplayOfmap { layer_id: 0, block_index: 1 });
+        npu.inject(Attack::ReplayOfmap {
+            layer_id: 0,
+            block_index: 1,
+        });
         let err = npu.run(&two_layer_schedules()).unwrap_err();
-        assert!(matches!(err, SecurityError::LayerIntegrity { .. }), "{err:?}");
+        assert!(
+            matches!(err, SecurityError::LayerIntegrity { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn block_swap_is_detected() {
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(7), 1);
-        npu.inject(Attack::SwapOfmapBlocks { layer_id: 0, a: 0, b: 5 });
+        npu.inject(Attack::SwapOfmapBlocks {
+            layer_id: 0,
+            a: 0,
+            b: 5,
+        });
         let err = npu.run(&two_layer_schedules()).unwrap_err();
-        assert!(matches!(err, SecurityError::LayerIntegrity { .. }), "{err:?}");
+        assert!(
+            matches!(err, SecurityError::LayerIntegrity { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn weight_tamper_is_detected() {
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(7), 1);
-        npu.inject(Attack::TamperWeights { layer_id: 1, block_index: 2 });
+        npu.inject(Attack::TamperWeights {
+            layer_id: 1,
+            block_index: 2,
+        });
         let err = npu.run(&two_layer_schedules()).unwrap_err();
         assert_eq!(err, SecurityError::WeightIntegrity { layer_id: 1 });
     }

@@ -54,9 +54,24 @@ impl ModuleCost {
 #[must_use]
 pub fn table6_modules() -> [ModuleCost; 3] {
     [
-        ModuleCost { name: "AES-128", gates: 16_000, paper_area_um2: 3900.0, paper_power_uw: 640.0 },
-        ModuleCost { name: "SHA-256", gates: 1_100, paper_area_um2: 270.0, paper_power_uw: 40.0 },
-        ModuleCost { name: "VN generator", gates: 170, paper_area_um2: 40.0, paper_power_uw: 4.4 },
+        ModuleCost {
+            name: "AES-128",
+            gates: 16_000,
+            paper_area_um2: 3900.0,
+            paper_power_uw: 640.0,
+        },
+        ModuleCost {
+            name: "SHA-256",
+            gates: 1_100,
+            paper_area_um2: 270.0,
+            paper_power_uw: 40.0,
+        },
+        ModuleCost {
+            name: "VN generator",
+            gates: 170,
+            paper_area_um2: 40.0,
+            paper_power_uw: 4.4,
+        },
     ]
 }
 

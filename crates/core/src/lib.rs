@@ -6,40 +6,58 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The secure pipeline must never panic on adversarial input: tampering
+// surfaces as `SecurityError`, not as a crash. Tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod audit;
 pub mod command;
 pub mod detection;
 pub mod engine;
-pub mod mea;
-pub mod storage;
+pub mod error;
+pub mod fault;
 pub mod functional;
 pub mod hwcost;
 pub mod mac_verify;
+pub mod mea;
 pub mod noise;
 pub mod npu;
 pub mod pipeline;
 pub mod secure_infer;
 pub mod secure_memory;
 pub mod sgx_functional;
+pub mod storage;
 pub mod tnpu_functional;
 pub mod vngen;
 pub mod widening;
 
-pub use audit::{audit_network, AuditFinding, AuditReport};
+pub use audit::{
+    audit_network, AuditFinding, AuditReport, IncidentLog, IncidentRecord, RecoveryAction,
+};
 pub use command::{AuthenticatedCommand, Command, CommandError, HostChannel, NpuCommandProcessor};
-pub use detection::{detection_latency, DetectionLatency, RecoveryModel};
+pub use detection::{detection_latency, DetectionLatency, RecoveryCost, RecoveryModel};
 pub use engine::{make_engine, SchemeKind, SchemeTiming, TileSecurityCost};
-pub use functional::{Attack, FunctionalNpu, FunctionalReport, SecurityError};
-pub use mac_verify::{LayerMacVerifier, ReadOnlyVerifier, VerifyOutcome};
+pub use error::SecurityError;
+pub use fault::{
+    run_campaign, AccessCtx, CampaignConfig, CampaignReport, FaultInjector, FaultKind, FaultSpec,
+    Persistence, TrialResult,
+};
+pub use functional::{Attack, FunctionalNpu, FunctionalReport};
+pub use mac_verify::{EagerLayerVerifier, LayerMacVerifier, ReadOnlyVerifier, VerifyOutcome};
+pub use mea::{evaluate_defense, infer_layer_dims, AddressTraceObserver, MeaReport};
 pub use noise::{observe_network_with_noise, observe_with_noise, NoiseConfig, NoisyObservation};
 pub use npu::TimingNpu;
-pub use pipeline::{amortization_curve, run_batch, BatchStats, PipelineConfig};
-pub use secure_infer::{infer_plain, infer_protected, InferError, QConvLayer};
+pub use pipeline::{
+    amortization_curve, run_batch, run_batch_under_attack, BatchStats, HostileBatchStats,
+    PipelineConfig,
+};
+pub use secure_infer::{
+    infer_plain, infer_protected, infer_resilient, AbortReport, InferError, QConvLayer,
+    RecoveryPolicy, ResilientRun,
+};
 pub use secure_memory::{BlockCoords, CryptoDatapath, UntrustedDram};
 pub use sgx_functional::{SgxError, SgxMemory};
+pub use storage::{table7_rows, StorageFootprint};
 pub use tnpu_functional::{TnpuError, TnpuMemory};
 pub use vngen::{FirstReadDetector, PatternCounter, VnGenerator};
-pub use mea::{evaluate_defense, infer_layer_dims, AddressTraceObserver, MeaReport};
-pub use storage::{table7_rows, StorageFootprint};
 pub use widening::{intersperse_dummy, widen_layer, widen_network};

@@ -95,7 +95,12 @@ impl LayerMacVerifier {
     /// Creates a verifier with both banks cleared.
     #[must_use]
     pub fn new() -> Self {
-        Self { banks: [Bank::default(); 2], current: 0, has_pending: false, breaches: 0 }
+        Self {
+            banks: [Bank::default(); 2],
+            current: 0,
+            has_pending: false,
+            breaches: 0,
+        }
     }
 
     /// Starts a new layer, rotating the banks.
@@ -170,6 +175,75 @@ impl LayerMacVerifier {
     }
 }
 
+/// Single-layer *eager* verifier used by the detect-and-recover driver
+/// ([`crate::secure_infer::infer_resilient`] and [`crate::fault`]).
+///
+/// One instance covers one execution attempt of one layer, and the
+/// equation `MAC_W = MAC_FR ⊕ MAC_R` is checked as soon as the layer's
+/// final output has been read back — instead of deferring the check to
+/// the next layer like [`LayerMacVerifier`]. Eager checking costs one
+/// extra pass of reads per layer but is what makes *bounded* recovery
+/// possible: a breach rolls back at most one layer, and the consumer can
+/// re-fetch ([`EagerLayerVerifier::reset_first_reads`]) without touching
+/// any other layer's registers.
+#[derive(Debug, Clone, Default)]
+pub struct EagerLayerVerifier {
+    mac_w: MacRegister,
+    mac_r: MacRegister,
+    mac_fr: MacRegister,
+}
+
+impl EagerLayerVerifier {
+    /// Creates a verifier with all registers cleared.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs the MAC of a block written by this layer (any version).
+    pub fn on_write(&mut self, mac: &[u8; 32]) {
+        self.mac_w.absorb(mac);
+    }
+
+    /// Absorbs the MAC of a partial (non-final-version) block read back
+    /// within the layer.
+    pub fn on_read(&mut self, mac: &[u8; 32]) {
+        self.mac_r.absorb(mac);
+    }
+
+    /// Absorbs the MAC of a final-version block read by the consumer.
+    pub fn on_first_read(&mut self, mac: &[u8; 32]) {
+        self.mac_fr.absorb(mac);
+    }
+
+    /// Clears `MAC_FR` so the consumer can re-fetch the whole output
+    /// tensor after a failed [`EagerLayerVerifier::check`] — the recovery
+    /// path for transient read corruption. `MAC_W`/`MAC_R` are
+    /// untouched: the writes and in-layer read-backs already happened.
+    pub fn reset_first_reads(&mut self) {
+        self.mac_fr = MacRegister::new();
+    }
+
+    /// The layer-boundary equation: `MAC_W = MAC_FR ⊕ MAC_R`.
+    #[must_use]
+    pub fn check(&self) -> VerifyOutcome {
+        if self.mac_w == self.mac_fr.xor(&self.mac_r) {
+            VerifyOutcome::Verified
+        } else {
+            VerifyOutcome::Breach
+        }
+    }
+
+    /// Fault hook: glitches the `MAC_W` register by XOR-ing `mask` into
+    /// it, modeling on-chip MAC-register corruption (the one fault class
+    /// that strikes *inside* the trust boundary). A nonzero mask makes
+    /// [`EagerLayerVerifier::check`] fail; re-execution (fresh registers)
+    /// is the only recovery.
+    pub fn corrupt_mac_w(&mut self, mask: &[u8; 32]) {
+        self.mac_w.absorb(mask);
+    }
+}
+
 /// Read-only data verifier (`MAC_IR`, paper §6.4 last paragraph): tracks
 /// every read of a read-only tensor (weights, the input image). After the
 /// layer, the register must equal either zero (every block read an even
@@ -203,7 +277,11 @@ impl ReadOnlyVerifier {
     #[must_use]
     pub fn verify(&self, provisioned: &MacRegister, odd_reads: bool) -> VerifyOutcome {
         let fr_ok = self.mac_fr == *provisioned;
-        let ir_ok = if odd_reads { self.mac_ir == self.mac_fr } else { self.mac_ir.is_zero() };
+        let ir_ok = if odd_reads {
+            self.mac_ir == self.mac_fr
+        } else {
+            self.mac_ir.is_zero()
+        };
         if fr_ok && ir_ok {
             VerifyOutcome::Verified
         } else {
@@ -339,6 +417,53 @@ mod tests {
         v.on_read(&m0, true); // first read sees good data
         v.on_read(&tampered, false); // attacker flips bits before re-read
         assert_eq!(v.verify(&provisioned, false), VerifyOutcome::Breach);
+    }
+
+    #[test]
+    fn eager_verifier_balances_two_version_write_plan() {
+        let mut v = EagerLayerVerifier::new();
+        for i in 0..4 {
+            v.on_write(&mac(0, 1, i, i as u8)); // partial version
+        }
+        for i in 0..4 {
+            v.on_read(&mac(0, 1, i, i as u8)); // read back
+        }
+        for i in 0..4 {
+            v.on_write(&mac(0, 2, i, 10 + i as u8)); // final version
+        }
+        for i in 0..4 {
+            v.on_first_read(&mac(0, 2, i, 10 + i as u8)); // consumer
+        }
+        assert!(v.check().is_verified());
+    }
+
+    #[test]
+    fn eager_verifier_refetch_recovers_transient_read_corruption() {
+        let mut v = EagerLayerVerifier::new();
+        v.on_write(&mac(0, 1, 0, 5));
+        // First consume pass sees corrupted data.
+        v.on_first_read(&mac(0, 1, 0, 99));
+        assert_eq!(v.check(), VerifyOutcome::Breach);
+        // Refetch: clear MAC_FR, read again, now clean.
+        v.reset_first_reads();
+        v.on_first_read(&mac(0, 1, 0, 5));
+        assert!(v.check().is_verified());
+    }
+
+    #[test]
+    fn eager_verifier_detects_mac_register_glitch() {
+        let mut v = EagerLayerVerifier::new();
+        v.on_write(&mac(0, 1, 0, 5));
+        v.on_first_read(&mac(0, 1, 0, 5));
+        assert!(v.check().is_verified());
+        let mut mask = [0u8; 32];
+        mask[17] = 0x40;
+        v.corrupt_mac_w(&mask);
+        assert_eq!(v.check(), VerifyOutcome::Breach);
+        // Refetching cannot fix a register glitch.
+        v.reset_first_reads();
+        v.on_first_read(&mac(0, 1, 0, 5));
+        assert_eq!(v.check(), VerifyOutcome::Breach);
     }
 
     #[test]

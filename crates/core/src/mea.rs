@@ -125,7 +125,11 @@ pub fn infer_layer_dims(observations: &[LayerObservation]) -> Vec<InferredLayer>
 /// zero output pixels.
 #[must_use]
 pub fn extraction_error(inferred: &[InferredLayer], real_ofmap_pixels: &[u64]) -> f64 {
-    assert_eq!(inferred.len(), real_ofmap_pixels.len(), "layer count mismatch");
+    assert_eq!(
+        inferred.len(),
+        real_ofmap_pixels.len(),
+        "layer count mismatch"
+    );
     let mut total = 0.0;
     for (inf, real) in inferred.iter().zip(real_ofmap_pixels) {
         assert!(*real > 0, "real layer must produce output");
@@ -173,8 +177,11 @@ pub fn evaluate_defense(
     // The attacker does not know which observed layers are real; judge the
     // first `real.len()` observations against the real network (best case
     // for the attacker when dummies are appended/interleaved).
-    let judged: Vec<InferredLayer> =
-        defended.iter().copied().take(real_ofmap_pixels.len()).collect();
+    let judged: Vec<InferredLayer> = defended
+        .iter()
+        .copied()
+        .take(real_ofmap_pixels.len())
+        .collect();
     MeaReport {
         error_undefended: extraction_error(&undefended, real_ofmap_pixels),
         error_defended: extraction_error(&judged, real_ofmap_pixels),
@@ -204,7 +211,10 @@ mod tests {
         let obs = AddressTraceObserver::observe_network(&schedules_of(&net));
         let inferred = infer_layer_dims(&obs);
         let err = extraction_error(&inferred, &real_pixels(&net));
-        assert!(err < 0.05, "undefended extraction should be near-perfect, err={err}");
+        assert!(
+            err < 0.05,
+            "undefended extraction should be near-perfect, err={err}"
+        );
     }
 
     #[test]
@@ -217,15 +227,21 @@ mod tests {
             &real_pixels(&net),
         );
         assert!(report.defense_effective(5.0), "{report:?}");
-        assert!(report.error_defended > 1.0, "2x widening ⇒ ≥3x pixel inflation");
+        assert!(
+            report.error_defended > 1.0,
+            "2x widening ⇒ ≥3x pixel inflation"
+        );
     }
 
     #[test]
     fn dummy_interspersing_disguises_depth() {
         let net = tiny_cnn();
         let noisy = intersperse_dummy(&net, &tiny_mlp());
-        let report =
-            evaluate_defense(&schedules_of(&net), &schedules_of(&noisy), &real_pixels(&net));
+        let report = evaluate_defense(
+            &schedules_of(&net),
+            &schedules_of(&noisy),
+            &real_pixels(&net),
+        );
         assert_ne!(
             report.observed_depth_defended, report.observed_depth_undefended,
             "dummy layers must change the apparent depth"

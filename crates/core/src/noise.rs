@@ -25,7 +25,10 @@ impl NoiseConfig {
     /// No noise.
     #[must_use]
     pub fn off() -> Self {
-        Self { ratio: 0.0, seed: 0 }
+        Self {
+            ratio: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -108,7 +111,10 @@ pub fn observe_with_noise(schedule: &LayerSchedule, cfg: &NoiseConfig) -> NoisyO
             }
         }
     });
-    NoisyObservation { observed: obs, dummy_bytes: dummy }
+    NoisyObservation {
+        observed: obs,
+        dummy_bytes: dummy,
+    }
 }
 
 /// Observes a whole network with noise.
@@ -121,7 +127,13 @@ pub fn observe_network_with_noise(
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            observe_with_noise(s, &NoiseConfig { seed: cfg.seed.wrapping_add(i as u64), ..*cfg })
+            observe_with_noise(
+                s,
+                &NoiseConfig {
+                    seed: cfg.seed.wrapping_add(i as u64),
+                    ..*cfg
+                },
+            )
         })
         .collect()
 }
@@ -152,7 +164,10 @@ mod tests {
         let net = tiny_cnn();
         let schedules = schedules();
         let real: Vec<u64> = net.layers.iter().map(|l| l.ofmap_bytes() / 4).collect();
-        let cfg = NoiseConfig { ratio: 1.0, seed: 7 };
+        let cfg = NoiseConfig {
+            ratio: 1.0,
+            seed: 7,
+        };
         let noisy: Vec<_> = observe_network_with_noise(&schedules, &cfg)
             .into_iter()
             .map(|n| n.observed)
@@ -162,7 +177,10 @@ mod tests {
             &real,
         );
         let err_noisy = extraction_error(&infer_layer_dims(&noisy), &real);
-        assert!(err_noisy > err_clean + 0.2, "noise must blur extraction: {err_noisy}");
+        assert!(
+            err_noisy > err_clean + 0.2,
+            "noise must blur extraction: {err_noisy}"
+        );
     }
 
     #[test]
@@ -177,16 +195,28 @@ mod tests {
         };
         let low = cost(0.25);
         let high = cost(1.0);
-        assert!(high > 2 * low, "4x the injection probability: {high} vs {low}");
+        assert!(
+            high > 2 * low,
+            "4x the injection probability: {high} vs {low}"
+        );
         assert!(low > 0);
     }
 
     #[test]
     fn injection_is_deterministic_per_seed() {
         let s = &schedules()[0];
-        let cfg = NoiseConfig { ratio: 0.5, seed: 9 };
+        let cfg = NoiseConfig {
+            ratio: 0.5,
+            seed: 9,
+        };
         assert_eq!(observe_with_noise(s, &cfg), observe_with_noise(s, &cfg));
-        let other = observe_with_noise(s, &NoiseConfig { ratio: 0.5, seed: 10 });
+        let other = observe_with_noise(
+            s,
+            &NoiseConfig {
+                ratio: 0.5,
+                seed: 10,
+            },
+        );
         assert_ne!(observe_with_noise(s, &cfg).dummy_bytes, other.dummy_bytes);
     }
 }

@@ -112,7 +112,11 @@ impl TimingNpu {
                 ))
             });
             let ofmap = alloc.alloc(aligned_region_bytes(s.ofmap_tiles(), s.ofmap_tile_bytes()));
-            regions.push(Regions { ifmap: prev_ofmap, weights, ofmap });
+            regions.push(Regions {
+                ifmap: prev_ofmap,
+                weights,
+                ofmap,
+            });
             prev_ofmap = ofmap;
         }
 
@@ -217,7 +221,11 @@ mod tests {
         assert!(stats.total_cycles() > 0);
         assert!(stats.total_dram_bytes() > 0);
         let d = stats.dram_totals();
-        assert_eq!(d.meta_read_bytes + d.meta_write_bytes, 0, "baseline moves no metadata");
+        assert_eq!(
+            d.meta_read_bytes + d.meta_write_bytes,
+            0,
+            "baseline moves no metadata"
+        );
     }
 
     #[test]
@@ -235,8 +243,10 @@ mod tests {
                 ],
             )
             .unwrap();
-        let cycles: std::collections::HashMap<&str, u64> =
-            runs.iter().map(|r| (r.scheme.as_str(), r.total_cycles())).collect();
+        let cycles: std::collections::HashMap<&str, u64> = runs
+            .iter()
+            .map(|r| (r.scheme.as_str(), r.total_cycles()))
+            .collect();
         assert!(cycles["baseline"] <= cycles["seculator"]);
         assert!(cycles["seculator"] < cycles["tnpu"], "{cycles:?}");
         assert!(cycles["tnpu"] < cycles["guardnn"], "{cycles:?}");
@@ -249,11 +259,18 @@ mod tests {
         let runs = npu
             .compare_schemes(
                 &tiny_cnn(),
-                &[SchemeKind::Baseline, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::Seculator],
+                &[
+                    SchemeKind::Baseline,
+                    SchemeKind::Tnpu,
+                    SchemeKind::GuardNn,
+                    SchemeKind::Seculator,
+                ],
             )
             .unwrap();
-        let bytes: std::collections::HashMap<&str, u64> =
-            runs.iter().map(|r| (r.scheme.as_str(), r.total_dram_bytes())).collect();
+        let bytes: std::collections::HashMap<&str, u64> = runs
+            .iter()
+            .map(|r| (r.scheme.as_str(), r.total_dram_bytes()))
+            .collect();
         assert!(bytes["seculator"] >= bytes["baseline"]);
         assert!(bytes["tnpu"] > bytes["seculator"], "{bytes:?}");
         assert!(bytes["guardnn"] > bytes["tnpu"], "{bytes:?}");
@@ -262,7 +279,10 @@ mod tests {
     #[test]
     fn unmappable_network_propagates_the_error() {
         use seculator_sim::config::NpuConfig;
-        let npu = TimingNpu::new(NpuConfig { global_buffer_bytes: 16, ..NpuConfig::paper() });
+        let npu = TimingNpu::new(NpuConfig {
+            global_buffer_bytes: 16,
+            ..NpuConfig::paper()
+        });
         assert!(npu.run(&tiny_cnn(), SchemeKind::Baseline).is_err());
     }
 

@@ -12,7 +12,10 @@
 //! which keeps the arithmetic honest while the tile-granular version of
 //! the security machinery is exercised by [`crate::functional`].
 
-use crate::mac_verify::LayerMacVerifier;
+use crate::audit::{IncidentLog, IncidentRecord, RecoveryAction};
+use crate::error::SecurityError;
+use crate::fault::{AccessCtx, FaultInjector};
+use crate::mac_verify::{EagerLayerVerifier, LayerMacVerifier};
 use crate::secure_memory::{Block, BlockCoords, CryptoDatapath, UntrustedDram};
 use seculator_compute::quant::{qconv2d, qconv2d_grouped, QTensor3, QTensor4};
 use seculator_crypto::keys::DeviceSecret;
@@ -34,7 +37,13 @@ impl QConvLayer {
     #[must_use]
     pub fn simple(weights: QTensor4, stride: usize) -> Self {
         let c = weights.c;
-        Self { weights, stride, channel_groups: vec![0..c] }
+        // One group spanning every input channel (a Vec *of* one Range,
+        // not the range's elements — hence no `vec![..]` sugar).
+        Self {
+            weights,
+            stride,
+            channel_groups: std::iter::once(0..c).collect(),
+        }
     }
 
     /// A fully-connected layer expressed as a 1×1 convolution over a
@@ -61,7 +70,10 @@ impl std::fmt::Display for InferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::IntegrityBreach { producer_layer } => {
-                write!(f, "integrity breach in layer {producer_layer}'s output tensor")
+                write!(
+                    f,
+                    "integrity breach in layer {producer_layer}'s output tensor"
+                )
             }
         }
     }
@@ -111,9 +123,9 @@ fn blocks_to_accum(
                 if block >= blocks.len() {
                     break 'outer;
                 }
-                let bytes: [u8; 4] =
-                    blocks[block][off..off + 4].try_into().expect("4 bytes");
-                *t.at_mut(kk, y, x) = i32::from_le_bytes(bytes);
+                let b = &blocks[block];
+                *t.at_mut(kk, y, x) =
+                    i32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]]);
                 idx += 1;
             }
         }
@@ -229,8 +241,12 @@ pub fn infer_protected(
         // Evict the output tensor to untrusted DRAM, block by block.
         let blocks = accum_to_blocks(&acc);
         for (i, b) in blocks.iter().enumerate() {
-            let coords =
-                BlockCoords { fmap_id: li, layer_id: li, version: 1, block_index: i as u32 };
+            let coords = BlockCoords {
+                fmap_id: li,
+                layer_id: li,
+                version: 1,
+                block_index: i as u32,
+            };
             let mac = datapath.write_block(&mut dram, base_addr + i as u64 * 64, coords, b);
             verifier.on_write(&mac);
         }
@@ -250,7 +266,14 @@ pub fn infer_protected(
             }
         }
 
-        pending = Some(Pending { base: base_addr, blocks: blocks.len(), k, h, w, producer: li });
+        pending = Some(Pending {
+            base: base_addr,
+            blocks: blocks.len(),
+            k,
+            h,
+            w,
+            producer: li,
+        });
         base_addr += blocks.len() as u64 * 64;
     }
 
@@ -269,12 +292,374 @@ pub fn infer_protected(
             verifier.record_output_drain(&mac);
         }
         if !verifier.finish().is_verified() {
-            return Err(InferError::IntegrityBreach { producer_layer: p.producer });
+            return Err(InferError::IntegrityBreach {
+                producer_layer: p.producer,
+            });
         }
         let acc_back = blocks_to_accum(&read_blocks, p.k, p.h, p.w);
         activ = requantize_shift(&acc_back, shift);
     }
     Ok(activ)
+}
+
+// ---------------------------------------------------------------------------
+// Detect-and-recover inference
+// ---------------------------------------------------------------------------
+
+/// How hard the engine tries to recover from a detected breach before
+/// aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Re-fetch attempts per execution attempt: on a failed boundary
+    /// check, re-stream the layer's output from DRAM through the crypto
+    /// pipeline (recovers transient read corruption cheaply).
+    pub max_refetches: u32,
+    /// Layer re-executions: recompute the layer from its (verified)
+    /// input under a fresh VN base (recovers persistent corruption of
+    /// the stored ciphertext or the MAC registers).
+    pub max_reexecutions: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_refetches: 2,
+            max_reexecutions: 2,
+        }
+    }
+}
+
+/// A completed resilient inference: the verified output plus the audit
+/// trail of every recovery action taken along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientRun {
+    /// Verified network output.
+    pub output: QTensor3,
+    /// Every detection + recovery action, in order. Empty on a clean run.
+    pub incidents: IncidentLog,
+    /// Largest per-layer tensor in 64-byte blocks (feeds the
+    /// [`crate::detection::RecoveryCost`] latency model).
+    pub max_layer_blocks: u64,
+}
+
+/// A gracefully-aborted resilient inference: recovery was exhausted, no
+/// output was released, and the full audit record explains why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbortReport {
+    /// The terminal error (always [`SecurityError::RecoveryExhausted`]).
+    pub error: SecurityError,
+    /// Every detection + recovery action up to and including the abort.
+    pub incidents: IncidentLog,
+    /// Largest per-layer tensor in blocks, for latency accounting.
+    pub max_layer_blocks: u64,
+}
+
+impl std::fmt::Display for AbortReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}\naudit trail:\n{}",
+            self.error,
+            self.incidents.summary()
+        )
+    }
+}
+
+impl std::error::Error for AbortReport {}
+
+/// Stores through the injector when one is armed, directly otherwise.
+/// Returns `false` when the adversary dropped the write.
+fn store_via(
+    injector: &mut Option<&mut FaultInjector>,
+    dram: &mut UntrustedDram,
+    addr: u64,
+    ciphertext: Block,
+    ctx: &AccessCtx,
+) -> bool {
+    match injector {
+        Some(inj) => inj.store(dram, addr, ciphertext, ctx),
+        None => {
+            dram.store(addr, ciphertext);
+            true
+        }
+    }
+}
+
+/// Loads through the injector when one is armed, directly otherwise.
+fn load_via(
+    injector: &mut Option<&mut FaultInjector>,
+    dram: &UntrustedDram,
+    addr: u64,
+    ctx: &AccessCtx,
+) -> Block {
+    match injector {
+        Some(inj) => inj.load(dram, addr, ctx),
+        None => dram.load(addr),
+    }
+}
+
+/// Protected inference with detection *and bounded recovery*: instead of
+/// failing the whole run on the first bad MAC (like [`infer_protected`]),
+/// each layer is verified eagerly — the consumer's first reads happen
+/// within the producing step, closing `MAC_W = MAC_FR ⊕ MAC_R` before the
+/// data is consumed — and a detected breach triggers the recovery ladder:
+///
+/// 1. **Re-fetch** (up to [`RecoveryPolicy::max_refetches`] per attempt):
+///    re-stream the tensor from DRAM and re-check. Recovers transient
+///    read corruption (the stored ciphertext was never wrong).
+/// 2. **Re-execute** (up to [`RecoveryPolicy::max_reexecutions`]): redo
+///    the layer from its verified input under a fresh VN base and fresh
+///    MAC registers. Recovers persistent corruption of stored state.
+/// 3. **Abort**: return an [`AbortReport`] carrying
+///    [`SecurityError::RecoveryExhausted`] and the full incident log. No
+///    output is released.
+///
+/// Each layer writes *two* versions of its output (a partial-accumulation
+/// tensor, then the final tensor at the same addresses under the next
+/// VN), so the verifier's read and first-read registers both see traffic
+/// within one layer — this is what makes eager, layer-local verification
+/// and therefore *layer-local* recovery possible, at the cost of one
+/// extra tensor round trip per layer versus the deferred scheme.
+///
+/// `injector` interposes the adversary of [`crate::fault`] on every
+/// DRAM access; pass `None` for a clean (but still fully verified) run.
+///
+/// # Errors
+///
+/// Returns the boxed [`AbortReport`] when a breach persisted through
+/// every recovery avenue. Detection of *recoverable* faults is not an
+/// error — it is recorded in [`ResilientRun::incidents`].
+pub fn infer_resilient(
+    layers: &[QConvLayer],
+    input: &QTensor3,
+    shift: u32,
+    secret: DeviceSecret,
+    nonce: u64,
+    policy: &RecoveryPolicy,
+    mut injector: Option<&mut FaultInjector>,
+) -> Result<ResilientRun, Box<AbortReport>> {
+    let datapath = CryptoDatapath::new(secret, nonce);
+    let mut dram = UntrustedDram::new();
+    let mut incidents = IncidentLog::new();
+    let mut activ = input.clone();
+    let mut base_addr = 0x1_0000u64;
+    let mut max_layer_blocks = 0u64;
+
+    for (li, layer) in layers.iter().enumerate() {
+        let li = li as u32;
+        // Split the channel groups into a head (written as the partial
+        // version) and the rest (folded in for the final version). A
+        // single-group layer writes its full result as the "partial" and
+        // folds in nothing.
+        let groups = &layer.channel_groups;
+        let (head, rest) = if groups.len() > 1 {
+            groups.split_at(1)
+        } else {
+            (&groups[..], &[][..])
+        };
+
+        let mut layer_refetches = 0u32;
+        let mut attempt = 0u32;
+        let verified_blocks = loop {
+            // Fresh VN base and fresh MAC registers per attempt: stale
+            // ciphertext from a failed attempt can never authenticate.
+            let v_part = attempt * 2 + 1;
+            let v_full = attempt * 2 + 2;
+            let mut lv = EagerLayerVerifier::new();
+
+            // Pass 1: compute + evict the partial accumulation.
+            let partial = qconv2d_grouped(&activ, &layer.weights, layer.stride, head);
+            let (k, h, w) = (partial.k, partial.h, partial.w);
+            let pblocks = accum_to_blocks(&partial);
+            let nblocks = pblocks.len() as u64;
+            for (i, b) in pblocks.iter().enumerate() {
+                let coords = BlockCoords {
+                    fmap_id: li,
+                    layer_id: li,
+                    version: v_part,
+                    block_index: i as u32,
+                };
+                let ctx = AccessCtx {
+                    layer: li,
+                    block: i as u64,
+                    blocks: nblocks,
+                    base: base_addr,
+                    final_version: false,
+                    attempt,
+                };
+                let mac = datapath.mac(coords, b);
+                let ct = datapath.encrypt(coords, b);
+                store_via(
+                    &mut injector,
+                    &mut dram,
+                    base_addr + i as u64 * 64,
+                    ct,
+                    &ctx,
+                );
+                lv.on_write(&mac);
+            }
+
+            // Read the partial back (ordinary reads — they balance the
+            // partial writes in the MAC equation) and fold in the
+            // remaining channel groups.
+            let mut part_rd = Vec::with_capacity(pblocks.len());
+            for i in 0..pblocks.len() {
+                let coords = BlockCoords {
+                    fmap_id: li,
+                    layer_id: li,
+                    version: v_part,
+                    block_index: i as u32,
+                };
+                let ctx = AccessCtx {
+                    layer: li,
+                    block: i as u64,
+                    blocks: nblocks,
+                    base: base_addr,
+                    final_version: false,
+                    attempt,
+                };
+                let ct = load_via(&mut injector, &dram, base_addr + i as u64 * 64, &ctx);
+                let pt = datapath.decrypt(coords, &ct);
+                lv.on_read(&datapath.mac(coords, &pt));
+                part_rd.push(pt);
+            }
+            let partial_back = blocks_to_accum(&part_rd, k, h, w);
+            let mut full = qconv2d_grouped(&activ, &layer.weights, layer.stride, rest);
+            for kk in 0..k {
+                for y in 0..h {
+                    for x in 0..w {
+                        *full.at_mut(kk, y, x) =
+                            full.get(kk, y, x).wrapping_add(partial_back.get(kk, y, x));
+                    }
+                }
+            }
+
+            // Pass 2: evict the final version at the same addresses.
+            let fblocks = accum_to_blocks(&full);
+            for (i, b) in fblocks.iter().enumerate() {
+                let coords = BlockCoords {
+                    fmap_id: li,
+                    layer_id: li,
+                    version: v_full,
+                    block_index: i as u32,
+                };
+                let ctx = AccessCtx {
+                    layer: li,
+                    block: i as u64,
+                    blocks: nblocks,
+                    base: base_addr,
+                    final_version: true,
+                    attempt,
+                };
+                let mac = datapath.mac(coords, b);
+                let ct = datapath.encrypt(coords, b);
+                // The on-chip register absorbs the MAC at issue time even
+                // if the adversary drops the write on its way to DRAM.
+                lv.on_write(&mac);
+                store_via(
+                    &mut injector,
+                    &mut dram,
+                    base_addr + i as u64 * 64,
+                    ct,
+                    &ctx,
+                );
+            }
+
+            // The adversary's window: the tensor now sits in hostile DRAM.
+            if let Some(inj) = injector.as_deref_mut() {
+                inj.tamper_stored(&mut dram, li, attempt, base_addr, nblocks, &mut lv);
+            }
+
+            // Consume: first-read the final version, closing the layer's
+            // equation *before* its data feeds the next layer. On a bad
+            // check, re-fetch up to the policy bound.
+            let mut refetches_this_attempt = 0u32;
+            let consumed = loop {
+                lv.reset_first_reads();
+                let mut rd = Vec::with_capacity(fblocks.len());
+                for i in 0..fblocks.len() {
+                    let coords = BlockCoords {
+                        fmap_id: li,
+                        layer_id: li,
+                        version: v_full,
+                        block_index: i as u32,
+                    };
+                    let ctx = AccessCtx {
+                        layer: li,
+                        block: i as u64,
+                        blocks: nblocks,
+                        base: base_addr,
+                        final_version: true,
+                        attempt,
+                    };
+                    let ct = load_via(&mut injector, &dram, base_addr + i as u64 * 64, &ctx);
+                    let pt = datapath.decrypt(coords, &ct);
+                    lv.on_first_read(&datapath.mac(coords, &pt));
+                    rd.push(pt);
+                }
+                if lv.check().is_verified() {
+                    break Some(rd);
+                }
+                if refetches_this_attempt < policy.max_refetches {
+                    refetches_this_attempt += 1;
+                    layer_refetches += 1;
+                    incidents.push(IncidentRecord {
+                        layer_id: li,
+                        attempt,
+                        action: RecoveryAction::Refetch,
+                        cause: SecurityError::LayerIntegrity { layer_id: li },
+                    });
+                    continue;
+                }
+                break None;
+            };
+
+            match consumed {
+                Some(rd) => {
+                    activ = requantize_shift(&blocks_to_accum(&rd, k, h, w), shift);
+                    max_layer_blocks = max_layer_blocks.max(nblocks);
+                    base_addr += nblocks * 64;
+                    break rd;
+                }
+                None if attempt < policy.max_reexecutions => {
+                    incidents.push(IncidentRecord {
+                        layer_id: li,
+                        attempt,
+                        action: RecoveryAction::ReExecute,
+                        cause: SecurityError::LayerIntegrity { layer_id: li },
+                    });
+                    attempt += 1;
+                }
+                None => {
+                    let error = SecurityError::RecoveryExhausted {
+                        layer_id: li,
+                        refetches: layer_refetches,
+                        reexecutions: attempt,
+                    };
+                    incidents.push(IncidentRecord {
+                        layer_id: li,
+                        attempt,
+                        action: RecoveryAction::Abort,
+                        cause: error.clone(),
+                    });
+                    return Err(Box::new(AbortReport {
+                        error,
+                        incidents,
+                        max_layer_blocks: max_layer_blocks.max(nblocks),
+                    }));
+                }
+            }
+        };
+        // `activ` was already advanced from the verified blocks above;
+        // `verified_blocks` only pins the loop's break type.
+        let _ = verified_blocks;
+    }
+
+    Ok(ResilientRun {
+        output: activ,
+        incidents,
+        max_layer_blocks,
+    })
 }
 
 #[cfg(test)]
@@ -305,10 +690,12 @@ mod tests {
     fn protected_inference_is_bit_identical_to_plain() {
         let layers = network();
         let plain = infer_plain(&layers, &input(), 6);
-        let protected =
-            infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 1, None)
-                .expect("clean protected run verifies");
-        assert_eq!(plain, protected, "encryption must be transparent to the arithmetic");
+        let protected = infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 1, None)
+            .expect("clean protected run verifies");
+        assert_eq!(
+            plain, protected,
+            "encryption must be transparent to the arithmetic"
+        );
     }
 
     #[test]
@@ -361,10 +748,10 @@ mod tests {
     #[test]
     fn different_nonces_give_same_plaintext_results() {
         let layers = network();
-        let a = infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 10, None)
-            .unwrap();
-        let b = infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 11, None)
-            .unwrap();
+        let a =
+            infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 10, None).unwrap();
+        let b =
+            infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 11, None).unwrap();
         assert_eq!(a, b, "re-keying must not change the computation");
     }
 }

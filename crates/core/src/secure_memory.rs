@@ -107,7 +107,10 @@ impl CryptoDatapath {
     #[must_use]
     pub fn new(secret: DeviceSecret, execution_nonce: u64) -> Self {
         let key = SessionKey::derive(&secret, execution_nonce);
-        Self { secret, cipher: AesCtr::new(&key.0) }
+        Self {
+            secret,
+            cipher: AesCtr::new(&key.0),
+        }
     }
 
     fn counter(coords: BlockCoords) -> BlockCounter {
@@ -122,13 +125,15 @@ impl CryptoDatapath {
     /// Encrypts one plaintext block under its coordinates.
     #[must_use]
     pub fn encrypt(&self, coords: BlockCoords, plaintext: &Block) -> Block {
-        self.cipher.encrypt_block64(plaintext, Self::counter(coords))
+        self.cipher
+            .encrypt_block64(plaintext, Self::counter(coords))
     }
 
     /// Decrypts one ciphertext block under its coordinates.
     #[must_use]
     pub fn decrypt(&self, coords: BlockCoords, ciphertext: &Block) -> Block {
-        self.cipher.decrypt_block64(ciphertext, Self::counter(coords))
+        self.cipher
+            .decrypt_block64(ciphertext, Self::counter(coords))
     }
 
     /// Computes the block MAC `SHA256(P ‖ L ‖ F ‖ VN ‖ I ‖ B)` over
@@ -185,7 +190,12 @@ mod tests {
     }
 
     fn coords(vn: u32, idx: u32) -> BlockCoords {
-        BlockCoords { fmap_id: 3, layer_id: 1, version: vn, block_index: idx }
+        BlockCoords {
+            fmap_id: 3,
+            layer_id: 1,
+            version: vn,
+            block_index: idx,
+        }
     }
 
     #[test]
@@ -229,7 +239,10 @@ mod tests {
         dram.replay(0, stale);
         // Reader expects version 2.
         let (_, rmac) = dp.read_block(&dram, 0, coords(2, 0));
-        assert_ne!(rmac, wmac2, "stale data under a new VN must not authenticate");
+        assert_ne!(
+            rmac, wmac2,
+            "stale data under a new VN must not authenticate"
+        );
     }
 
     #[test]

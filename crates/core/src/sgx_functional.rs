@@ -35,7 +35,10 @@ struct PageCounters {
 
 impl PageCounters {
     fn new() -> Self {
-        Self { major: 0, minor: vec![0; PAGE_BLOCKS as usize] }
+        Self {
+            major: 0,
+            minor: vec![0; PAGE_BLOCKS as usize],
+        }
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -189,8 +192,10 @@ impl SgxMemory {
         if !self.tree.verify_leaf(page as usize, &enc) {
             return Err(SgxError::CounterIntegrity { page });
         }
-        let stored =
-            self.blocks.get(&addr).copied().unwrap_or(StoredBlock { ciphertext: [0; 64], mac: [0; 32] });
+        let stored = self.blocks.get(&addr).copied().unwrap_or(StoredBlock {
+            ciphertext: [0; 64],
+            mac: [0; 32],
+        });
         let counter = self.counter_for(addr);
         let plaintext = self.cipher.decrypt_block64(&stored.ciphertext, counter);
         if self.mac_of(addr, counter, &plaintext) != stored.mac {
@@ -227,7 +232,13 @@ impl SgxMemory {
     /// Replays a stale (ciphertext, MAC) pair — a *consistent* pair, so
     /// only the counters can catch it.
     pub fn replay(&mut self, addr: u64, stale: ([u8; 64], [u8; 32])) {
-        self.blocks.insert(addr, StoredBlock { ciphertext: stale.0, mac: stale.1 });
+        self.blocks.insert(
+            addr,
+            StoredBlock {
+                ciphertext: stale.0,
+                mac: stale.1,
+            },
+        );
     }
 }
 

@@ -168,7 +168,12 @@ mod tests {
         assert!(tnpu.mac_bytes > 1_000_000, "{tnpu:?}");
         assert!(secure.total() > tnpu.vn_bytes);
         // The headline: orders of magnitude.
-        assert!(tnpu.total() / secu.total() > 10_000, "{} / {}", tnpu.total(), secu.total());
+        assert!(
+            tnpu.total() / secu.total() > 10_000,
+            "{} / {}",
+            tnpu.total(),
+            secu.total()
+        );
     }
 
     #[test]

@@ -117,7 +117,9 @@ impl TnpuMemory {
         }
         let vn = *entry;
         let mac = self.mac_of(addr, vn, plaintext);
-        let ciphertext = self.cipher.encrypt_block64(plaintext, Self::tweak(addr, vn));
+        let ciphertext = self
+            .cipher
+            .encrypt_block64(plaintext, Self::tweak(addr, vn));
         self.blocks.insert(addr, StoredBlock { ciphertext, mac });
     }
 
@@ -127,13 +129,18 @@ impl TnpuMemory {
     ///
     /// [`TnpuError::MacMismatch`] on any tampering, replay, or swap.
     pub fn read(&self, addr: u64) -> Result<[u8; 64], TnpuError> {
-        let vn = self.tensor_table.get(&Self::tile_of(addr)).copied().unwrap_or(0);
-        let stored = self
-            .blocks
-            .get(&addr)
+        let vn = self
+            .tensor_table
+            .get(&Self::tile_of(addr))
             .copied()
-            .unwrap_or(StoredBlock { ciphertext: [0; 64], mac: [0; 32] });
-        let plaintext = self.cipher.decrypt_block64(&stored.ciphertext, Self::tweak(addr, vn));
+            .unwrap_or(0);
+        let stored = self.blocks.get(&addr).copied().unwrap_or(StoredBlock {
+            ciphertext: [0; 64],
+            mac: [0; 32],
+        });
+        let plaintext = self
+            .cipher
+            .decrypt_block64(&stored.ciphertext, Self::tweak(addr, vn));
         if self.mac_of(addr, vn, &plaintext) != stored.mac {
             return Err(TnpuError::MacMismatch { addr });
         }
@@ -157,7 +164,13 @@ impl TnpuMemory {
 
     /// Replays a stale pair.
     pub fn replay(&mut self, addr: u64, stale: ([u8; 64], [u8; 32])) {
-        self.blocks.insert(addr, StoredBlock { ciphertext: stale.0, mac: stale.1 });
+        self.blocks.insert(
+            addr,
+            StoredBlock {
+                ciphertext: stale.0,
+                mac: stale.1,
+            },
+        );
     }
 
     /// Swaps two stored blocks.
@@ -207,7 +220,10 @@ mod tests {
         let stale = m.snapshot(0).unwrap();
         m.write(0, &[2; 64], true); // new tile version
         m.replay(0, stale);
-        assert!(m.read(0).is_err(), "stale pair under a bumped tile VN must fail");
+        assert!(
+            m.read(0).is_err(),
+            "stale pair under a bumped tile VN must fail"
+        );
     }
 
     #[test]

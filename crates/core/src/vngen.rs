@@ -25,7 +25,13 @@ impl PatternCounter {
     /// Creates a counter at the start of the pattern.
     #[must_use]
     pub fn new(spec: PatternSpec) -> Self {
-        Self { spec, run: 0, level: 1, rep: 0, emitted: 0 }
+        Self {
+            spec,
+            run: 0,
+            level: 1,
+            rep: 0,
+            emitted: 0,
+        }
     }
 
     /// The triplet being generated.
@@ -251,7 +257,12 @@ mod tests {
         use seculator_arch::trace::{AccessOp, LayerSchedule, TensorClass};
 
         let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
-        let tiling = TileConfig { kt: 2, ct: 2, ht: 8, wt: 8 };
+        let tiling = TileConfig {
+            kt: 2,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        };
         for df in ConvDataflow::ALL {
             let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling).unwrap();
             let mut detector = FirstReadDetector::new(s.spec());

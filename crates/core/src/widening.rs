@@ -13,7 +13,9 @@ use seculator_models::Network;
 
 /// Scales a spatial dimension by `num/den`, rounding up, min 1.
 fn scale(v: u32, num: u32, den: u32) -> u32 {
-    (u64::from(v) * u64::from(num)).div_ceil(u64::from(den)).max(1) as u32
+    (u64::from(v) * u64::from(num))
+        .div_ceil(u64::from(den))
+        .max(1) as u32
 }
 
 /// Widens one layer's spatial dimensions by `num/den`.
@@ -34,7 +36,13 @@ pub fn widen_layer(layer: &LayerDesc, num: u32, den: u32) -> LayerDesc {
             w: scale(w, num, den),
             window,
         },
-        LayerKind::Preproc { style, c, k_out, h, w } => LayerKind::Preproc {
+        LayerKind::Preproc {
+            style,
+            c,
+            k_out,
+            h,
+            w,
+        } => LayerKind::Preproc {
             style,
             c,
             k_out,
@@ -42,12 +50,14 @@ pub fn widen_layer(layer: &LayerDesc, num: u32, den: u32) -> LayerDesc {
             w: scale(w, num, den),
         },
         // Matmuls widen their row dimension (sequence/batch axis).
-        LayerKind::Matmul(m) => {
-            LayerKind::Matmul(MatmulShape { h: scale(m.h, num, den), ..m })
-        }
-        LayerKind::FullyConnected(m) => {
-            LayerKind::FullyConnected(MatmulShape { h: scale(m.h, num, den), ..m })
-        }
+        LayerKind::Matmul(m) => LayerKind::Matmul(MatmulShape {
+            h: scale(m.h, num, den),
+            ..m
+        }),
+        LayerKind::FullyConnected(m) => LayerKind::FullyConnected(MatmulShape {
+            h: scale(m.h, num, den),
+            ..m
+        }),
     };
     LayerDesc::new(layer.id, kind)
 }
@@ -96,7 +106,10 @@ mod tests {
         let d0 = net.layers[0].dims();
         let w0 = wide.layers[0].dims();
         assert_eq!((w0.h, w0.w), (d0.h * 2, d0.w * 2));
-        assert!(wide.macs() >= 4 * net.macs() / 2, "compute must grow superlinearly");
+        assert!(
+            wide.macs() >= 4 * net.macs() / 2,
+            "compute must grow superlinearly"
+        );
         // Parameters are untouched — widening pads data, not the model.
         assert_eq!(wide.params(), net.params());
     }

@@ -29,9 +29,9 @@ fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         let mut sbox = [0u8; 256];
         let mut inv_sbox = [0u8; 256];
-        for x in 0..256 {
+        for (x, slot) in sbox.iter_mut().enumerate() {
             let s = sbox_byte(x as u8);
-            sbox[x] = s;
+            *slot = s;
             inv_sbox[s as usize] = x as u8;
         }
         Tables { sbox, inv_sbox }
@@ -59,7 +59,9 @@ pub struct Aes128 {
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never leak key material through Debug output.
-        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+        f.debug_struct("Aes128")
+            .field("round_keys", &"<redacted>")
+            .finish()
     }
 }
 
@@ -183,7 +185,12 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
 #[inline]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -194,7 +201,12 @@ fn mix_columns(state: &mut [u8; 16]) {
 #[inline]
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] =
             gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
         state[4 * c + 1] =
@@ -211,7 +223,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl AesCtr {
     /// Creates a CTR cipher from a 16-byte key.
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
-        Self { aes: Aes128::new(key) }
+        Self {
+            aes: Aes128::new(key),
+        }
     }
 
     /// Produces the 64-byte one-time pad for `counter`.
@@ -144,7 +146,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -176,7 +181,10 @@ mod tests {
         let pt = [0x5Au8; 64];
         let e1 = ctr.encrypt_block64(&pt, c1);
         let e2 = ctr.encrypt_block64(&pt, c2);
-        assert_ne!(e1, e2, "different block indices must yield different ciphertext");
+        assert_ne!(
+            e1, e2,
+            "different block indices must yield different ciphertext"
+        );
         assert_eq!(ctr.decrypt_block64(&e1, c1), pt);
         // Decrypting with the wrong counter yields garbage, not plaintext.
         assert_ne!(ctr.decrypt_block64(&e1, c2), pt);
@@ -188,7 +196,10 @@ mod tests {
         let pt = [9u8; 64];
         let v1 = ctr.encrypt_block64(&pt, BlockCounter::from_parts(7, 3, 1, 0));
         let v2 = ctr.encrypt_block64(&pt, BlockCounter::from_parts(7, 3, 2, 0));
-        assert_ne!(v1, v2, "freshness: same data re-encrypted under a new VN must differ");
+        assert_ne!(
+            v1, v2,
+            "freshness: same data re-encrypted under a new VN must differ"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl MerkleTree {
     pub fn new(leaf_count: usize) -> Self {
         assert!(leaf_count > 0, "merkle tree needs at least one leaf");
         let padded = leaf_count.next_power_of_two();
-        let mut tree = Self { nodes: vec![[0u8; 32]; 2 * padded], leaf_count: padded };
+        let mut tree = Self {
+            nodes: vec![[0u8; 32]; 2 * padded],
+            leaf_count: padded,
+        };
         // Initialize leaves to hash of empty, then fill internal nodes.
         let empty = Sha256::digest(b"");
         for i in 0..padded {
@@ -180,7 +183,10 @@ mod tests {
         // Attacker rolls the leaf digest back to the stale version.
         t.corrupt_leaf_digest(0, old_digest);
         assert!(!t.verify_leaf(0, b"v1"), "stale content must not verify");
-        assert!(!t.verify_leaf(0, b"v2"), "current content no longer matches leaf digest");
+        assert!(
+            !t.verify_leaf(0, b"v2"),
+            "current content no longer matches leaf digest"
+        );
     }
 
     #[test]

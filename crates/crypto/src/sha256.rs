@@ -10,10 +10,10 @@
 use std::sync::OnceLock;
 
 const PRIMES: [u32; 64] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
-    307, 311,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311,
 ];
 
 /// First 32 bits of the fractional part of `p^(1/n)`.
@@ -74,7 +74,12 @@ impl Sha256 {
     /// Creates a hasher in the initial state.
     #[must_use]
     pub fn new() -> Self {
-        Self { state: iv(), buffer: [0u8; 64], buffer_len: 0, total_len: 0 }
+        Self {
+            state: iv(),
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.

@@ -40,8 +40,8 @@ impl MacRegister {
 
     /// XORs a 32-byte block MAC into the register.
     pub fn absorb(&mut self, mac: &[u8; 32]) {
-        for i in 0..32 {
-            self.0[i] ^= mac[i];
+        for (slot, byte) in self.0.iter_mut().zip(mac) {
+            *slot ^= byte;
         }
     }
 
@@ -145,8 +145,9 @@ mod tests {
 
     #[test]
     fn register_xor_is_order_independent_and_self_inverse() {
-        let macs: Vec<[u8; 32]> =
-            (0..8u32).map(|i| block_mac(input(0, 0, 1, i), &[i as u8; 64])).collect();
+        let macs: Vec<[u8; 32]> = (0..8u32)
+            .map(|i| block_mac(input(0, 0, 1, i), &[i as u8; 64]))
+            .collect();
         let mut fwd = MacRegister::new();
         let mut rev = MacRegister::new();
         for m in &macs {

@@ -34,7 +34,10 @@ impl AesXts {
     /// Creates an XTS cipher from independent data and tweak keys.
     #[must_use]
     pub fn new(data_key: &[u8; 16], tweak_key: &[u8; 16]) -> Self {
-        Self { data_cipher: Aes128::new(data_key), tweak_cipher: Aes128::new(tweak_key) }
+        Self {
+            data_cipher: Aes128::new(data_key),
+            tweak_cipher: Aes128::new(tweak_key),
+        }
     }
 
     fn initial_tweak(&self, tweak: u128) -> [u8; 16] {
@@ -102,7 +105,10 @@ mod tests {
         let pt = [0xEEu8; 64];
         let a = xts.encrypt_block64(&pt, 10);
         let b = xts.encrypt_block64(&pt, 11);
-        assert_ne!(a, b, "same data at different addresses must encrypt differently");
+        assert_ne!(
+            a, b,
+            "same data at different addresses must encrypt differently"
+        );
     }
 
     #[test]

@@ -30,7 +30,15 @@ pub fn transformer_block(seq: u32, d: u32) -> Network {
 #[must_use]
 pub fn gan_generator(latent: u32) -> Network {
     let deconv = |k: u32, c: u32, hw: u32| {
-        LayerKind::Deconv(ConvShape { k, c, h: hw, w: hw, r: 4, s: 4, stride: 1 })
+        LayerKind::Deconv(ConvShape {
+            k,
+            c,
+            h: hw,
+            w: hw,
+            r: 4,
+            s: 4,
+            stride: 1,
+        })
     };
     let l = vec![
         LayerKind::FullyConnected(MatmulShape::new(1, latent, 512 * 4 * 4)),
@@ -47,7 +55,15 @@ pub fn gan_generator(latent: u32) -> Network {
 #[must_use]
 pub fn gan_discriminator() -> Network {
     let conv = |k: u32, c: u32, hw: u32| {
-        LayerKind::Conv(ConvShape { k, c, h: hw, w: hw, r: 4, s: 4, stride: 2 })
+        LayerKind::Conv(ConvShape {
+            k,
+            c,
+            h: hw,
+            w: hw,
+            r: 4,
+            s: 4,
+            stride: 2,
+        })
     };
     let l = vec![
         conv(64, 3, 64),
@@ -91,7 +107,11 @@ pub fn lstm(steps: u32, d_in: u32, d_hidden: u32) -> Network {
         // Input projection for the four gates (i, f, g, o) fused: W_x · x.
         l.push(LayerKind::Matmul(MatmulShape::new(1, d_in, 4 * d_hidden)));
         // Recurrent projection: W_h · h.
-        l.push(LayerKind::Matmul(MatmulShape::new(1, d_hidden, 4 * d_hidden)));
+        l.push(LayerKind::Matmul(MatmulShape::new(
+            1,
+            d_hidden,
+            4 * d_hidden,
+        )));
     }
     Network::new(format!("LSTM(T={steps},in={d_in},h={d_hidden})"), l)
 }
@@ -103,10 +123,33 @@ pub fn lstm(steps: u32, d_in: u32, d_hidden: u32) -> Network {
 #[must_use]
 pub fn preproc_pipeline(c: u32, hw: u32) -> Network {
     let l = vec![
-        LayerKind::Preproc { style: PreprocStyle::Style1, c, k_out: c, h: hw, w: hw },
-        LayerKind::Preproc { style: PreprocStyle::Style3, c, k_out: c, h: hw, w: hw },
-        LayerKind::Preproc { style: PreprocStyle::Style2, c, k_out: 1, h: hw, w: hw },
-        LayerKind::Pool { c: 1, h: hw, w: hw, window: 2 },
+        LayerKind::Preproc {
+            style: PreprocStyle::Style1,
+            c,
+            k_out: c,
+            h: hw,
+            w: hw,
+        },
+        LayerKind::Preproc {
+            style: PreprocStyle::Style3,
+            c,
+            k_out: c,
+            h: hw,
+            w: hw,
+        },
+        LayerKind::Preproc {
+            style: PreprocStyle::Style2,
+            c,
+            k_out: 1,
+            h: hw,
+            w: hw,
+        },
+        LayerKind::Pool {
+            c: 1,
+            h: hw,
+            w: hw,
+            window: 2,
+        },
     ];
     Network::new("Preproc-Pipeline", l)
 }
@@ -146,7 +189,10 @@ mod tests {
     fn lstm_unrolls_two_gemms_per_step() {
         let net = lstm(4, 128, 256);
         assert_eq!(net.depth(), 8);
-        assert_eq!(net.params(), 4 * ((128 * 4 * 256) as u64 + (256 * 4 * 256) as u64));
+        assert_eq!(
+            net.params(),
+            4 * ((128 * 4 * 256) as u64 + (256 * 4 * 256) as u64)
+        );
     }
 
     #[test]

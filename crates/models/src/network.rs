@@ -23,7 +23,10 @@ impl Network {
             .enumerate()
             .map(|(i, kind)| LayerDesc::new(i as u32, kind))
             .collect();
-        Self { name: name.into(), layers }
+        Self {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// Number of layers.
@@ -54,7 +57,11 @@ impl Network {
     /// the protected-memory working set).
     #[must_use]
     pub fn peak_ofmap_bytes(&self) -> u64 {
-        self.layers.iter().map(LayerDesc::ofmap_bytes).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(LayerDesc::ofmap_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 

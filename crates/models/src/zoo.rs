@@ -10,11 +10,27 @@ use crate::network::Network;
 use seculator_arch::layer::{ConvShape, LayerKind, MatmulShape};
 
 fn conv(k: u32, c: u32, h: u32, w: u32, rs: u32, stride: u32) -> LayerKind {
-    LayerKind::Conv(ConvShape { k, c, h, w, r: rs, s: rs, stride })
+    LayerKind::Conv(ConvShape {
+        k,
+        c,
+        h,
+        w,
+        r: rs,
+        s: rs,
+        stride,
+    })
 }
 
 fn dwconv(ch: u32, h: u32, w: u32, stride: u32) -> LayerKind {
-    LayerKind::DepthwiseConv(ConvShape { k: ch, c: ch, h, w, r: 3, s: 3, stride })
+    LayerKind::DepthwiseConv(ConvShape {
+        k: ch,
+        c: ch,
+        h,
+        w,
+        r: 3,
+        s: 3,
+        stride,
+    })
 }
 
 fn pool(c: u32, h: u32, w: u32, window: u32) -> LayerKind {
@@ -65,8 +81,12 @@ pub fn mobilenet() -> Network {
 pub fn resnet18() -> Network {
     let mut l = vec![conv(64, 3, 224, 224, 7, 2), pool(64, 112, 112, 2)];
     // (channels_in, channels_out, input spatial, first-conv stride)
-    let stages: [(u32, u32, u32, u32); 4] =
-        [(64, 64, 56, 1), (64, 128, 56, 2), (128, 256, 28, 2), (256, 512, 14, 2)];
+    let stages: [(u32, u32, u32, u32); 4] = [
+        (64, 64, 56, 1),
+        (64, 128, 56, 2),
+        (128, 256, 28, 2),
+        (256, 512, 14, 2),
+    ];
     for (cin, cout, hw, stride) in stages {
         let hw_out = hw / stride;
         // Block 1 (possibly strided, with projection when shape changes).
@@ -207,7 +227,11 @@ mod tests {
 
     #[test]
     fn layer_counts_are_plausible() {
-        assert_eq!(mobilenet().depth(), 1 + 26 + 2, "stem + 13 dw/pw pairs + pool + fc");
+        assert_eq!(
+            mobilenet().depth(),
+            1 + 26 + 2,
+            "stem + 13 dw/pw pairs + pool + fc"
+        );
         assert!(resnet18().depth() >= 18);
         assert!(alexnet().depth() >= 11);
         assert!(vgg16().depth() >= 21);

@@ -61,8 +61,11 @@ impl AddressAllocator {
     /// Allocates a block-aligned region of at least `bytes`.
     pub fn alloc(&mut self, bytes: u64) -> TensorRegion {
         let rounded = bytes.div_ceil(64) * 64;
-        let region =
-            TensorRegion { fmap_id: self.next_fmap_id, base: self.next_base, bytes: rounded };
+        let region = TensorRegion {
+            fmap_id: self.next_fmap_id,
+            base: self.next_base,
+            bytes: rounded,
+        };
         self.next_base += rounded;
         self.next_fmap_id += 1;
         region

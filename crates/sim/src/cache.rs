@@ -84,9 +84,15 @@ impl Cache {
     /// than one way of lines).
     #[must_use]
     pub fn new(capacity_bytes: u64, line_bytes: u64, assoc: usize) -> Self {
-        assert!(capacity_bytes > 0 && line_bytes > 0 && assoc > 0, "degenerate cache geometry");
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && assoc > 0,
+            "degenerate cache geometry"
+        );
         let lines = capacity_bytes / line_bytes;
-        assert!(lines as usize >= assoc, "capacity must hold at least one set");
+        assert!(
+            lines as usize >= assoc,
+            "capacity must hold at least one set"
+        );
         let set_count = (lines / assoc as u64).max(1);
         Self {
             sets: vec![Vec::with_capacity(assoc); set_count as usize],
@@ -107,24 +113,37 @@ impl Cache {
             line.lru = self.clock;
             line.dirty |= write;
             self.stats.hits += 1;
-            return AccessOutcome { hit: true, writeback: false };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+            };
         }
         self.stats.misses += 1;
         let mut writeback = false;
         if set.len() < self.assoc {
-            set.push(Line { tag: line_addr, dirty: write, lru: self.clock, valid: true });
+            set.push(Line {
+                tag: line_addr,
+                dirty: write,
+                lru: self.clock,
+                valid: true,
+            });
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|l| l.lru)
-                .expect("non-empty set");
+            let victim = set.iter_mut().min_by_key(|l| l.lru).expect("non-empty set");
             if victim.dirty {
                 writeback = true;
                 self.stats.writebacks += 1;
             }
-            *victim = Line { tag: line_addr, dirty: write, lru: self.clock, valid: true };
+            *victim = Line {
+                tag: line_addr,
+                dirty: write,
+                lru: self.clock,
+                valid: true,
+            };
         }
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Current statistics.

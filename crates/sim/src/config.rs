@@ -18,7 +18,10 @@ pub struct DramConfig {
 
 impl Default for DramConfig {
     fn default() -> Self {
-        Self { latency_cycles: 100, bytes_per_cycle: 14.0 }
+        Self {
+            latency_cycles: 100,
+            bytes_per_cycle: 14.0,
+        }
     }
 }
 

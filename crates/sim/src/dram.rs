@@ -71,7 +71,10 @@ impl Dram {
     /// Creates a DRAM model with the given timing parameters.
     #[must_use]
     pub fn new(cfg: DramConfig) -> Self {
-        Self { cfg, stats: DramStats::default() }
+        Self {
+            cfg,
+            stats: DramStats::default(),
+        }
     }
 
     /// Cycles to service one contiguous burst of `bytes`: the access
@@ -158,8 +161,7 @@ impl Dram {
         if bytes == 0 {
             return 0;
         }
-        self.cfg.latency_cycles / 4
-            + (bytes as f64 / self.cfg.bytes_per_cycle).ceil() as u64
+        self.cfg.latency_cycles / 4 + (bytes as f64 / self.cfg.bytes_per_cycle).ceil() as u64
     }
 
     /// Current traffic statistics.
@@ -179,7 +181,10 @@ mod tests {
     use super::*;
 
     fn dram() -> Dram {
-        Dram::new(DramConfig { latency_cycles: 100, bytes_per_cycle: 16.0 })
+        Dram::new(DramConfig {
+            latency_cycles: 100,
+            bytes_per_cycle: 16.0,
+        })
     }
 
     #[test]

@@ -111,9 +111,17 @@ mod tests {
 
     #[test]
     fn overlap_takes_the_max() {
-        let c = StepCost { compute: 100, memory: 60, exposed_security: 0 };
+        let c = StepCost {
+            compute: 100,
+            memory: 60,
+            exposed_security: 0,
+        };
         assert_eq!(c.cycles(), 100);
-        let m = StepCost { compute: 60, memory: 100, exposed_security: 5 };
+        let m = StepCost {
+            compute: 60,
+            memory: 100,
+            exposed_security: 5,
+        };
         assert_eq!(m.cycles(), 105);
     }
 
@@ -121,25 +129,45 @@ mod tests {
     fn compute_bound_layers_hide_memory_overhead() {
         // If compute dominates, adding memory below the bound is free.
         let mut t1 = LayerTimer::new();
-        t1.charge(StepCost { compute: 1000, memory: 400, exposed_security: 0 });
+        t1.charge(StepCost {
+            compute: 1000,
+            memory: 400,
+            exposed_security: 0,
+        });
         let mut t2 = LayerTimer::new();
-        t2.charge(StepCost { compute: 1000, memory: 900, exposed_security: 0 });
+        t2.charge(StepCost {
+            compute: 1000,
+            memory: 900,
+            exposed_security: 0,
+        });
         assert_eq!(t1.total_cycles(), t2.total_cycles());
     }
 
     #[test]
     fn memory_bound_layers_expose_extra_traffic() {
         let mut base = LayerTimer::new();
-        base.charge(StepCost { compute: 100, memory: 400, exposed_security: 0 });
+        base.charge(StepCost {
+            compute: 100,
+            memory: 400,
+            exposed_security: 0,
+        });
         let mut secure = LayerTimer::new();
-        secure.charge(StepCost { compute: 100, memory: 500, exposed_security: 0 });
+        secure.charge(StepCost {
+            compute: 100,
+            memory: 500,
+            exposed_security: 0,
+        });
         assert_eq!(secure.total_cycles() - base.total_cycles(), 100);
     }
 
     #[test]
     fn serial_charges_add_directly() {
         let mut t = LayerTimer::new();
-        t.charge(StepCost { compute: 10, memory: 20, exposed_security: 0 });
+        t.charge(StepCost {
+            compute: 10,
+            memory: 20,
+            exposed_security: 0,
+        });
         t.charge_serial(7);
         assert_eq!(t.total_cycles(), 27);
         assert_eq!(t.security_cycles(), 7);
@@ -147,8 +175,23 @@ mod tests {
 
     #[test]
     fn absorb_accumulates_components() {
-        let mut a = StepCost { compute: 1, memory: 2, exposed_security: 3 };
-        a.absorb(StepCost { compute: 10, memory: 20, exposed_security: 30 });
-        assert_eq!(a, StepCost { compute: 11, memory: 22, exposed_security: 33 });
+        let mut a = StepCost {
+            compute: 1,
+            memory: 2,
+            exposed_security: 3,
+        };
+        a.absorb(StepCost {
+            compute: 10,
+            memory: 20,
+            exposed_security: 30,
+        });
+        assert_eq!(
+            a,
+            StepCost {
+                compute: 11,
+                memory: 22,
+                exposed_security: 33
+            }
+        );
     }
 }

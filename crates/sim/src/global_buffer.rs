@@ -51,7 +51,12 @@ impl GlobalBuffer {
     #[must_use]
     pub fn new(capacity: u64) -> Self {
         assert!(capacity > 0, "buffer capacity must be non-zero");
-        Self { capacity, working: [0; 3], prefetch: [0; 3], stats: BufferStats::default() }
+        Self {
+            capacity,
+            working: [0; 3],
+            prefetch: [0; 3],
+            stats: BufferStats::default(),
+        }
     }
 
     fn idx(class: BufferClass) -> usize {
@@ -120,7 +125,11 @@ mod tests {
         assert!(gb.alloc(BufferClass::Ofmap, 200));
         assert_eq!(gb.resident_bytes(), 600);
         gb.rotate();
-        assert_eq!(gb.resident_bytes(), 600, "working set persists across rotation");
+        assert_eq!(
+            gb.resident_bytes(),
+            600,
+            "working set persists across rotation"
+        );
         // Next tiles double-buffer alongside the working set.
         assert!(gb.alloc(BufferClass::Ifmap, 300));
         assert_eq!(gb.resident_bytes(), 900);
@@ -131,7 +140,10 @@ mod tests {
         let mut gb = GlobalBuffer::new(500);
         assert!(gb.alloc(BufferClass::Ifmap, 400));
         gb.rotate();
-        assert!(!gb.alloc(BufferClass::Ifmap, 200), "400 working + 200 prefetch > 500");
+        assert!(
+            !gb.alloc(BufferClass::Ifmap, 200),
+            "400 working + 200 prefetch > 500"
+        );
         assert_eq!(gb.stats().overflows, 1);
     }
 

@@ -25,10 +25,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod address;
-pub mod energy;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod energy;
 pub mod executor;
 pub mod global_buffer;
 pub mod reuse;
@@ -36,10 +36,10 @@ pub mod stats;
 pub mod systolic;
 
 pub use address::{AddressAllocator, TensorRegion};
-pub use energy::{EnergyBreakdown, EnergyModel};
 pub use cache::{Cache, CacheStats};
 pub use config::{DramConfig, NpuConfig};
 pub use dram::{Dram, DramStats, TrafficClass};
+pub use energy::{EnergyBreakdown, EnergyModel};
 pub use executor::{LayerTimer, StepCost};
 pub use global_buffer::{BufferClass, BufferStats, GlobalBuffer};
 pub use reuse::{ReuseHistogram, StackDistance};

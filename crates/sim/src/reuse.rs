@@ -111,7 +111,11 @@ impl StackDistance {
     /// Finishes the analysis.
     #[must_use]
     pub fn finish(self) -> ReuseHistogram {
-        ReuseHistogram { buckets: self.buckets, beyond_cap: self.beyond_cap, cold: self.cold }
+        ReuseHistogram {
+            buckets: self.buckets,
+            beyond_cap: self.beyond_cap,
+            cold: self.cold,
+        }
     }
 }
 
@@ -140,7 +144,10 @@ mod tests {
         }
         let h = sd.finish();
         assert_eq!(h.cold, 4);
-        assert_eq!(h.buckets[3], 8, "each revisit sees 3 other lines in between");
+        assert_eq!(
+            h.buckets[3], 8,
+            "each revisit sees 3 other lines in between"
+        );
     }
 
     #[test]

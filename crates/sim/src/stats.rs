@@ -101,7 +101,10 @@ mod tests {
                 compute_cycles: cycles / 2,
                 memory_cycles: cycles / 2,
                 security_cycles: 0,
-                dram: DramStats { data_read_bytes: bytes, ..DramStats::default() },
+                dram: DramStats {
+                    data_read_bytes: bytes,
+                    ..DramStats::default()
+                },
             }],
             counter_cache: None,
             mac_cache: None,

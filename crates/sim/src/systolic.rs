@@ -25,7 +25,10 @@ impl SystolicArray {
     /// Creates the array model from a configuration.
     #[must_use]
     pub fn new(cfg: &NpuConfig) -> Self {
-        Self { rows: cfg.pe_rows, cols: cfg.pe_cols }
+        Self {
+            rows: cfg.pe_rows,
+            cols: cfg.pe_cols,
+        }
     }
 
     /// Number of processing elements.
@@ -74,7 +77,11 @@ mod tests {
         let small = a.step_cycles(1024);
         assert_eq!(small, 64 + 1);
         let big = a.step_cycles(1024 * 10_000);
-        assert_eq!(big, 64 + 10_000, "streaming term must dominate for large steps");
+        assert_eq!(
+            big,
+            64 + 10_000,
+            "streaming term must dominate for large steps"
+        );
     }
 
     #[test]
@@ -93,6 +100,9 @@ mod tests {
         let cycles = a.step_cycles(macs);
         let macs_per_cycle = macs as f64 / cycles as f64;
         assert!(macs_per_cycle <= a.pes() as f64 + 1e-9);
-        assert!(macs_per_cycle > 0.95 * a.pes() as f64, "large steps should nearly saturate");
+        assert!(
+            macs_per_cycle > 0.95 * a.pes() as f64,
+            "large steps should nearly saturate"
+        );
     }
 }

@@ -22,7 +22,9 @@ fn pick_network(name: &str) -> Network {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "resnet".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "resnet".to_string());
     let network = pick_network(&arg);
     println!("workload: {network}");
 
@@ -54,14 +56,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let tnpu = runs.iter().find(|r| r.scheme == "tnpu").expect("tnpu run present");
-    let seculator = runs.iter().find(|r| r.scheme == "seculator").expect("seculator run");
+    let tnpu = runs
+        .iter()
+        .find(|r| r.scheme == "tnpu")
+        .expect("tnpu run present");
+    let seculator = runs
+        .iter()
+        .find(|r| r.scheme == "seculator")
+        .expect("seculator run");
     println!(
         "\nSeculator speedup over TNPU: {:.1}%  (paper reports ≈16%)",
         100.0 * (tnpu.total_cycles() as f64 / seculator.total_cycles() as f64 - 1.0)
     );
 
-    if let Some(mac) = runs.iter().find(|r| r.scheme == "secure").and_then(|r| r.mac_cache) {
+    if let Some(mac) = runs
+        .iter()
+        .find(|r| r.scheme == "secure")
+        .and_then(|r| r.mac_cache)
+    {
         println!(
             "secure design MAC-cache miss rate: {:.1}% over {} accesses (Figure 5's story)",
             100.0 * mac.miss_rate(),

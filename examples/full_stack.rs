@@ -11,9 +11,9 @@
 //! ```
 
 use seculator::arch::pattern::PatternSpec;
+use seculator::compute::quant::{QTensor3, QTensor4};
 use seculator::core::command::{Command, HostChannel, NpuCommandProcessor};
 use seculator::core::secure_infer::{infer_plain, infer_protected, QConvLayer};
-use seculator::compute::quant::{QTensor3, QTensor4};
 use seculator::crypto::keys::{DeviceSecret, SessionKey};
 
 fn network() -> Vec<QConvLayer> {
@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         npu_ctl.receive(&host.send(Command::RunLayer { layer_id: i as u32 }))?;
     }
     npu_ctl.receive(&host.send(Command::Finalize))?;
-    println!("command channel: {} layers dispatched, all tags verified", npu_ctl.layers_run());
+    println!(
+        "command channel: {} layers dispatched, all tags verified",
+        npu_ctl.layers_run()
+    );
 
     // ── 2. Clean protected inference ──
     let reference = infer_plain(&layers, &input, SHIFT);

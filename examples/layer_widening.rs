@@ -16,14 +16,21 @@ use seculator::sim::config::NpuConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = tiny_cnn(); // 32×32×3 input, the paper's base geometry
     let npu = TimingNpu::new(NpuConfig::paper());
-    let schemes =
-        [SchemeKind::Secure, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::SeculatorPlus];
+    let schemes = [
+        SchemeKind::Secure,
+        SchemeKind::Tnpu,
+        SchemeKind::GuardNn,
+        SchemeKind::SeculatorPlus,
+    ];
     let widths = [32u32, 56, 64, 128, 160, 192];
 
     // Latency at each width, normalized per scheme to its 32×32 latency
     // (the paper's Figure 9 normalization).
     let mut base_cycles = vec![0u64; schemes.len()];
-    println!("{:<8} {:>10} {:>10} {:>10} {:>12}", "width", "secure", "tnpu", "guardnn", "seculator+");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "width", "secure", "tnpu", "guardnn", "seculator+"
+    );
     for (wi, width) in widths.iter().enumerate() {
         let net = widen_network(&base, *width, 32);
         let mut row = format!("{width:<8}");

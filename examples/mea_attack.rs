@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let real_pixels: Vec<u64> = net.layers.iter().map(|l| l.ofmap_bytes() / 4).collect();
 
     // ── The attack on the undefended execution ──
-    println!("attacker's view of {} (address trace only, all data encrypted):\n", net.name);
+    println!(
+        "attacker's view of {} (address trace only, all data encrypted):\n",
+        net.name
+    );
     let observations = AddressTraceObserver::observe_network(&schedules);
     let inferred = infer_layer_dims(&observations);
     println!(
@@ -39,12 +42,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n→ an unprotected address trace leaks the architecture almost exactly.\n");
 
     // ── Defenses ──
-    println!("{:<28} {:>16} {:>16}", "defense", "mean rel. error", "apparent depth");
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "defense", "mean rel. error", "apparent depth"
+    );
     let none = evaluate_defense(&schedules, &schedules, &real_pixels);
-    println!("{:<28} {:>16.3} {:>16}", "none", none.error_undefended, none.observed_depth_undefended);
+    println!(
+        "{:<28} {:>16.3} {:>16}",
+        "none", none.error_undefended, none.observed_depth_undefended
+    );
 
-    for (num, den, label) in [(56u32, 32u32, "widen 32→56"), (2, 1, "widen 2x"), (4, 1, "widen 4x")]
-    {
+    for (num, den, label) in [
+        (56u32, 32u32, "widen 32→56"),
+        (2, 1, "widen 2x"),
+        (4, 1, "widen 4x"),
+    ] {
         let widened = widen_network(&net, num, den);
         let report = evaluate_defense(&schedules, &npu.map(&widened)?, &real_pixels);
         println!(

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runs = npu.compare_schemes(&network, &[SchemeKind::Baseline, SchemeKind::Seculator])?;
     let (baseline, seculator) = (&runs[0], &runs[1]);
 
-    println!("\n{:<12} {:>14} {:>14} {:>8}", "scheme", "cycles", "dram bytes", "perf");
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>8}",
+        "scheme", "cycles", "dram bytes", "perf"
+    );
     for run in &runs {
         println!(
             "{:<12} {:>14} {:>14} {:>8.3}",
@@ -30,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let overhead =
-        100.0 * (seculator.total_cycles() as f64 / baseline.total_cycles() as f64 - 1.0);
+    let overhead = 100.0 * (seculator.total_cycles() as f64 / baseline.total_cycles() as f64 - 1.0);
     println!(
         "\nSeculator adds confidentiality + integrity + freshness for a {overhead:.1}% \
          cycle overhead and zero extra DRAM traffic."

@@ -18,21 +18,45 @@ use seculator::sim::config::NpuConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 1. The Tables 8–10 patterns on a concrete image ──
     println!("VN patterns for a 3×256×256 image, 32×32 tiles:\n");
-    let tiling = TileConfig { kt: 1, ct: 1, ht: 32, wt: 32 };
+    let tiling = TileConfig {
+        kt: 1,
+        ct: 1,
+        ht: 32,
+        wt: 32,
+    };
     for (style, name) in [
-        (PreprocStyle::Style1, "Style-1  Sx = Tx(X)     (per-channel / pooling)"),
+        (
+            PreprocStyle::Style1,
+            "Style-1  Sx = Tx(X)     (per-channel / pooling)",
+        ),
         (PreprocStyle::Style2, "Style-2  S  = T(R,G,B)  (grayscale)"),
-        (PreprocStyle::Style3, "Style-3  Si = Ti(R,G,B) (color transform)"),
+        (
+            PreprocStyle::Style3,
+            "Style-3  Si = Ti(R,G,B) (color transform)",
+        ),
     ] {
         println!("{name}");
         for df in PreprocDataflow::ALL {
-            let layer =
-                LayerDesc::new(0, LayerKind::Preproc { style, c: 3, k_out: 3, h: 256, w: 256 });
+            let layer = LayerDesc::new(
+                0,
+                LayerKind::Preproc {
+                    style,
+                    c: 3,
+                    k_out: 3,
+                    h: 256,
+                    w: 256,
+                },
+            );
             let s = LayerSchedule::new(layer, Dataflow::Preproc(df), tiling)?;
             let wp = s.write_pattern();
             // Prove the formula against the replayed schedule.
             assert_eq!(s.observed_write_vns(), wp.iter().collect::<Vec<_>>());
-            println!("  {:<20} WP {:<26} [{}]", format!("{df:?}"), wp.notation(), wp.family());
+            println!(
+                "  {:<20} WP {:<26} [{}]",
+                format!("{df:?}"),
+                wp.notation(),
+                wp.family()
+            );
         }
         println!();
     }
@@ -43,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let npu = TimingNpu::new(NpuConfig::paper());
     let runs = npu.compare_schemes(
         &pipeline,
-        &[SchemeKind::Baseline, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::Seculator],
+        &[
+            SchemeKind::Baseline,
+            SchemeKind::Tnpu,
+            SchemeKind::GuardNn,
+            SchemeKind::Seculator,
+        ],
     )?;
     let base = runs[0].clone();
     println!("\n{:<12} {:>10} {:>10}", "scheme", "perf", "traffic");

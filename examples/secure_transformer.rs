@@ -16,7 +16,10 @@ use seculator::models::extras::transformer_block;
 use seculator::sim::config::NpuConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<u32> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let seq = args.first().copied().unwrap_or(256);
     let d = args.get(1).copied().unwrap_or(512);
     let net = transformer_block(seq, d);
@@ -25,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let npu = TimingNpu::new(NpuConfig::paper());
 
     // Show the mapper's dataflow choice and VN pattern per GEMM.
-    println!("\n{:<8} {:<28} {:>14} {:>24}", "layer", "dataflow", "⟨η,κ,ρ⟩", "write pattern");
+    println!(
+        "\n{:<8} {:<28} {:>14} {:>24}",
+        "layer", "dataflow", "⟨η,κ,ρ⟩", "write pattern"
+    );
     for s in npu.map(&net)? {
         let wp = s.write_pattern();
         let name = match s.dataflow() {
@@ -43,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let runs = npu.compare_schemes(
         &net,
-        &[SchemeKind::Baseline, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::Seculator],
+        &[
+            SchemeKind::Baseline,
+            SchemeKind::Tnpu,
+            SchemeKind::GuardNn,
+            SchemeKind::Seculator,
+        ],
     )?;
     let baseline = runs[0].clone();
     println!("\n{:<12} {:>10} {:>10}", "scheme", "perf", "traffic");

@@ -20,7 +20,12 @@ fn schedules() -> Vec<LayerSchedule> {
         LayerDesc::new(1, LayerKind::Conv(ConvShape::simple(8, 8, 16, 3))),
         LayerDesc::new(2, LayerKind::Conv(ConvShape::simple(4, 8, 16, 3))),
     ];
-    let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+    let tiling = TileConfig {
+        kt: 4,
+        ct: 2,
+        ht: 8,
+        wt: 8,
+    };
     layers
         .iter()
         .map(|l| {
@@ -51,11 +56,42 @@ fn main() {
     // 2. Attacks — each must be caught by `MAC_W = MAC_FR ⊕ MAC_R` or the
     //    read-only weight check.
     let attacks: Vec<(&str, Attack)> = vec![
-        ("bit-flip in layer 0 ofmap", Attack::TamperOfmap { layer_id: 0, block_index: 7 }),
-        ("replay stale version of a block", Attack::ReplayOfmap { layer_id: 1, block_index: 3 }),
-        ("swap two ciphertext blocks", Attack::SwapOfmapBlocks { layer_id: 1, a: 0, b: 9 }),
-        ("corrupt filter weights", Attack::TamperWeights { layer_id: 2, block_index: 1 }),
-        ("tamper final network output", Attack::TamperOfmap { layer_id: 2, block_index: 0 }),
+        (
+            "bit-flip in layer 0 ofmap",
+            Attack::TamperOfmap {
+                layer_id: 0,
+                block_index: 7,
+            },
+        ),
+        (
+            "replay stale version of a block",
+            Attack::ReplayOfmap {
+                layer_id: 1,
+                block_index: 3,
+            },
+        ),
+        (
+            "swap two ciphertext blocks",
+            Attack::SwapOfmapBlocks {
+                layer_id: 1,
+                a: 0,
+                b: 9,
+            },
+        ),
+        (
+            "corrupt filter weights",
+            Attack::TamperWeights {
+                layer_id: 2,
+                block_index: 1,
+            },
+        ),
+        (
+            "tamper final network output",
+            Attack::TamperOfmap {
+                layer_id: 2,
+                block_index: 0,
+            },
+        ),
     ];
 
     let mut detected = 0;

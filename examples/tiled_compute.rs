@@ -34,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ── 2. Every dataflow computes the same convolution ──
     let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3)));
-    let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+    let tiling = TileConfig {
+        kt: 4,
+        ct: 2,
+        ht: 8,
+        wt: 8,
+    };
     let input = Tensor3::seeded(4, 16, 16, 7);
     let weights = Tensor4::seeded(8, 4, 3, 3, 9);
 

@@ -1,0 +1,253 @@
+//! Offline shim for `criterion`: the build environment has no registry
+//! access, so this provides the minimal API surface the workspace's
+//! benches use — groups, throughput annotation, `bench_function` /
+//! `bench_with_input`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple wall-clock mean over a fixed number of
+//! timed batches. No statistics, plots, or baselines; swap back to real
+//! criterion for publication-quality numbers.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation: scales the per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendering as the parameter itself.
+    #[must_use]
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver (builder-style configuration).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget before sampling. The shim runs no separate warm-up
+    /// phase, so this only keeps configuration code source-compatible
+    /// with upstream criterion.
+    #[must_use]
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/size settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        b.report(name, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        b.report(&id.name, self.throughput);
+        self
+    }
+
+    /// Ends the group (formatting nicety only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Self {
+            sample_size,
+            measurement_time,
+            mean_ns: f64::NAN,
+        }
+    }
+
+    /// Times `f`: one warmup call, then up to `sample_size` timed calls
+    /// bounded by the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            total += t0.elapsed();
+            iters += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.mean_ns.is_nan() {
+            println!("  {name:<40} (no measurement)");
+            return;
+        }
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    b as f64 / self.mean_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.1} Melem/s", e as f64 / self.mean_ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("  {name:<40} {:>12.1} ns/iter{rate}", self.mean_ns);
+    }
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &41, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(std::time::Duration::from_millis(10));
+        trivial(&mut c);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline shim for `serde`: this build environment cannot reach a crates
+//! registry, and no code in the workspace serializes through serde (the
+//! derives are declared for forward compatibility only). The shim keeps
+//! the `use serde::{Deserialize, Serialize};` imports and the derive
+//! attributes compiling; swap the workspace dependency back to the real
+//! crate when registry access is available.
+
+pub use serde_derive::{Deserialize, Serialize};

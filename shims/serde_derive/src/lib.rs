@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the build environment has no access
+//! to crates.io, and nothing in the workspace actually serializes (there
+//! is no `serde_json`/`bincode` consumer). The derives expand to nothing,
+//! which keeps `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! attributes compiling so the real crates can be dropped in unchanged
+//! if registry access ever appears.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

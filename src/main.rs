@@ -5,6 +5,7 @@
 //! seculator compare --network resnet
 //! seculator patterns --k 32 --c 16 --hw 32
 //! seculator attack
+//! seculator fault-campaign --seed 42 --faults 26
 //! seculator storage --network mobilenet
 //! ```
 
@@ -13,7 +14,7 @@ use seculator::arch::layer::{ConvShape, LayerDesc, LayerKind};
 use seculator::arch::tiling::TileConfig;
 use seculator::arch::trace::LayerSchedule;
 use seculator::core::storage::table7_rows;
-use seculator::core::{Attack, FunctionalNpu, SchemeKind, TimingNpu};
+use seculator::core::{run_campaign, Attack, CampaignConfig, FunctionalNpu, SchemeKind, TimingNpu};
 use seculator::crypto::DeviceSecret;
 use seculator::models::{zoo, Network};
 use seculator::sim::config::NpuConfig;
@@ -26,6 +27,7 @@ fn usage() -> ! {
            compare  --network <name>                   all designs side by side\n\
            patterns [--k N --c N --hw N]               derive VN patterns\n\
            attack                                      functional attack demo\n\
+           fault-campaign [--seed N --faults K]        seeded fault-injection sweep\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
            describe --network <name>                   per-layer mapped loop nests\n\n\
          networks: mobilenet resnet alexnet vgg16 vgg19 tiny\n\
@@ -35,7 +37,10 @@ fn usage() -> ! {
 }
 
 fn opt(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn network(name: &str) -> Network {
@@ -116,7 +121,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         "patterns" => {
             let get = |name: &str, default: u32| {
-                opt(&args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+                opt(&args, name)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default)
             };
             let (k, c, hw) = (get("--k", 32), get("--c", 16), get("--hw", 32));
             let layer = LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(k, c, hw, 3)));
@@ -130,7 +137,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for df in ConvDataflow::ALL {
                 let s = LayerSchedule::new(layer, Dataflow::Conv(df), tiling)?;
                 let wp = s.write_pattern();
-                println!("{} — WP {}   [{}]", df.style_name(), wp.notation(), wp.family());
+                println!(
+                    "{} — WP {}   [{}]",
+                    df.style_name(),
+                    wp.notation(),
+                    wp.family()
+                );
                 println!("{}\n", wp.ascii_plot(48));
             }
         }
@@ -139,7 +151,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3))),
                 LayerDesc::new(1, LayerKind::Conv(ConvShape::simple(4, 8, 16, 3))),
             ];
-            let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+            let tiling = TileConfig {
+                kt: 4,
+                ct: 2,
+                ht: 8,
+                wt: 8,
+            };
             let schedules: Vec<LayerSchedule> = layers
                 .iter()
                 .map(|l| {
@@ -152,9 +169,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 })
                 .collect();
             for (name, attack) in [
-                ("tamper", Attack::TamperOfmap { layer_id: 0, block_index: 1 }),
-                ("replay", Attack::ReplayOfmap { layer_id: 0, block_index: 2 }),
-                ("swap", Attack::SwapOfmapBlocks { layer_id: 0, a: 0, b: 3 }),
+                (
+                    "tamper",
+                    Attack::TamperOfmap {
+                        layer_id: 0,
+                        block_index: 1,
+                    },
+                ),
+                (
+                    "replay",
+                    Attack::ReplayOfmap {
+                        layer_id: 0,
+                        block_index: 2,
+                    },
+                ),
+                (
+                    "swap",
+                    Attack::SwapOfmapBlocks {
+                        layer_id: 0,
+                        a: 0,
+                        b: 3,
+                    },
+                ),
             ] {
                 let mut fnpu = FunctionalNpu::new(DeviceSecret::from_seed(1), 1);
                 fnpu.inject(attack);
@@ -162,6 +198,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Ok(_) => println!("{name:<8} NOT DETECTED (violation!)"),
                     Err(e) => println!("{name:<8} detected: {e}"),
                 }
+            }
+        }
+        "fault-campaign" => {
+            let get = |name: &str, default: u64| {
+                opt(&args, name)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default)
+            };
+            let cfg = CampaignConfig {
+                seed: get("--seed", 42),
+                faults: get("--faults", 26) as u32,
+                clean_trials: get("--clean", 8) as u32,
+                ..CampaignConfig::default()
+            };
+            println!(
+                "fault campaign: seed {} / {} fault trials / {} clean controls\n",
+                cfg.seed, cfg.faults, cfg.clean_trials
+            );
+            let report = run_campaign(&cfg);
+            println!("{}", report.summary());
+            if !report.passed() {
+                std::process::exit(1);
             }
         }
         "describe" => {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_compute-05931326526b96b8.d: crates/bench/benches/bench_compute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_compute-05931326526b96b8.rmeta: crates/bench/benches/bench_compute.rs Cargo.toml
+
+crates/bench/benches/bench_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

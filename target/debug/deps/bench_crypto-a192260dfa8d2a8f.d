@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_crypto-a192260dfa8d2a8f.d: crates/bench/benches/bench_crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_crypto-a192260dfa8d2a8f.rmeta: crates/bench/benches/bench_crypto.rs Cargo.toml
+
+crates/bench/benches/bench_crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_memory-787f53a16efaefb0.d: crates/bench/benches/bench_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_memory-787f53a16efaefb0.rmeta: crates/bench/benches/bench_memory.rs Cargo.toml
+
+crates/bench/benches/bench_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

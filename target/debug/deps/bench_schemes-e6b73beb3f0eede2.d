@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_schemes-e6b73beb3f0eede2.d: crates/bench/benches/bench_schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_schemes-e6b73beb3f0eede2.rmeta: crates/bench/benches/bench_schemes.rs Cargo.toml
+
+crates/bench/benches/bench_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

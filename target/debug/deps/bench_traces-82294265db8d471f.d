@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_traces-82294265db8d471f.d: crates/bench/benches/bench_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_traces-82294265db8d471f.rmeta: crates/bench/benches/bench_traces.rs Cargo.toml
+
+crates/bench/benches/bench_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_vngen-cc37d483207c3f8a.d: crates/bench/benches/bench_vngen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_vngen-cc37d483207c3f8a.rmeta: crates/bench/benches/bench_vngen.rs Cargo.toml
+
+crates/bench/benches/bench_vngen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

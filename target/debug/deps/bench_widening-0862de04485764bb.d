@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_widening-0862de04485764bb.d: crates/bench/benches/bench_widening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_widening-0862de04485764bb.rmeta: crates/bench/benches/bench_widening.rs Cargo.toml
+
+crates/bench/benches/bench_widening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

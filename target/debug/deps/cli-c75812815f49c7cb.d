@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-c75812815f49c7cb.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-c75812815f49c7cb: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_seculator=/root/repo/target/debug/seculator

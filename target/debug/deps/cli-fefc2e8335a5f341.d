@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-fefc2e8335a5f341.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-fefc2e8335a5f341.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_seculator=placeholder:seculator
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

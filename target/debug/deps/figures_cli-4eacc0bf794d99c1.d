@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figures_cli-4eacc0bf794d99c1.d: crates/bench/tests/figures_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_cli-4eacc0bf794d99c1.rmeta: crates/bench/tests/figures_cli.rs Cargo.toml
+
+crates/bench/tests/figures_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_figures=placeholder:figures
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_equivalence-2251f65fc6044391.d: tests/integration_equivalence.rs
+
+/root/repo/target/debug/deps/integration_equivalence-2251f65fc6044391: tests/integration_equivalence.rs
+
+tests/integration_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_equivalence-7987a095290491d6.d: tests/integration_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_equivalence-7987a095290491d6.rmeta: tests/integration_equivalence.rs Cargo.toml
+
+tests/integration_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_model_validation-1997973cea3fd251.d: tests/integration_model_validation.rs
+
+/root/repo/target/debug/deps/integration_model_validation-1997973cea3fd251: tests/integration_model_validation.rs
+
+tests/integration_model_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_model_validation-330faddcc66b307f.d: tests/integration_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_model_validation-330faddcc66b307f.rmeta: tests/integration_model_validation.rs Cargo.toml
+
+tests/integration_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_protocol-31a827dc07eeef7c.d: tests/integration_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_protocol-31a827dc07eeef7c.rmeta: tests/integration_protocol.rs Cargo.toml
+
+tests/integration_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_protocol-bb486053c889cc2d.d: tests/integration_protocol.rs
+
+/root/repo/target/debug/deps/integration_protocol-bb486053c889cc2d: tests/integration_protocol.rs
+
+tests/integration_protocol.rs:

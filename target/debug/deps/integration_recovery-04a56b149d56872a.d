@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_recovery-04a56b149d56872a.d: tests/integration_recovery.rs
+
+/root/repo/target/debug/deps/integration_recovery-04a56b149d56872a: tests/integration_recovery.rs
+
+tests/integration_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_recovery-f54f1bcfa206143d.d: tests/integration_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_recovery-f54f1bcfa206143d.rmeta: tests/integration_recovery.rs Cargo.toml
+
+tests/integration_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_security-75be736a321863ec.d: tests/integration_security.rs
+
+/root/repo/target/debug/deps/integration_security-75be736a321863ec: tests/integration_security.rs
+
+tests/integration_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_timing-b266fc71a0e2ae28.d: tests/integration_timing.rs
+
+/root/repo/target/debug/deps/integration_timing-b266fc71a0e2ae28: tests/integration_timing.rs
+
+tests/integration_timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_timing-b2fad3c9e46f730d.d: tests/integration_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_timing-b2fad3c9e46f730d.rmeta: tests/integration_timing.rs Cargo.toml
+
+tests/integration_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

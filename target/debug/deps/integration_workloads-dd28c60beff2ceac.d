@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_workloads-dd28c60beff2ceac.d: tests/integration_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_workloads-dd28c60beff2ceac.rmeta: tests/integration_workloads.rs Cargo.toml
+
+tests/integration_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

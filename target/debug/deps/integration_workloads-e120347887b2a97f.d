@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_workloads-e120347887b2a97f.d: tests/integration_workloads.rs
+
+/root/repo/target/debug/deps/integration_workloads-e120347887b2a97f: tests/integration_workloads.rs
+
+tests/integration_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_avalanche-2addd1d44850aa15.d: tests/prop_avalanche.rs
+
+/root/repo/target/debug/deps/prop_avalanche-2addd1d44850aa15: tests/prop_avalanche.rs
+
+tests/prop_avalanche.rs:

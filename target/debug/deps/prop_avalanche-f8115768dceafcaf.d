@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_avalanche-f8115768dceafcaf.d: tests/prop_avalanche.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_avalanche-f8115768dceafcaf.rmeta: tests/prop_avalanche.rs Cargo.toml
+
+tests/prop_avalanche.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

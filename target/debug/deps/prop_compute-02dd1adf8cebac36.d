@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_compute-02dd1adf8cebac36.d: tests/prop_compute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_compute-02dd1adf8cebac36.rmeta: tests/prop_compute.rs Cargo.toml
+
+tests/prop_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_compute-2ccb17b5adebbee6.d: tests/prop_compute.rs
+
+/root/repo/target/debug/deps/prop_compute-2ccb17b5adebbee6: tests/prop_compute.rs
+
+tests/prop_compute.rs:

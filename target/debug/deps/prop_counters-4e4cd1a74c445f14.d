@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_counters-4e4cd1a74c445f14.d: tests/prop_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_counters-4e4cd1a74c445f14.rmeta: tests/prop_counters.rs Cargo.toml
+
+tests/prop_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

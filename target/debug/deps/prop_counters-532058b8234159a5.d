@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_counters-532058b8234159a5.d: tests/prop_counters.rs
+
+/root/repo/target/debug/deps/prop_counters-532058b8234159a5: tests/prop_counters.rs
+
+tests/prop_counters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_crypto-9055397ea2399f17.d: tests/prop_crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_crypto-9055397ea2399f17.rmeta: tests/prop_crypto.rs Cargo.toml
+
+tests/prop_crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

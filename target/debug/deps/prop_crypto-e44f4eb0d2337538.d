@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_crypto-e44f4eb0d2337538.d: tests/prop_crypto.rs
+
+/root/repo/target/debug/deps/prop_crypto-e44f4eb0d2337538: tests/prop_crypto.rs
+
+tests/prop_crypto.rs:

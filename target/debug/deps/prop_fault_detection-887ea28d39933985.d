@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_fault_detection-887ea28d39933985.d: tests/prop_fault_detection.rs
+
+/root/repo/target/debug/deps/prop_fault_detection-887ea28d39933985: tests/prop_fault_detection.rs
+
+tests/prop_fault_detection.rs:

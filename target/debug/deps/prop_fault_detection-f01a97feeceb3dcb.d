@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_fault_detection-f01a97feeceb3dcb.d: tests/prop_fault_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_fault_detection-f01a97feeceb3dcb.rmeta: tests/prop_fault_detection.rs Cargo.toml
+
+tests/prop_fault_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

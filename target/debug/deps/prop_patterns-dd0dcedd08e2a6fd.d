@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_patterns-dd0dcedd08e2a6fd.d: tests/prop_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_patterns-dd0dcedd08e2a6fd.rmeta: tests/prop_patterns.rs Cargo.toml
+
+tests/prop_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_patterns-f35d30fe8c54426e.d: tests/prop_patterns.rs
+
+/root/repo/target/debug/deps/prop_patterns-f35d30fe8c54426e: tests/prop_patterns.rs
+
+tests/prop_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seculator-2ee9bb8e002f16f0.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator-2ee9bb8e002f16f0.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

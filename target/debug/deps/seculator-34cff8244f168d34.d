@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seculator-34cff8244f168d34.d: src/lib.rs
+
+/root/repo/target/debug/deps/seculator-34cff8244f168d34: src/lib.rs
+
+src/lib.rs:

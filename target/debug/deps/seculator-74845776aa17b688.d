@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seculator-74845776aa17b688.d: src/main.rs
+
+/root/repo/target/debug/deps/seculator-74845776aa17b688: src/main.rs
+
+src/main.rs:

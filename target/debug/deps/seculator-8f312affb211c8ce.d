@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seculator-8f312affb211c8ce.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator-8f312affb211c8ce.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/seculator-93be4e794e78e2d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libseculator-93be4e794e78e2d5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libseculator-93be4e794e78e2d5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seculator-daa80c36ef2ad9dc.d: src/main.rs
+
+/root/repo/target/debug/deps/seculator-daa80c36ef2ad9dc: src/main.rs
+
+src/main.rs:

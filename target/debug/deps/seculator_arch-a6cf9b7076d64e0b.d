@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/seculator_arch-a6cf9b7076d64e0b.d: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+/root/repo/target/debug/deps/libseculator_arch-a6cf9b7076d64e0b.rlib: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+/root/repo/target/debug/deps/libseculator_arch-a6cf9b7076d64e0b.rmeta: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/analysis.rs:
+crates/arch/src/dataflow.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/mapper.rs:
+crates/arch/src/pattern.rs:
+crates/arch/src/recipe.rs:
+crates/arch/src/tiling.rs:
+crates/arch/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/seculator_arch-cb24556205677db8.d: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_arch-cb24556205677db8.rmeta: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/analysis.rs:
+crates/arch/src/dataflow.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/mapper.rs:
+crates/arch/src/pattern.rs:
+crates/arch/src/recipe.rs:
+crates/arch/src/tiling.rs:
+crates/arch/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

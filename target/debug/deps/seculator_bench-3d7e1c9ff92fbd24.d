@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seculator_bench-3d7e1c9ff92fbd24.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_bench-3d7e1c9ff92fbd24.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

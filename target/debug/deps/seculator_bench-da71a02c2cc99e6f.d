@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seculator_bench-da71a02c2cc99e6f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_bench-da71a02c2cc99e6f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

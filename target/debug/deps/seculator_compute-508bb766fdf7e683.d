@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/seculator_compute-508bb766fdf7e683.d: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+/root/repo/target/debug/deps/libseculator_compute-508bb766fdf7e683.rlib: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+/root/repo/target/debug/deps/libseculator_compute-508bb766fdf7e683.rmeta: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+crates/compute/src/lib.rs:
+crates/compute/src/executor.rs:
+crates/compute/src/quant.rs:
+crates/compute/src/reference.rs:
+crates/compute/src/systolic.rs:
+crates/compute/src/tensor.rs:

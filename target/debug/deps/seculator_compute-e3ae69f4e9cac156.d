@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/seculator_compute-e3ae69f4e9cac156.d: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_compute-e3ae69f4e9cac156.rmeta: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs Cargo.toml
+
+crates/compute/src/lib.rs:
+crates/compute/src/executor.rs:
+crates/compute/src/quant.rs:
+crates/compute/src/reference.rs:
+crates/compute/src/systolic.rs:
+crates/compute/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

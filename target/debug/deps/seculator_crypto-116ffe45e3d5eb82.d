@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/seculator_crypto-116ffe45e3d5eb82.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_crypto-116ffe45e3d5eb82.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/gf.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/xor_mac.rs:
+crates/crypto/src/xts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

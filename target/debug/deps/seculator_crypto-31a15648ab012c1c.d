@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/seculator_crypto-31a15648ab012c1c.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+/root/repo/target/debug/deps/libseculator_crypto-31a15648ab012c1c.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+/root/repo/target/debug/deps/libseculator_crypto-31a15648ab012c1c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/gf.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/xor_mac.rs:
+crates/crypto/src/xts.rs:

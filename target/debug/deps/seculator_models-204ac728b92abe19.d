@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/seculator_models-204ac728b92abe19.d: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_models-204ac728b92abe19.rmeta: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/extras.rs:
+crates/models/src/network.rs:
+crates/models/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

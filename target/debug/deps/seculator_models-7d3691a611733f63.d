@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/seculator_models-7d3691a611733f63.d: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libseculator_models-7d3691a611733f63.rlib: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libseculator_models-7d3691a611733f63.rmeta: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/extras.rs:
+crates/models/src/network.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/seculator_sim-83a4fcca5f50ba7a.d: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseculator_sim-83a4fcca5f50ba7a.rmeta: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/address.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/global_buffer.rs:
+crates/sim/src/reuse.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/systolic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

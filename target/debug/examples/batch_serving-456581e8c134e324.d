@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_serving-456581e8c134e324.d: examples/batch_serving.rs
+
+/root/repo/target/debug/examples/batch_serving-456581e8c134e324: examples/batch_serving.rs
+
+examples/batch_serving.rs:

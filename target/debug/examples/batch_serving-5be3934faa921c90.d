@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_serving-5be3934faa921c90.d: examples/batch_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_serving-5be3934faa921c90.rmeta: examples/batch_serving.rs Cargo.toml
+
+examples/batch_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_schemes-6ab68f4ff3c6bd15.d: examples/compare_schemes.rs
+
+/root/repo/target/debug/examples/compare_schemes-6ab68f4ff3c6bd15: examples/compare_schemes.rs
+
+examples/compare_schemes.rs:

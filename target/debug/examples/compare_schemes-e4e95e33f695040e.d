@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_schemes-e4e95e33f695040e.d: examples/compare_schemes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_schemes-e4e95e33f695040e.rmeta: examples/compare_schemes.rs Cargo.toml
+
+examples/compare_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

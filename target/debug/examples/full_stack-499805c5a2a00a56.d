@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_stack-499805c5a2a00a56.d: examples/full_stack.rs
+
+/root/repo/target/debug/examples/full_stack-499805c5a2a00a56: examples/full_stack.rs
+
+examples/full_stack.rs:

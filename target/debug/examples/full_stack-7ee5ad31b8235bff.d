@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_stack-7ee5ad31b8235bff.d: examples/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_stack-7ee5ad31b8235bff.rmeta: examples/full_stack.rs Cargo.toml
+
+examples/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/layer_widening-7eddc76864c0a35d.d: examples/layer_widening.rs
+
+/root/repo/target/debug/examples/layer_widening-7eddc76864c0a35d: examples/layer_widening.rs
+
+examples/layer_widening.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/layer_widening-d981852d4068ce24.d: examples/layer_widening.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblayer_widening-d981852d4068ce24.rmeta: examples/layer_widening.rs Cargo.toml
+
+examples/layer_widening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mea_attack-17a96ea7e718bd6e.d: examples/mea_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmea_attack-17a96ea7e718bd6e.rmeta: examples/mea_attack.rs Cargo.toml
+
+examples/mea_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mea_attack-c9d47c7a2e625d34.d: examples/mea_attack.rs
+
+/root/repo/target/debug/examples/mea_attack-c9d47c7a2e625d34: examples/mea_attack.rs
+
+examples/mea_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pattern_explorer-fdc2cf815f842845.d: examples/pattern_explorer.rs
+
+/root/repo/target/debug/examples/pattern_explorer-fdc2cf815f842845: examples/pattern_explorer.rs
+
+examples/pattern_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-53813448165e86ad.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-53813448165e86ad: examples/quickstart.rs
+
+examples/quickstart.rs:

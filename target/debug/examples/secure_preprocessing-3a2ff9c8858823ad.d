@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_preprocessing-3a2ff9c8858823ad.d: examples/secure_preprocessing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_preprocessing-3a2ff9c8858823ad.rmeta: examples/secure_preprocessing.rs Cargo.toml
+
+examples/secure_preprocessing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

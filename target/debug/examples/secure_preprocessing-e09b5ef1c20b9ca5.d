@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_preprocessing-e09b5ef1c20b9ca5.d: examples/secure_preprocessing.rs
+
+/root/repo/target/debug/examples/secure_preprocessing-e09b5ef1c20b9ca5: examples/secure_preprocessing.rs
+
+examples/secure_preprocessing.rs:

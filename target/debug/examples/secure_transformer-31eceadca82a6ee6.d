@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_transformer-31eceadca82a6ee6.d: examples/secure_transformer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_transformer-31eceadca82a6ee6.rmeta: examples/secure_transformer.rs Cargo.toml
+
+examples/secure_transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_transformer-c88d4f4e240b8354.d: examples/secure_transformer.rs
+
+/root/repo/target/debug/examples/secure_transformer-c88d4f4e240b8354: examples/secure_transformer.rs
+
+examples/secure_transformer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tamper_detection-7db7ca3eb43d81ce.d: examples/tamper_detection.rs
+
+/root/repo/target/debug/examples/tamper_detection-7db7ca3eb43d81ce: examples/tamper_detection.rs
+
+examples/tamper_detection.rs:

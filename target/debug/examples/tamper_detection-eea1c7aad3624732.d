@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tamper_detection-eea1c7aad3624732.d: examples/tamper_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtamper_detection-eea1c7aad3624732.rmeta: examples/tamper_detection.rs Cargo.toml
+
+examples/tamper_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tiled_compute-bb9311f840111952.d: examples/tiled_compute.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtiled_compute-bb9311f840111952.rmeta: examples/tiled_compute.rs Cargo.toml
+
+examples/tiled_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tiled_compute-d42dae3dcecb86ca.d: examples/tiled_compute.rs
+
+/root/repo/target/debug/examples/tiled_compute-d42dae3dcecb86ca: examples/tiled_compute.rs
+
+examples/tiled_compute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seculator-8791151deb1c49bb.d: src/main.rs
+
+/root/repo/target/release/deps/seculator-8791151deb1c49bb: src/main.rs
+
+src/main.rs:

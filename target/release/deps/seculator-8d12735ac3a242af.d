@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/seculator-8d12735ac3a242af.d: src/lib.rs
+
+/root/repo/target/release/deps/libseculator-8d12735ac3a242af.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libseculator-8d12735ac3a242af.rmeta: src/lib.rs
+
+src/lib.rs:

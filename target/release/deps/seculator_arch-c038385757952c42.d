@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/seculator_arch-c038385757952c42.d: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+/root/repo/target/release/deps/libseculator_arch-c038385757952c42.rlib: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+/root/repo/target/release/deps/libseculator_arch-c038385757952c42.rmeta: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/analysis.rs:
+crates/arch/src/dataflow.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/mapper.rs:
+crates/arch/src/pattern.rs:
+crates/arch/src/recipe.rs:
+crates/arch/src/tiling.rs:
+crates/arch/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/seculator_compute-70665bfb9d719b7f.d: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+/root/repo/target/release/deps/libseculator_compute-70665bfb9d719b7f.rlib: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+/root/repo/target/release/deps/libseculator_compute-70665bfb9d719b7f.rmeta: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+crates/compute/src/lib.rs:
+crates/compute/src/executor.rs:
+crates/compute/src/quant.rs:
+crates/compute/src/reference.rs:
+crates/compute/src/systolic.rs:
+crates/compute/src/tensor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/seculator_crypto-eb91ab077858021e.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+/root/repo/target/release/deps/libseculator_crypto-eb91ab077858021e.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+/root/repo/target/release/deps/libseculator_crypto-eb91ab077858021e.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/gf.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/xor_mac.rs:
+crates/crypto/src/xts.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/seculator_models-75a831a50a08c5e5.d: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libseculator_models-75a831a50a08c5e5.rlib: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libseculator_models-75a831a50a08c5e5.rmeta: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/extras.rs:
+crates/models/src/network.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/seculator_sim-328df7cb9c62a10c.d: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs
+
+/root/repo/target/release/deps/libseculator_sim-328df7cb9c62a10c.rlib: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs
+
+/root/repo/target/release/deps/libseculator_sim-328df7cb9c62a10c.rmeta: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/address.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/global_buffer.rs:
+crates/sim/src/reuse.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/systolic.rs:

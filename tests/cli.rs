@@ -19,7 +19,10 @@ fn run_subcommand_reports_cycles_and_traffic() {
     let (ok, stdout, _) = run(&["run", "--network", "tiny", "--scheme", "seculator"]);
     assert!(ok);
     assert!(stdout.contains("cycles"));
-    assert!(stdout.contains("0.0% metadata"), "seculator is metadata-free: {stdout}");
+    assert!(
+        stdout.contains("0.0% metadata"),
+        "seculator is metadata-free: {stdout}"
+    );
 }
 
 #[test]
@@ -37,6 +40,17 @@ fn attack_subcommand_detects_everything() {
     assert!(ok);
     assert_eq!(stdout.matches("detected:").count(), 3, "{stdout}");
     assert!(!stdout.contains("NOT DETECTED"), "{stdout}");
+}
+
+#[test]
+fn fault_campaign_subcommand_passes_and_is_deterministic() {
+    let (ok, stdout, _) = run(&["fault-campaign", "--seed", "42", "--faults", "13"]);
+    assert!(ok, "campaign must exit 0 on PASS: {stdout}");
+    assert!(stdout.contains("detection rate      : 100.0%"), "{stdout}");
+    assert!(stdout.contains("false positives     : 0"), "{stdout}");
+    assert!(stdout.contains("verdict             : PASS"), "{stdout}");
+    let (_, again, _) = run(&["fault-campaign", "--seed", "42", "--faults", "13"]);
+    assert_eq!(stdout, again, "same seed, same report");
 }
 
 #[test]

@@ -22,7 +22,10 @@ fn tamper_outcome() -> Outcome {
     let mut tnpu = TnpuMemory::new(DeviceSecret::from_seed(1), 1);
     tnpu.write(0x80, &[5; 64], false);
     tnpu.tamper(0x80, 1, 1);
-    Outcome { sgx_detects: sgx.read(0x80).is_err(), tnpu_detects: tnpu.read(0x80).is_err() }
+    Outcome {
+        sgx_detects: sgx.read(0x80).is_err(),
+        tnpu_detects: tnpu.read(0x80).is_err(),
+    }
 }
 
 fn replay_outcome() -> Outcome {
@@ -38,13 +41,22 @@ fn replay_outcome() -> Outcome {
     tnpu.write(0x40, &[2; 64], true); // tile VN bump
     tnpu.replay(0x40, stale_tnpu);
 
-    Outcome { sgx_detects: sgx.read(0x40).is_err(), tnpu_detects: tnpu.read(0x40).is_err() }
+    Outcome {
+        sgx_detects: sgx.read(0x40).is_err(),
+        tnpu_detects: tnpu.read(0x40).is_err(),
+    }
 }
 
 #[test]
 fn all_functional_schemes_detect_tampering() {
     let o = tamper_outcome();
-    assert_eq!(o, Outcome { sgx_detects: true, tnpu_detects: true });
+    assert_eq!(
+        o,
+        Outcome {
+            sgx_detects: true,
+            tnpu_detects: true
+        }
+    );
     // Seculator's detection of the same class is covered by
     // integration_security.rs; assert it here too for the side-by-side.
     use seculator::arch::dataflow::{ConvDataflow, Dataflow};
@@ -56,18 +68,32 @@ fn all_functional_schemes_detect_tampering() {
     let schedules = vec![LayerSchedule::new(
         layer,
         Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
-        TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 },
+        TileConfig {
+            kt: 4,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        },
     )
     .unwrap()];
     let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(1), 1);
-    npu.inject(Attack::TamperOfmap { layer_id: 0, block_index: 0 });
+    npu.inject(Attack::TamperOfmap {
+        layer_id: 0,
+        block_index: 0,
+    });
     assert!(npu.run(&schedules).is_err());
 }
 
 #[test]
 fn all_functional_schemes_detect_consistent_pair_replay() {
     let o = replay_outcome();
-    assert_eq!(o, Outcome { sgx_detects: true, tnpu_detects: true });
+    assert_eq!(
+        o,
+        Outcome {
+            sgx_detects: true,
+            tnpu_detects: true
+        }
+    );
 }
 
 #[test]
@@ -95,7 +121,11 @@ fn metadata_budgets_differ_by_orders_of_magnitude() {
         tnpu.write(i * 64, &[1; 64], false);
     }
     let seculator = seculator::core::storage::seculator_footprint(&[]).total();
-    assert!(sgx.metadata_bytes() > 50 * seculator, "{}", sgx.metadata_bytes());
+    assert!(
+        sgx.metadata_bytes() > 50 * seculator,
+        "{}",
+        sgx.metadata_bytes()
+    );
     assert!(
         tnpu.tensor_table_bytes() > seculator / 4,
         "even just the live tensor table rivals all of Seculator's registers"

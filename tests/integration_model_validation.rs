@@ -11,7 +11,11 @@ use seculator::sim::systolic::SystolicArray;
 
 #[test]
 fn analytical_gemm_cycles_match_the_cycle_stepped_grid() {
-    let cfg = NpuConfig { pe_rows: 8, pe_cols: 8, ..NpuConfig::paper() };
+    let cfg = NpuConfig {
+        pe_rows: 8,
+        pe_cols: 8,
+        ..NpuConfig::paper()
+    };
     let model = SystolicArray::new(&cfg);
     for (m, k, n) in [(8u64, 16u64, 8u64), (16, 32, 16), (8, 100, 8), (24, 10, 24)] {
         let mut grid = SystolicGrid::new(8, 8);
@@ -23,7 +27,10 @@ fn analytical_gemm_cycles_match_the_cycle_stepped_grid() {
         // charges (k + rows + cols − 2) per patch.
         let patches = m.div_ceil(8) * n.div_ceil(8);
         let grid_formula = patches * (k + 8 + 8 - 2);
-        assert_eq!(measured, grid_formula, "grid model self-consistency ({m},{k},{n})");
+        assert_eq!(
+            measured, grid_formula,
+            "grid model self-consistency ({m},{k},{n})"
+        );
         // The simulator's coarser formula must agree within the
         // fill/drain constant per patch (2 cycles here).
         let analytical = model.gemm_cycles(m, k, n);
@@ -39,7 +46,11 @@ fn analytical_gemm_cycles_match_the_cycle_stepped_grid() {
 fn step_cycles_lower_bound_holds_against_real_execution() {
     // The per-step model is a throughput bound: macs / PEs + fill. A real
     // GEMM of the same MAC count on the grid can never finish faster.
-    let cfg = NpuConfig { pe_rows: 8, pe_cols: 8, ..NpuConfig::paper() };
+    let cfg = NpuConfig {
+        pe_rows: 8,
+        pe_cols: 8,
+        ..NpuConfig::paper()
+    };
     let model = SystolicArray::new(&cfg);
     let (m, k, n) = (16usize, 24usize, 16usize);
     let macs = (m * k * n) as u64;

@@ -27,13 +27,16 @@ fn host_drives_a_full_network_through_the_protocol() {
     .expect("load model");
     let mut prev_vn = 1;
     for s in &schedules {
-        let configure =
-            HostChannel::configure_layer(s.layer().id, s.write_pattern(), prev_vn);
+        let configure = HostChannel::configure_layer(s.layer().id, s.write_pattern(), prev_vn);
         npu.receive(&host.send(configure)).expect("configure");
-        npu.receive(&host.send(Command::RunLayer { layer_id: s.layer().id })).expect("run");
+        npu.receive(&host.send(Command::RunLayer {
+            layer_id: s.layer().id,
+        }))
+        .expect("run");
         prev_vn = s.write_pattern().final_vn();
     }
-    npu.receive(&host.send(Command::Finalize)).expect("finalize");
+    npu.receive(&host.send(Command::Finalize))
+        .expect("finalize");
     assert_eq!(npu.layers_run() as usize, schedules.len());
 }
 
@@ -43,15 +46,27 @@ fn man_in_the_middle_on_the_command_bus_is_rejected() {
     let mut host = HostChannel::new(key);
     let mut npu = NpuCommandProcessor::new(key);
 
-    let mut msg = host.send(Command::LoadModel { layers: 3, weight_base: 0 });
+    let mut msg = host.send(Command::LoadModel {
+        layers: 3,
+        weight_base: 0,
+    });
     // The attacker rewrites the triplet to weaken the VN pattern.
-    msg.command = Command::LoadModel { layers: 1, weight_base: 0 };
-    assert!(npu.receive(&msg).is_err(), "tampered command must not execute");
+    msg.command = Command::LoadModel {
+        layers: 1,
+        weight_base: 0,
+    };
+    assert!(
+        npu.receive(&msg).is_err(),
+        "tampered command must not execute"
+    );
     // The unmodified original still goes through afterwards.
     let msg = host.send(Command::Finalize);
     // (sequence 1 now, since send() advanced; re-sync by accepting 0 first)
     let mut host2 = HostChannel::new(key);
-    let ok = host2.send(Command::LoadModel { layers: 3, weight_base: 0 });
+    let ok = host2.send(Command::LoadModel {
+        layers: 3,
+        weight_base: 0,
+    });
     npu.receive(&ok).expect("genuine command");
     let _ = msg;
 }
@@ -62,7 +77,12 @@ fn storage_gap_holds_for_every_paper_benchmark() {
     for net in zoo::paper_benchmarks() {
         let schedules = npu.map(&net).expect("maps");
         let rows = table7_rows(&schedules);
-        let seculator = rows.iter().find(|(n, _)| *n == "seculator").unwrap().1.total();
+        let seculator = rows
+            .iter()
+            .find(|(n, _)| *n == "seculator")
+            .unwrap()
+            .1
+            .total();
         for (name, f) in &rows {
             if *name != "seculator" {
                 assert!(
@@ -84,7 +104,10 @@ fn both_functional_datapaths_detect_the_same_tamper() {
     let mut sgx = SgxMemory::new(DeviceSecret::from_seed(9), 1, 8);
     sgx.write(0x100, &[7; 64]);
     sgx.tamper(0x100, 3, 3);
-    assert!(sgx.read(0x100).is_err(), "sgx-style datapath detects tampering");
+    assert!(
+        sgx.read(0x100).is_err(),
+        "sgx-style datapath detects tampering"
+    );
 
     // Seculator layer-level scheme (via the attack-injection harness).
     use seculator::arch::dataflow::{ConvDataflow, Dataflow};
@@ -96,12 +119,23 @@ fn both_functional_datapaths_detect_the_same_tamper() {
     let schedules = vec![LayerSchedule::new(
         layer,
         Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
-        TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 },
+        TileConfig {
+            kt: 4,
+            ct: 2,
+            ht: 8,
+            wt: 8,
+        },
     )
     .expect("resolves")];
     let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(9), 1);
-    npu.inject(Attack::TamperOfmap { layer_id: 0, block_index: 0 });
-    assert!(npu.run(&schedules).is_err(), "seculator datapath detects tampering");
+    npu.inject(Attack::TamperOfmap {
+        layer_id: 0,
+        block_index: 0,
+    });
+    assert!(
+        npu.run(&schedules).is_err(),
+        "seculator datapath detects tampering"
+    );
 }
 
 #[test]

@@ -12,7 +12,12 @@ use seculator::core::{Attack, FunctionalNpu, SecurityError};
 use seculator::crypto::DeviceSecret;
 
 fn network_schedules(depth: u32, df: ConvDataflow) -> Vec<LayerSchedule> {
-    let tiling = TileConfig { kt: 4, ct: 2, ht: 8, wt: 8 };
+    let tiling = TileConfig {
+        kt: 4,
+        ct: 2,
+        ht: 8,
+        wt: 8,
+    };
     (0..depth)
         .map(|i| {
             // Alternate 8→8 channel layers so ofmap/ifmap chain exactly.
@@ -32,7 +37,9 @@ fn clean_runs_verify_for_all_accumulating_dataflows() {
     ] {
         let schedules = network_schedules(3, df);
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(11), 5);
-        let report = npu.run(&schedules).unwrap_or_else(|e| panic!("{df:?}: {e}"));
+        let report = npu
+            .run(&schedules)
+            .unwrap_or_else(|e| panic!("{df:?}: {e}"));
         assert!(report.blocks_written > 0);
         assert_eq!(report.layers_verified, 3, "every layer boundary check ran");
     }
@@ -43,7 +50,8 @@ fn clean_runs_verify_for_single_write_dataflows() {
     for df in [ConvDataflow::IrFullChannel, ConvDataflow::OrPartialChannel] {
         let schedules = network_schedules(3, df);
         let mut npu = FunctionalNpu::new(DeviceSecret::from_seed(12), 6);
-        npu.run(&schedules).unwrap_or_else(|e| panic!("{df:?}: {e}"));
+        npu.run(&schedules)
+            .unwrap_or_else(|e| panic!("{df:?}: {e}"));
     }
 }
 
@@ -119,10 +127,16 @@ proptest! {
 #[test]
 fn runs_are_deterministic_per_nonce_and_fresh_per_execution() {
     let schedules = network_schedules(2, ConvDataflow::IrMultiChannelAlongChannel);
-    let r1 = FunctionalNpu::new(DeviceSecret::from_seed(31), 12).run(&schedules).unwrap();
-    let r2 = FunctionalNpu::new(DeviceSecret::from_seed(31), 12).run(&schedules).unwrap();
+    let r1 = FunctionalNpu::new(DeviceSecret::from_seed(31), 12)
+        .run(&schedules)
+        .unwrap();
+    let r2 = FunctionalNpu::new(DeviceSecret::from_seed(31), 12)
+        .run(&schedules)
+        .unwrap();
     assert_eq!(r1, r2, "same secret + nonce must reproduce the run exactly");
     // A different execution nonce re-keys the session but still verifies.
-    let r3 = FunctionalNpu::new(DeviceSecret::from_seed(31), 13).run(&schedules).unwrap();
+    let r3 = FunctionalNpu::new(DeviceSecret::from_seed(31), 13)
+        .run(&schedules)
+        .unwrap();
     assert_eq!(r1.blocks_written, r3.blocks_written);
 }

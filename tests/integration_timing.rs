@@ -11,7 +11,9 @@ use seculator::sim::config::NpuConfig;
 fn paper_benchmarks_all_map_onto_the_global_buffer() {
     let npu = TimingNpu::new(NpuConfig::paper());
     for net in zoo::paper_benchmarks() {
-        let schedules = npu.map(&net).unwrap_or_else(|e| panic!("{}: {e}", net.name));
+        let schedules = npu
+            .map(&net)
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name));
         assert_eq!(schedules.len(), net.depth());
         for s in &schedules {
             assert!(
@@ -40,15 +42,29 @@ fn figure7_ordering_holds_on_every_benchmark() {
                 ],
             )
             .expect("maps");
-        let cycles: std::collections::HashMap<&str, u64> =
-            runs.iter().map(|r| (r.scheme.as_str(), r.total_cycles())).collect();
+        let cycles: std::collections::HashMap<&str, u64> = runs
+            .iter()
+            .map(|r| (r.scheme.as_str(), r.total_cycles()))
+            .collect();
         // Paper Figure 7: baseline ≥ Seculator > TNPU > Secure? No —
         // baseline > Seculator > TNPU ≈ Secure > GuardNN, with TNPU
         // slightly ahead of Secure.
         assert!(cycles["baseline"] <= cycles["seculator"], "{}", net.name);
-        assert!(cycles["seculator"] < cycles["tnpu"], "{}: {cycles:?}", net.name);
-        assert!(cycles["tnpu"] <= cycles["secure"], "{}: {cycles:?}", net.name);
-        assert!(cycles["secure"] < cycles["guardnn"], "{}: {cycles:?}", net.name);
+        assert!(
+            cycles["seculator"] < cycles["tnpu"],
+            "{}: {cycles:?}",
+            net.name
+        );
+        assert!(
+            cycles["tnpu"] <= cycles["secure"],
+            "{}: {cycles:?}",
+            net.name
+        );
+        assert!(
+            cycles["secure"] < cycles["guardnn"],
+            "{}: {cycles:?}",
+            net.name
+        );
     }
 }
 
@@ -58,12 +74,12 @@ fn seculator_speedup_over_tnpu_is_in_the_papers_band() {
     let npu = TimingNpu::new(NpuConfig::paper());
     let mut ratios = Vec::new();
     for net in zoo::paper_benchmarks() {
-        let runs =
-            npu.compare_schemes(&net, &[SchemeKind::Tnpu, SchemeKind::Seculator]).expect("maps");
+        let runs = npu
+            .compare_schemes(&net, &[SchemeKind::Tnpu, SchemeKind::Seculator])
+            .expect("maps");
         ratios.push(runs[0].total_cycles() as f64 / runs[1].total_cycles() as f64);
     }
-    let geomean =
-        (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     assert!(
         (1.08..=1.30).contains(&geomean),
         "Seculator/TNPU speedup {geomean:.3} outside the paper's band"
@@ -77,11 +93,18 @@ fn figure8_traffic_ordering_holds_on_every_benchmark() {
         let runs = npu
             .compare_schemes(
                 &net,
-                &[SchemeKind::Baseline, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::Seculator],
+                &[
+                    SchemeKind::Baseline,
+                    SchemeKind::Tnpu,
+                    SchemeKind::GuardNn,
+                    SchemeKind::Seculator,
+                ],
             )
             .expect("maps");
-        let bytes: std::collections::HashMap<&str, u64> =
-            runs.iter().map(|r| (r.scheme.as_str(), r.total_dram_bytes())).collect();
+        let bytes: std::collections::HashMap<&str, u64> = runs
+            .iter()
+            .map(|r| (r.scheme.as_str(), r.total_dram_bytes()))
+            .collect();
         assert_eq!(
             bytes["seculator"], bytes["baseline"],
             "{}: Seculator must add zero DRAM traffic",
@@ -127,8 +150,14 @@ fn figure9_widening_grows_latency_monotonically() {
     let mut last = 0u64;
     for width in [32u32, 64, 128, 192] {
         let net = widen_network(&base, width, 32);
-        let cycles = npu.run(&net, SchemeKind::SeculatorPlus).expect("maps").total_cycles();
-        assert!(cycles > last, "widening to {width} must cost more ({cycles} vs {last})");
+        let cycles = npu
+            .run(&net, SchemeKind::SeculatorPlus)
+            .expect("maps")
+            .total_cycles();
+        assert!(
+            cycles > last,
+            "widening to {width} must cost more ({cycles} vs {last})"
+        );
         last = cycles;
     }
 }
@@ -137,10 +166,16 @@ fn figure9_widening_grows_latency_monotonically() {
 fn figure9_seculator_plus_widens_cheapest_in_absolute_terms() {
     let npu = TimingNpu::new(NpuConfig::paper());
     let net = widen_network(&zoo::tiny_cnn(), 192, 32);
-    let schemes =
-        [SchemeKind::Secure, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::SeculatorPlus];
-    let cycles: Vec<u64> =
-        schemes.iter().map(|s| npu.run(&net, *s).expect("maps").total_cycles()).collect();
+    let schemes = [
+        SchemeKind::Secure,
+        SchemeKind::Tnpu,
+        SchemeKind::GuardNn,
+        SchemeKind::SeculatorPlus,
+    ];
+    let cycles: Vec<u64> = schemes
+        .iter()
+        .map(|s| npu.run(&net, *s).expect("maps").total_cycles())
+        .collect();
     let seculator_plus = cycles[3];
     for (s, c) in schemes.iter().zip(&cycles).take(3) {
         assert!(
@@ -154,11 +189,28 @@ fn figure9_seculator_plus_widens_cheapest_in_absolute_terms() {
 #[test]
 fn bigger_global_buffer_never_increases_mapped_traffic() {
     let net = zoo::resnet18();
-    let small = TimingNpu::new(NpuConfig { global_buffer_bytes: 64 * 1024, ..NpuConfig::paper() });
-    let large = TimingNpu::new(NpuConfig { global_buffer_bytes: 512 * 1024, ..NpuConfig::paper() });
-    let t_small: u64 =
-        small.map(&net).expect("maps").iter().map(|s| s.traffic().total()).sum();
-    let t_large: u64 =
-        large.map(&net).expect("maps").iter().map(|s| s.traffic().total()).sum();
-    assert!(t_large <= t_small, "larger buffer found worse mapping: {t_large} > {t_small}");
+    let small = TimingNpu::new(NpuConfig {
+        global_buffer_bytes: 64 * 1024,
+        ..NpuConfig::paper()
+    });
+    let large = TimingNpu::new(NpuConfig {
+        global_buffer_bytes: 512 * 1024,
+        ..NpuConfig::paper()
+    });
+    let t_small: u64 = small
+        .map(&net)
+        .expect("maps")
+        .iter()
+        .map(|s| s.traffic().total())
+        .sum();
+    let t_large: u64 = large
+        .map(&net)
+        .expect("maps")
+        .iter()
+        .map(|s| s.traffic().total())
+        .sum();
+    assert!(
+        t_large <= t_small,
+        "larger buffer found worse mapping: {t_large} > {t_small}"
+    );
 }

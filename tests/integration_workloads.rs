@@ -14,7 +14,6 @@ fn all_workloads() -> Vec<Network> {
     vec![
         transformer_block(128, 256),
         bert_base(2, 128, 256), // two blocks keep the test fast
-
         lstm(4, 128, 256),
         gan_generator(100),
         gan_discriminator(),
@@ -32,7 +31,12 @@ fn every_auxiliary_workload_maps_and_runs() {
         assert!(stats.total_cycles() > 0, "{}", net.name);
         assert_eq!(stats.layers.len(), net.depth(), "{}", net.name);
         let d = stats.dram_totals();
-        assert_eq!(d.meta_read_bytes + d.meta_write_bytes, 0, "{}: seculator is metadata-free", net.name);
+        assert_eq!(
+            d.meta_read_bytes + d.meta_write_bytes,
+            0,
+            "{}: seculator is metadata-free",
+            net.name
+        );
     }
 }
 
@@ -43,14 +47,29 @@ fn ordering_holds_beyond_cnns() {
         let runs = npu
             .compare_schemes(
                 &net,
-                &[SchemeKind::Baseline, SchemeKind::Tnpu, SchemeKind::GuardNn, SchemeKind::Seculator],
+                &[
+                    SchemeKind::Baseline,
+                    SchemeKind::Tnpu,
+                    SchemeKind::GuardNn,
+                    SchemeKind::Seculator,
+                ],
             )
             .unwrap_or_else(|e| panic!("{}: {e}", net.name));
-        let cycles: std::collections::HashMap<&str, u64> =
-            runs.iter().map(|r| (r.scheme.as_str(), r.total_cycles())).collect();
+        let cycles: std::collections::HashMap<&str, u64> = runs
+            .iter()
+            .map(|r| (r.scheme.as_str(), r.total_cycles()))
+            .collect();
         assert!(cycles["baseline"] <= cycles["seculator"], "{}", net.name);
-        assert!(cycles["seculator"] < cycles["tnpu"], "{}: {cycles:?}", net.name);
-        assert!(cycles["tnpu"] < cycles["guardnn"], "{}: {cycles:?}", net.name);
+        assert!(
+            cycles["seculator"] < cycles["tnpu"],
+            "{}: {cycles:?}",
+            net.name
+        );
+        assert!(
+            cycles["tnpu"] < cycles["guardnn"],
+            "{}: {cycles:?}",
+            net.name
+        );
     }
 }
 
@@ -86,8 +105,14 @@ fn preprocessing_is_the_worst_case_for_per_block_schemes() {
     // penalty than compute-heavy CNN layers do.
     let npu = TimingNpu::new(NpuConfig::paper());
     let runs = npu
-        .compare_schemes(&preproc_pipeline(3, 256), &[SchemeKind::Baseline, SchemeKind::GuardNn])
+        .compare_schemes(
+            &preproc_pipeline(3, 256),
+            &[SchemeKind::Baseline, SchemeKind::GuardNn],
+        )
         .expect("maps");
     let penalty = runs[1].traffic_vs(&runs[0]);
-    assert!(penalty > 1.3, "streaming pipeline must amplify metadata cost, got {penalty}");
+    assert!(
+        penalty > 1.3,
+        "streaming pipeline must amplify metadata cost, got {penalty}"
+    );
 }

@@ -12,11 +12,18 @@ use seculator::arch::trace::{AccessOp, LayerSchedule, TensorClass};
 use std::collections::HashSet;
 
 fn network(depth: u32, df: ConvDataflow, channels: u32) -> Vec<LayerSchedule> {
-    let tiling = TileConfig { kt: channels.min(4), ct: channels.min(2), ht: 8, wt: 8 };
+    let tiling = TileConfig {
+        kt: channels.min(4),
+        ct: channels.min(2),
+        ht: 8,
+        wt: 8,
+    };
     (0..depth)
         .map(|i| {
-            let layer =
-                LayerDesc::new(i, LayerKind::Conv(ConvShape::simple(channels, channels, 16, 3)));
+            let layer = LayerDesc::new(
+                i,
+                LayerKind::Conv(ConvShape::simple(channels, channels, 16, 3)),
+            );
             LayerSchedule::new(layer, Dataflow::Conv(df), tiling).expect("resolves")
         })
         .collect()
@@ -39,7 +46,7 @@ proptest! {
             // Each layer's ofmap is a distinct tensor → distinct fmap id.
             let fmap_id = li as u32;
             let ofmap_tile_b = s.ofmap_tile_bytes();
-            let bpt = (ofmap_tile_b + 63) / 64;
+            let bpt = ofmap_tile_b.div_ceil(64);
             s.for_each_step(|step| {
                 for a in &step.accesses {
                     if a.tensor == TensorClass::Ofmap && a.op == AccessOp::Write {
