@@ -239,6 +239,14 @@ pub enum RecoveryAction {
     ReExecute,
     /// Every recovery avenue was exhausted; the inference was aborted.
     Abort,
+    /// The run was resumed from the layer-commit journal after a power
+    /// loss ([`crate::secure_infer::infer_resume`]); the audit trail is
+    /// stitched across the crash by this record.
+    Resume,
+    /// A journaled layer's output failed re-verification during resume
+    /// (stale or tampered ciphertext); the resume point was rolled back
+    /// one committed record.
+    Rollback,
 }
 
 impl RecoveryAction {
@@ -249,6 +257,8 @@ impl RecoveryAction {
             Self::Refetch => "refetch",
             Self::ReExecute => "re-execute",
             Self::Abort => "abort",
+            Self::Resume => "resume",
+            Self::Rollback => "rollback",
         }
     }
 }
@@ -307,6 +317,43 @@ impl IncidentLog {
         self.count(RecoveryAction::ReExecute)
     }
 
+    /// Number of crash-resume events stitched into this log.
+    #[must_use]
+    pub fn resumes(&self) -> u32 {
+        self.count(RecoveryAction::Resume)
+    }
+
+    /// Number of journal-record rollbacks during resume (stale or
+    /// tampered committed ciphertext rejected).
+    #[must_use]
+    pub fn rollbacks(&self) -> u32 {
+        self.count(RecoveryAction::Rollback)
+    }
+
+    /// Machine-readable summary of the recovery ladder: retry counts per
+    /// rung plus the modeled per-rung latency from `cost` over a tensor
+    /// of `tensor_blocks` 64-byte blocks. This is the structured
+    /// counterpart of [`IncidentLog::summary`], meant for serving-layer
+    /// telemetry rather than humans.
+    #[must_use]
+    pub fn ladder_summary(
+        &self,
+        cost: &crate::detection::RecoveryCost,
+        tensor_blocks: u64,
+    ) -> LadderSummary {
+        let refetches = self.refetches();
+        let reexecutions = self.reexecutions();
+        LadderSummary {
+            refetches,
+            reexecutions,
+            resumes: self.resumes(),
+            rollbacks: self.rollbacks(),
+            aborted: self.aborted(),
+            refetch_cycles: cost.refetch_cycles(refetches, tensor_blocks),
+            reexecution_cycles: cost.reexecution_cycles(reexecutions, tensor_blocks),
+        }
+    }
+
     /// True when the run ended in an abort.
     #[must_use]
     pub fn aborted(&self) -> bool {
@@ -337,6 +384,54 @@ impl IncidentLog {
         }
         out.pop();
         out
+    }
+}
+
+/// Machine-readable recovery-ladder summary: retry counts per rung and
+/// the modeled latency each rung cost, serialized with
+/// [`LadderSummary::to_json`] for log pipelines (the serde shim in this
+/// offline build does not serialize, so the JSON is emitted directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderSummary {
+    /// Re-fetch recoveries taken.
+    pub refetches: u32,
+    /// Layer re-executions taken.
+    pub reexecutions: u32,
+    /// Crash-resume events stitched into the log.
+    pub resumes: u32,
+    /// Journal rollbacks during resume.
+    pub rollbacks: u32,
+    /// Whether the run ended in a graceful abort.
+    pub aborted: bool,
+    /// Modeled cycles spent on the re-fetch rung.
+    pub refetch_cycles: u64,
+    /// Modeled cycles spent on the re-execution rung.
+    pub reexecution_cycles: u64,
+}
+
+impl LadderSummary {
+    /// Total modeled recovery latency across all rungs.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.refetch_cycles + self.reexecution_cycles
+    }
+
+    /// Serializes the summary as one JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"refetches\":{},\"reexecutions\":{},\"resumes\":{},\"rollbacks\":{},\
+             \"aborted\":{},\"refetch_cycles\":{},\"reexecution_cycles\":{},\
+             \"total_cycles\":{}}}",
+            self.refetches,
+            self.reexecutions,
+            self.resumes,
+            self.rollbacks,
+            self.aborted,
+            self.refetch_cycles,
+            self.reexecution_cycles,
+            self.total_cycles()
+        )
     }
 }
 
@@ -413,6 +508,49 @@ mod tests {
         assert_eq!(log.reexecutions(), 1);
         assert!(log.aborted());
         assert!(log.summary().contains("re-execute"));
+    }
+
+    #[test]
+    fn ladder_summary_is_machine_readable_json() {
+        use crate::detection::RecoveryCost;
+        use crate::error::SecurityError;
+        let mut log = IncidentLog::new();
+        for action in [
+            RecoveryAction::Refetch,
+            RecoveryAction::Refetch,
+            RecoveryAction::ReExecute,
+            RecoveryAction::Resume,
+            RecoveryAction::Rollback,
+        ] {
+            log.push(IncidentRecord {
+                layer_id: 2,
+                attempt: 0,
+                action,
+                cause: SecurityError::LayerIntegrity { layer_id: 2 },
+            });
+        }
+        let cost = RecoveryCost::default();
+        let s = log.ladder_summary(&cost, 64);
+        assert_eq!(s.refetches, 2);
+        assert_eq!(s.reexecutions, 1);
+        assert_eq!(s.resumes, 1);
+        assert_eq!(s.rollbacks, 1);
+        assert!(!s.aborted);
+        assert_eq!(s.refetch_cycles, 2 * 64 * cost.refetch_cycles_per_block);
+        assert_eq!(s.reexecution_cycles, 64 * cost.reexecute_cycles_per_block);
+        assert_eq!(s.total_cycles(), s.refetch_cycles + s.reexecution_cycles);
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            format!(
+                "{{\"refetches\":2,\"reexecutions\":1,\"resumes\":1,\"rollbacks\":1,\
+                 \"aborted\":false,\"refetch_cycles\":{},\"reexecution_cycles\":{},\
+                 \"total_cycles\":{}}}",
+                s.refetch_cycles,
+                s.reexecution_cycles,
+                s.total_cycles()
+            )
+        );
     }
 
     #[test]

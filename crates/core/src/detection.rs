@@ -177,13 +177,26 @@ impl Default for RecoveryCost {
 }
 
 impl RecoveryCost {
+    /// Latency of the re-fetch rung alone (feeds the per-rung breakdown
+    /// of [`crate::audit::LadderSummary`]).
+    #[must_use]
+    pub fn refetch_cycles(&self, refetches: u32, tensor_blocks: u64) -> u64 {
+        u64::from(refetches) * tensor_blocks * self.refetch_cycles_per_block
+    }
+
+    /// Latency of the re-execution rung alone.
+    #[must_use]
+    pub fn reexecution_cycles(&self, reexecutions: u32, tensor_blocks: u64) -> u64 {
+        u64::from(reexecutions) * tensor_blocks * self.reexecute_cycles_per_block
+    }
+
     /// Total recovery latency for a run that spent `refetches` re-fetch
     /// passes and `reexecutions` layer re-executions over a tensor of
     /// `tensor_blocks` blocks.
     #[must_use]
     pub fn cycles(&self, refetches: u32, reexecutions: u32, tensor_blocks: u64) -> u64 {
-        u64::from(refetches) * tensor_blocks * self.refetch_cycles_per_block
-            + u64::from(reexecutions) * tensor_blocks * self.reexecute_cycles_per_block
+        self.refetch_cycles(refetches, tensor_blocks)
+            + self.reexecution_cycles(reexecutions, tensor_blocks)
     }
 }
 

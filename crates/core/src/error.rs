@@ -67,6 +67,30 @@ pub enum SecurityError {
         /// The structure that does not exist.
         structure: &'static str,
     },
+    /// A layer-commit journal record failed its integrity tag, carried a
+    /// bad magic/sequence number, or was internally inconsistent — the
+    /// journal was tampered with (or belongs to a different execution)
+    /// and must not be trusted for resume.
+    JournalIntegrity {
+        /// Index of the offending record in the journal.
+        record: u32,
+    },
+    /// The inference was interrupted by a power loss (recorded in the
+    /// resumed run's audit trail to stitch the log across the crash).
+    /// Not a breach: the adversary gains nothing from cutting power.
+    PowerInterrupted {
+        /// Layer that was executing when power was cut.
+        layer_id: u32,
+    },
+    /// The datapath-level reuse detector observed a second encryption
+    /// under an already-used (epoch, counter) pair — a freshness
+    /// violation that must abort the run before ciphertext is released.
+    CounterReuse {
+        /// Nonce epoch in which the reuse occurred.
+        epoch: u32,
+        /// Layer that attempted the reused encryption.
+        layer_id: u32,
+    },
 }
 
 impl SecurityError {
@@ -81,6 +105,8 @@ impl SecurityError {
                 | Self::WeightIntegrity { .. }
                 | Self::OutputIntegrity
                 | Self::RecoveryExhausted { .. }
+                | Self::JournalIntegrity { .. }
+                | Self::CounterReuse { .. }
         )
     }
 }
@@ -124,6 +150,22 @@ impl std::fmt::Display for SecurityError {
             Self::MetadataStructureMissing { scheme, structure } => {
                 write!(f, "scheme {scheme} has no {structure}")
             }
+            Self::JournalIntegrity { record } => {
+                write!(f, "journal record {record} failed integrity verification")
+            }
+            Self::PowerInterrupted { layer_id } => {
+                write!(
+                    f,
+                    "power lost during layer {layer_id}; resumed from journal"
+                )
+            }
+            Self::CounterReuse { epoch, layer_id } => {
+                write!(
+                    f,
+                    "counter reuse detected in epoch {epoch} at layer {layer_id}; \
+                     inference aborted before ciphertext release"
+                )
+            }
         }
     }
 }
@@ -144,6 +186,13 @@ mod tests {
             reexecutions: 3
         }
         .is_breach());
+        assert!(SecurityError::JournalIntegrity { record: 0 }.is_breach());
+        assert!(SecurityError::CounterReuse {
+            epoch: 1,
+            layer_id: 0
+        }
+        .is_breach());
+        assert!(!SecurityError::PowerInterrupted { layer_id: 1 }.is_breach());
         assert!(!SecurityError::VnExhausted {
             layer_id: 0,
             write: true

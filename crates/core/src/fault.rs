@@ -194,7 +194,7 @@ pub struct FaultInjector {
 
 /// splitmix64 — tiny, deterministic, and plenty for picking bit
 /// positions.
-fn splitmix(state: &mut u64) -> u64 {
+pub(crate) fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -364,6 +364,152 @@ impl FaultInjector {
                 }
             }
             self.injections += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Power-loss injection
+// ---------------------------------------------------------------------------
+
+/// Execution phase during which power can be cut. The journaled driver
+/// ([`crate::secure_infer::infer_journaled`]) ticks the [`CrashClock`]
+/// once per unit of forward progress in each phase, so a cut point
+/// addresses *any* interruptible instant: mid-tile, mid-MAC-update,
+/// mid-journal-append, or mid-resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPhase {
+    /// MAC-accumulating a tile's arithmetic into the partial sums.
+    Compute,
+    /// Evicting an encrypted partial-version ofmap block.
+    PartialEvict,
+    /// Reading a partial-version block back for further accumulation.
+    ReadBack,
+    /// Evicting a final-version (consumer-visible) ofmap block.
+    FinalEvict,
+    /// The consumer layer's first-read pass over this layer's output.
+    Consume,
+    /// Appending one chunk of a layer-commit journal record.
+    JournalAppend,
+    /// Re-verifying a journaled commit during crash recovery (a crash
+    /// here is a crash *during recovery*).
+    ResumeVerify,
+}
+
+impl CrashPhase {
+    /// All phases.
+    pub const ALL: [Self; 7] = [
+        Self::Compute,
+        Self::PartialEvict,
+        Self::ReadBack,
+        Self::FinalEvict,
+        Self::Consume,
+        Self::JournalAppend,
+        Self::ResumeVerify,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Compute => "compute",
+            Self::PartialEvict => "partial-evict",
+            Self::ReadBack => "read-back",
+            Self::FinalEvict => "final-evict",
+            Self::Consume => "consume",
+            Self::JournalAppend => "journal-append",
+            Self::ResumeVerify => "resume-verify",
+        }
+    }
+}
+
+/// A power cut, reported by the [`CrashClock`] at the instant it fires.
+/// Unlike the corruption faults above, a power loss is not adversarial
+/// data tampering — it tears volatile state (MAC registers, VN-FSM,
+/// unwritten journal bytes) and the recovery path must rebuild a safe
+/// state from the journal alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLoss {
+    /// Layer that was executing when power was cut.
+    pub layer: u32,
+    /// What the datapath was doing at that instant.
+    pub phase: CrashPhase,
+    /// Global step index at which the cut fired.
+    pub step: u64,
+}
+
+impl std::fmt::Display for PowerLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "power loss at step {} (layer {}, {})",
+            self.step,
+            self.layer,
+            self.phase.name()
+        )
+    }
+}
+
+/// Deterministic power-cut driver. One `tick` = one unit of forward
+/// progress. Two modes:
+///
+/// - **Counting** ([`CrashClock::counting`]): never fires; after a full
+///   uninterrupted run, [`CrashClock::steps`] is the total number of
+///   interruptible instants `S` — the campaign's cut-point space.
+/// - **Armed** ([`CrashClock::armed`]): fires [`PowerLoss`] exactly when
+///   the step counter reaches the chosen cut, simulating the instant the
+///   capacitors drain.
+///
+/// Because the driver threads *every* stateful operation through the
+/// clock (including individual journal-append chunks), an armed clock
+/// can cut execution anywhere — which is what makes torn journal
+/// records reachable by the campaign rather than only by hand-crafted
+/// tests.
+#[derive(Debug, Clone)]
+pub struct CrashClock {
+    step: u64,
+    cut: Option<u64>,
+}
+
+impl CrashClock {
+    /// A clock that only counts steps (calibration pass).
+    #[must_use]
+    pub fn counting() -> Self {
+        Self { step: 0, cut: None }
+    }
+
+    /// A clock that cuts power at step `cut` (0-based).
+    #[must_use]
+    pub fn armed(cut: u64) -> Self {
+        Self {
+            step: 0,
+            cut: Some(cut),
+        }
+    }
+
+    /// Steps elapsed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Advances one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PowerLoss`] when an armed clock reaches its cut
+    /// point; the caller must stop all work immediately (volatile state
+    /// is gone).
+    pub fn tick(&mut self, layer: u32, phase: CrashPhase) -> Result<(), PowerLoss> {
+        let now = self.step;
+        self.step += 1;
+        match self.cut {
+            Some(cut) if now == cut => Err(PowerLoss {
+                layer,
+                phase,
+                step: now,
+            }),
+            _ => Ok(()),
         }
     }
 }
@@ -808,6 +954,50 @@ mod tests {
         let ctx1 = AccessCtx { attempt: 1, ..ctx };
         assert!(inj.store(&mut dram, 0x100, [8u8; 64], &ctx1));
         assert_eq!(dram.load(0x100), [8u8; 64]);
+    }
+
+    #[test]
+    fn crash_clock_counts_without_firing() {
+        let mut clock = CrashClock::counting();
+        for i in 0..1000u64 {
+            assert!(clock.tick(0, CrashPhase::Compute).is_ok(), "step {i}");
+        }
+        assert_eq!(clock.steps(), 1000);
+    }
+
+    #[test]
+    fn armed_clock_fires_exactly_once_at_the_cut() {
+        let mut clock = CrashClock::armed(3);
+        assert!(clock.tick(0, CrashPhase::Compute).is_ok());
+        assert!(clock.tick(0, CrashPhase::PartialEvict).is_ok());
+        assert!(clock.tick(1, CrashPhase::ReadBack).is_ok());
+        let loss = clock
+            .tick(2, CrashPhase::JournalAppend)
+            .expect_err("cut must fire at step 3");
+        assert_eq!(
+            loss,
+            PowerLoss {
+                layer: 2,
+                phase: CrashPhase::JournalAppend,
+                step: 3
+            }
+        );
+        let shown = loss.to_string();
+        assert!(
+            shown.contains("step 3") && shown.contains("journal-append"),
+            "{shown}"
+        );
+        // A real driver halts on the cut; if ticked anyway, the clock
+        // does not fire again (the single cut point has passed).
+        assert!(clock.tick(2, CrashPhase::JournalAppend).is_ok());
+    }
+
+    #[test]
+    fn crash_phase_names_are_distinct() {
+        let mut names: Vec<&str> = CrashPhase::ALL.iter().map(CrashPhase::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CrashPhase::ALL.len());
     }
 
     #[test]

@@ -1,0 +1,1321 @@
+//! Crash-consistent secure inference: the layer-commit journal, the
+//! datapath-level pad-reuse detector, and the power-loss campaign.
+//!
+//! Seculator's freshness story assumes every inference runs to
+//! completion: VNs follow the master equation, the session key is derived
+//! once per execution, and no (key, counter) pair repeats. A power loss
+//! breaks that assumption — the MAC registers and VN FSM are volatile, so
+//! a naive restart would either trust unverified ciphertext or re-encrypt
+//! under already-used counters. This module makes interrupted inference
+//! safe:
+//!
+//! - [`JournalStore`] is a write-ahead **layer-commit journal** in
+//!   durable memory. At each layer boundary the driver appends one sealed
+//!   record capturing the MAC registers, the VN-FSM triplet + position,
+//!   the nonce epoch, and the layer's output geometry, authenticated by a
+//!   tag bound to the device secret *and* the execution nonce (so a
+//!   journal from one execution cannot be replayed into another).
+//! - **Nonce epochs** preserve pad freshness across crashes: every resume
+//!   re-keys the cipher via [`SessionKey::derive_epoch`] with a fresh
+//!   epoch, so the resumed run may repeat the interrupted layer's version
+//!   numbers without ever regenerating a pad. The paper's MACs are
+//!   computed over *plaintext* and are therefore epoch-independent —
+//!   which is exactly what lets a resumed run re-verify pre-crash data.
+//!   An [`EpochOpen`](JournalRecordKind::EpochOpen) record is appended
+//!   *before* any DRAM write under its epoch (write-ahead), so a torn
+//!   open record proves no pads were consumed and the epoch number is
+//!   still safe to reuse.
+//! - [`PadTracker`] is the reuse oracle: it observes every encryption the
+//!   datapath performs and fails closed with
+//!   [`SecurityError::CounterReuse`] if any (epoch, counter) pair is ever
+//!   used twice. Decryption regenerates pads by design (CTR) and is not
+//!   tracked — freshness is about never encrypting two plaintexts under
+//!   one pad.
+//! - [`run_crash_campaign`] sweeps seeded power cuts over every
+//!   interruptible instant of several models (mid-tile, mid-MAC-update,
+//!   mid-journal-append, mid-resume) and checks the acceptance bar:
+//!   resumed outputs bit-exact, zero pad reuse, torn tails discarded
+//!   benignly, tampered journals refused, and at most one layer of work
+//!   re-executed per crash.
+//!
+//! One modeling note: for resume to be meaningful the off-chip tensors
+//! must survive the power loss, so this module treats the untrusted
+//! memory as *persistent* (NVM). Nothing in the threat model changes —
+//! the adversary owns that memory either way.
+
+use crate::error::SecurityError;
+use crate::fault::{CrashClock, CrashPhase, PowerLoss};
+use crate::secure_memory::{BlockCoords, UntrustedDram};
+use seculator_crypto::keys::{DeviceSecret, SessionKey};
+use seculator_crypto::sha256::Sha256;
+use std::collections::HashSet;
+
+/// Journal record magic ("Seculator Journal v1").
+const JOURNAL_MAGIC: [u8; 4] = *b"SJL1";
+/// Domain-separation label for the record tag.
+const TAG_DOMAIN: &[u8] = b"seculator-journal-v1";
+/// Fixed payload length (every field below, packed little-endian).
+const PAYLOAD_BYTES: usize = 201;
+/// Full on-media record length: magic + payload + 32-byte tag.
+pub const RECORD_BYTES: usize = 4 + PAYLOAD_BYTES + 32;
+/// Journal appends land in 8-byte chunks (one DRAM beat), each a
+/// distinct [`CrashPhase::JournalAppend`] instant — this is what makes
+/// *torn* records reachable by the crash campaign.
+const APPEND_CHUNK: usize = 8;
+
+/// What a journal record commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalRecordKind {
+    /// Write-ahead declaration that the execution is about to consume
+    /// pads under a new nonce epoch. Must be fully durable before the
+    /// first DRAM write of that epoch.
+    EpochOpen,
+    /// A layer boundary: the layer's output is durable in DRAM, its
+    /// `MAC_W = MAC_FR ⊕ MAC_R` equation closed, and the sealed register
+    /// state below suffices to re-verify that output after a crash.
+    LayerCommit,
+}
+
+impl JournalRecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            Self::EpochOpen => 1,
+            Self::LayerCommit => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::EpochOpen),
+            2 => Some(Self::LayerCommit),
+            _ => None,
+        }
+    }
+}
+
+/// One sealed journal record. All multi-byte fields are little-endian on
+/// media; the tag is `SHA256(secret ‖ "seculator-journal-v1" ‖ nonce ‖
+/// payload)`, binding the record to this device *and* this execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Record kind.
+    pub kind: JournalRecordKind,
+    /// Sequence number; replay refuses gaps and reorderings.
+    pub seq: u32,
+    /// Committed layer (for [`JournalRecordKind::EpochOpen`]: the first
+    /// layer that will execute under the epoch).
+    pub layer_id: u32,
+    /// Nonce epoch the layer's output ciphertext was written under —
+    /// resume must decrypt it with this epoch's session key.
+    pub epoch: u32,
+    /// Version number the final (consumer-visible) output carries.
+    pub final_vn: u32,
+    /// Base DRAM address of the layer's output region.
+    pub base_addr: u64,
+    /// Output tensor size in 64-byte blocks.
+    pub blocks: u64,
+    /// Output channels.
+    pub k: u32,
+    /// Output height.
+    pub h: u32,
+    /// Output width.
+    pub w: u32,
+    /// Sealed `MAC_W` write-aggregation register.
+    pub mac_w: [u8; 32],
+    /// Sealed `MAC_R` read-aggregation register.
+    pub mac_r: [u8; 32],
+    /// Sealed `MAC_FR` first-read register.
+    pub mac_fr: [u8; 32],
+    /// Boundary residue `MAC_W ⊕ MAC_R ⊕ MAC_FR` — all-zero at any
+    /// honest commit (the equation closed before the record was cut).
+    /// Replay refuses commit records whose equation is open.
+    pub mac_ir: [u8; 32],
+    /// VN-FSM triplet η of the layer's write pattern.
+    pub vn_eta: u64,
+    /// VN-FSM triplet κ.
+    pub vn_kappa: u32,
+    /// VN-FSM triplet ρ.
+    pub vn_rho: u64,
+    /// VN-FSM position (VNs emitted); with the triplet this rebuilds the
+    /// counter exactly ([`crate::vngen::PatternCounter::resume`]).
+    pub vn_emitted: u64,
+}
+
+impl JournalRecord {
+    /// A write-ahead epoch-open record.
+    #[must_use]
+    pub fn epoch_open(seq: u32, start_layer: u32, epoch: u32) -> Self {
+        Self {
+            kind: JournalRecordKind::EpochOpen,
+            seq,
+            layer_id: start_layer,
+            epoch,
+            final_vn: 0,
+            base_addr: 0,
+            blocks: 0,
+            k: 0,
+            h: 0,
+            w: 0,
+            mac_w: [0u8; 32],
+            mac_r: [0u8; 32],
+            mac_fr: [0u8; 32],
+            mac_ir: [0u8; 32],
+            vn_eta: 0,
+            vn_kappa: 0,
+            vn_rho: 0,
+            vn_emitted: 0,
+        }
+    }
+
+    fn encode_payload(&self) -> [u8; PAYLOAD_BYTES] {
+        let mut p = [0u8; PAYLOAD_BYTES];
+        p[0] = self.kind.to_byte();
+        p[1..5].copy_from_slice(&self.seq.to_le_bytes());
+        p[5..9].copy_from_slice(&self.layer_id.to_le_bytes());
+        p[9..13].copy_from_slice(&self.epoch.to_le_bytes());
+        p[13..17].copy_from_slice(&self.final_vn.to_le_bytes());
+        p[17..25].copy_from_slice(&self.base_addr.to_le_bytes());
+        p[25..33].copy_from_slice(&self.blocks.to_le_bytes());
+        p[33..37].copy_from_slice(&self.k.to_le_bytes());
+        p[37..41].copy_from_slice(&self.h.to_le_bytes());
+        p[41..45].copy_from_slice(&self.w.to_le_bytes());
+        p[45..77].copy_from_slice(&self.mac_w);
+        p[77..109].copy_from_slice(&self.mac_r);
+        p[109..141].copy_from_slice(&self.mac_fr);
+        p[141..173].copy_from_slice(&self.mac_ir);
+        p[173..181].copy_from_slice(&self.vn_eta.to_le_bytes());
+        p[181..185].copy_from_slice(&self.vn_kappa.to_le_bytes());
+        p[185..193].copy_from_slice(&self.vn_rho.to_le_bytes());
+        p[193..201].copy_from_slice(&self.vn_emitted.to_le_bytes());
+        p
+    }
+
+    fn tag(payload: &[u8; PAYLOAD_BYTES], secret: &DeviceSecret, nonce: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&secret.0);
+        h.update(TAG_DOMAIN);
+        h.update(&nonce.to_le_bytes());
+        h.update(payload);
+        h.finalize()
+    }
+
+    /// Serializes the sealed record: magic ‖ payload ‖ tag.
+    #[must_use]
+    pub fn encode(&self, secret: &DeviceSecret, nonce: u64) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(RECORD_BYTES);
+        out.extend_from_slice(&JOURNAL_MAGIC);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&Self::tag(&payload, secret, nonce));
+        out
+    }
+
+    /// Parses and authenticates one full-length record. `None` means the
+    /// bytes are not a record this device wrote in this execution —
+    /// tampered, forged, or cross-execution.
+    #[must_use]
+    pub fn decode(bytes: &[u8], secret: &DeviceSecret, nonce: u64) -> Option<Self> {
+        if bytes.len() != RECORD_BYTES || bytes[..4] != JOURNAL_MAGIC {
+            return None;
+        }
+        let mut payload = [0u8; PAYLOAD_BYTES];
+        payload.copy_from_slice(&bytes[4..4 + PAYLOAD_BYTES]);
+        if bytes[4 + PAYLOAD_BYTES..] != Self::tag(&payload, secret, nonce) {
+            return None;
+        }
+        let p = &payload;
+        let rd32 = |o: usize| u32::from_le_bytes([p[o], p[o + 1], p[o + 2], p[o + 3]]);
+        let rd64 = |o: usize| {
+            u64::from_le_bytes([
+                p[o],
+                p[o + 1],
+                p[o + 2],
+                p[o + 3],
+                p[o + 4],
+                p[o + 5],
+                p[o + 6],
+                p[o + 7],
+            ])
+        };
+        let rdmac = |o: usize| {
+            let mut m = [0u8; 32];
+            m.copy_from_slice(&p[o..o + 32]);
+            m
+        };
+        let rec = Self {
+            kind: JournalRecordKind::from_byte(p[0])?,
+            seq: rd32(1),
+            layer_id: rd32(5),
+            epoch: rd32(9),
+            final_vn: rd32(13),
+            base_addr: rd64(17),
+            blocks: rd64(25),
+            k: rd32(33),
+            h: rd32(37),
+            w: rd32(41),
+            mac_w: rdmac(45),
+            mac_r: rdmac(77),
+            mac_fr: rdmac(109),
+            mac_ir: rdmac(141),
+            vn_eta: rd64(173),
+            vn_kappa: rd32(181),
+            vn_rho: rd64(185),
+            vn_emitted: rd64(193),
+        };
+        // Structural invariant: a commit record's boundary equation must
+        // have closed (defense in depth against a buggy writer — the tag
+        // already rules out an adversarial one).
+        if rec.kind == JournalRecordKind::LayerCommit {
+            let residue: [u8; 32] =
+                std::array::from_fn(|i| rec.mac_w[i] ^ rec.mac_r[i] ^ rec.mac_fr[i]);
+            if residue != rec.mac_ir || rec.mac_ir != [0u8; 32] {
+                return None;
+            }
+        }
+        Some(rec)
+    }
+}
+
+/// The parsed, authenticated state of a journal: every valid record plus
+/// the length of the benign torn tail (a partial-length record cut by a
+/// power loss mid-append).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// All authenticated records, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Trailing bytes of an incomplete record (discarded on repair).
+    pub torn_tail_bytes: usize,
+}
+
+impl JournalReplay {
+    /// Layer-commit records only, in order.
+    pub fn commits(&self) -> impl Iterator<Item = &JournalRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == JournalRecordKind::LayerCommit)
+    }
+
+    /// The most recent committed layer, if any.
+    #[must_use]
+    pub fn last_commit(&self) -> Option<&JournalRecord> {
+        self.commits().last()
+    }
+
+    /// Highest epoch any record mentions.
+    #[must_use]
+    pub fn max_epoch(&self) -> Option<u32> {
+        self.records.iter().map(|r| r.epoch).max()
+    }
+
+    /// The next safe epoch: one past anything ever *declared*, torn
+    /// opens excluded — a torn [`JournalRecordKind::EpochOpen`] proves
+    /// (by write-ahead ordering) that no pad of its epoch was consumed,
+    /// so its number is still fresh.
+    #[must_use]
+    pub fn next_epoch(&self) -> u32 {
+        self.max_epoch().map_or(0, |e| e.saturating_add(1))
+    }
+}
+
+/// The durable, append-only layer-commit journal. Lives in the same
+/// persistent off-chip memory as the tensors; integrity comes from the
+/// per-record tags, not from trusting the medium.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalStore {
+    bytes: Vec<u8>,
+}
+
+impl JournalStore {
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently on media (including any torn tail).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has ever been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends one sealed record in [`APPEND_CHUNK`]-byte beats, ticking
+    /// `clock` before each beat — an armed clock can therefore cut the
+    /// append mid-record, leaving a torn tail exactly as a real power
+    /// loss would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`PowerLoss`] when the clock fires; beats already
+    /// written stay on media (that is the point).
+    pub fn append(
+        &mut self,
+        record: &JournalRecord,
+        secret: &DeviceSecret,
+        nonce: u64,
+        clock: &mut Option<&mut CrashClock>,
+    ) -> Result<(), PowerLoss> {
+        let encoded = record.encode(secret, nonce);
+        for chunk in encoded.chunks(APPEND_CHUNK) {
+            if let Some(c) = clock.as_deref_mut() {
+                c.tick(record.layer_id, CrashPhase::JournalAppend)?;
+            }
+            self.bytes.extend_from_slice(chunk);
+        }
+        Ok(())
+    }
+
+    /// Parses and authenticates the journal without modifying it.
+    ///
+    /// A trailing partial-length record is a benign torn tail (reported,
+    /// not an error). A *full-length* record that fails its magic, tag,
+    /// sequence number, or structural invariant is tampering.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::JournalIntegrity`] naming the offending record.
+    pub fn replay(
+        &self,
+        secret: &DeviceSecret,
+        nonce: u64,
+    ) -> Result<JournalReplay, SecurityError> {
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        while self.bytes.len() - off >= RECORD_BYTES {
+            let idx = records.len() as u32;
+            let rec = JournalRecord::decode(&self.bytes[off..off + RECORD_BYTES], secret, nonce)
+                .ok_or(SecurityError::JournalIntegrity { record: idx })?;
+            if rec.seq != idx {
+                return Err(SecurityError::JournalIntegrity { record: idx });
+            }
+            records.push(rec);
+            off += RECORD_BYTES;
+        }
+        Ok(JournalReplay {
+            records,
+            torn_tail_bytes: self.bytes.len() - off,
+        })
+    }
+
+    /// [`Self::replay`] followed by discarding the torn tail, so the next
+    /// append starts on a record boundary. This is the first step of
+    /// every resume.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::JournalIntegrity`] as for [`Self::replay`]; a
+    /// tampered journal is never repaired.
+    pub fn repair(
+        &mut self,
+        secret: &DeviceSecret,
+        nonce: u64,
+    ) -> Result<JournalReplay, SecurityError> {
+        let replayed = self.replay(secret, nonce)?;
+        self.bytes.truncate(replayed.records.len() * RECORD_BYTES);
+        Ok(replayed)
+    }
+
+    // ---- Adversary API (the journal lives in attacker-owned memory) ----
+
+    /// Flips one bit of one journal byte.
+    pub fn tamper_byte(&mut self, index: usize) {
+        if let Some(b) = self.bytes.get_mut(index) {
+            *b ^= 0x40;
+        }
+    }
+
+    /// Truncates the journal to `len` bytes (rollback attack — costs the
+    /// victim recompute only; freshness is epoch-protected).
+    pub fn truncate(&mut self, len: usize) {
+        self.bytes.truncate(len);
+    }
+}
+
+/// Datapath-level counter-reuse detector: records every (epoch, counter)
+/// pair the cipher ever encrypts under and fails closed on a repeat —
+/// *before* the colliding ciphertext could reach DRAM. Deliberately kept
+/// across crash and resume: it is the campaign's ground-truth oracle
+/// that epoch derivation actually preserves pad freshness.
+#[derive(Debug, Clone, Default)]
+pub struct PadTracker {
+    seen: HashSet<(u32, BlockCoords)>,
+}
+
+impl PadTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one encryption.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::CounterReuse`] when this (epoch, counter) pair
+    /// already produced a pad — the caller must abort before releasing
+    /// ciphertext.
+    pub fn on_encrypt(
+        &mut self,
+        epoch: u32,
+        coords: BlockCoords,
+        layer_id: u32,
+    ) -> Result<(), SecurityError> {
+        if self.seen.insert((epoch, coords)) {
+            Ok(())
+        } else {
+            Err(SecurityError::CounterReuse { epoch, layer_id })
+        }
+    }
+
+    /// Distinct pads issued so far.
+    #[must_use]
+    pub fn pads_issued(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// Machine state that survives a power loss: the (persistent, untrusted)
+/// off-chip memory and the layer-commit journal. Everything else — MAC
+/// registers, VN FSM, activations in SRAM, the session key schedule — is
+/// volatile and must be rebuilt from here.
+#[derive(Debug, Clone, Default)]
+pub struct DurableState {
+    /// Attacker-owned persistent tensor memory.
+    pub dram: UntrustedDram,
+    /// The layer-commit journal (also attacker-readable/writable).
+    pub journal: JournalStore,
+}
+
+/// Derives the epoch session key — thin convenience wrapper so callers
+/// outside the crypto crate see the journal and the key derivation side
+/// by side.
+#[must_use]
+pub fn epoch_key(secret: &DeviceSecret, nonce: u64, epoch: u32) -> SessionKey {
+    SessionKey::derive_epoch(secret, nonce, epoch)
+}
+
+// ---------------------------------------------------------------------------
+// Crash campaign: seeded power cuts over every interruptible instant
+// ---------------------------------------------------------------------------
+
+use crate::audit::LadderSummary;
+use crate::detection::RecoveryCost;
+use crate::fault::splitmix;
+use crate::secure_infer::{
+    infer_journaled, infer_plain, infer_resume, Instruments, JournaledError, QConvLayer,
+    RecoveryPolicy, SecureSession,
+};
+use seculator_compute::quant::{QTensor3, QTensor4};
+
+/// Requantization shift used by every campaign model.
+const CRASH_SHIFT: u32 = 6;
+
+/// Crash-campaign parameters. Every random choice derives from `seed`
+/// via splitmix64, so two runs with the same config produce
+/// byte-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashCampaignConfig {
+    /// Root seed for cut points and variant choices.
+    pub seed: u64,
+    /// Power cuts swept per model.
+    pub cuts_per_model: u32,
+}
+
+impl Default for CrashCampaignConfig {
+    fn default() -> Self {
+        // 3 models × 70 cuts = 210 distinct cut points.
+        Self {
+            seed: 42,
+            cuts_per_model: 70,
+        }
+    }
+}
+
+/// What the adversary does between the crash and the resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashVariant {
+    /// Nothing: a pure power loss. Resume must be bit-exact and redo at
+    /// most the interrupted layer.
+    Pure,
+    /// Tamper a committed tensor in (persistent, attacker-owned) DRAM
+    /// while power is down. Resume must roll the commit back, never
+    /// accept the stale/tampered ciphertext, and still finish bit-exact.
+    TamperDram,
+    /// Cut the power again during recovery. The second resume must still
+    /// converge bit-exact (crash-during-recovery is in scope).
+    DoubleCrash,
+    /// Flip a bit inside a *sealed* journal record. Resume must refuse
+    /// the journal outright ([`SecurityError::JournalIntegrity`]).
+    JournalTamper,
+}
+
+impl CrashVariant {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Pure => "pure",
+            Self::TamperDram => "tamper-dram",
+            Self::DoubleCrash => "double-crash",
+            Self::JournalTamper => "journal-tamper",
+        }
+    }
+}
+
+/// One power cut and its verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashTrial {
+    /// Model the cut was injected into.
+    pub model: &'static str,
+    /// Interruptible instant that was cut (0-based).
+    pub cut: u64,
+    /// Adversary behavior across the outage (after any degradation —
+    /// e.g. a journal-tamper roll with an empty journal runs as `Pure`).
+    pub variant: CrashVariant,
+    /// Layer the loss struck.
+    pub layer: u32,
+    /// Pipeline phase the loss struck ([`CrashPhase::name`]).
+    pub phase: &'static str,
+    /// Whether the trial met its acceptance condition.
+    pub ok: bool,
+    /// Human-readable verdict detail.
+    pub detail: String,
+}
+
+/// Aggregate result of a crash campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashCampaignReport {
+    /// Root seed the report derives from.
+    pub seed: u64,
+    /// Models swept.
+    pub models: u32,
+    /// Uninterrupted journaled runs matched `infer_plain` on every model.
+    pub calibration_ok: bool,
+    /// The pad-reuse oracle fired on a deliberate duplicate and stayed
+    /// quiet across epochs (the detector detects).
+    pub detector_ok: bool,
+    /// Every cut, in injection order.
+    pub trials: Vec<CrashTrial>,
+    /// Counter/nonce reuses observed anywhere (must be 0).
+    pub pad_reuses: u32,
+    /// Tampered/stale committed ciphertext accepted at resume (must be 0).
+    pub stale_accepts: u32,
+    /// Recovery-ladder totals aggregated over every resumed run.
+    pub ladder: LadderSummary,
+}
+
+impl CrashCampaignReport {
+    /// True when the campaign met the full acceptance bar.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.calibration_ok
+            && self.detector_ok
+            && self.pad_reuses == 0
+            && self.stale_accepts == 0
+            && self.trials.iter().all(|t| t.ok)
+    }
+
+    /// Deterministic multi-line summary (byte-identical for one seed).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut phases: Vec<&'static str> = self.trials.iter().map(|t| t.phase).collect();
+        phases.sort_unstable();
+        phases.dedup();
+        let count = |v: CrashVariant| self.trials.iter().filter(|t| t.variant == v).count();
+        let failures = self.trials.iter().filter(|t| !t.ok).count();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "crash campaign seed={}: {} cuts over {} models\n",
+            self.seed,
+            self.trials.len(),
+            self.models
+        ));
+        out.push_str(&format!(
+            "calibration: {}; pad-reuse detector self-test: {}\n",
+            if self.calibration_ok { "ok" } else { "FAILED" },
+            if self.detector_ok { "ok" } else { "FAILED" },
+        ));
+        out.push_str(&format!("phases cut: {}\n", phases.join(", ")));
+        out.push_str(&format!(
+            "variants: pure={} tamper-dram={} double-crash={} journal-tamper={}\n",
+            count(CrashVariant::Pure),
+            count(CrashVariant::TamperDram),
+            count(CrashVariant::DoubleCrash),
+            count(CrashVariant::JournalTamper),
+        ));
+        out.push_str(&format!(
+            "pad reuses: {}; stale acceptances: {}; failures: {}\n",
+            self.pad_reuses, self.stale_accepts, failures
+        ));
+        out.push_str(&format!("ladder: {}\n", self.ladder.to_json()));
+        out.push_str(if self.passed() {
+            "verdict: PASS"
+        } else {
+            "verdict: FAIL"
+        });
+        out
+    }
+}
+
+/// One campaign workload.
+struct CrashModel {
+    name: &'static str,
+    layers: Vec<QConvLayer>,
+    input: QTensor3,
+    session: SecureSession,
+}
+
+fn session(seed: u64, nonce: u64) -> SecureSession {
+    SecureSession {
+        secret: DeviceSecret::from_seed(seed),
+        nonce,
+        shift: CRASH_SHIFT,
+        policy: RecoveryPolicy::default(),
+    }
+}
+
+/// The three campaign workloads: a channel-grouped CNN (multi-group
+/// layers exercise the partial/final two-version plan), a strided CNN,
+/// and an MLP of 1×1 fully-connected layers.
+fn crash_models() -> Vec<CrashModel> {
+    let grouped = CrashModel {
+        name: "grouped-cnn",
+        layers: vec![
+            QConvLayer {
+                weights: QTensor4::seeded(6, 6, 3, 3, 11),
+                stride: 1,
+                channel_groups: vec![0..2, 2..4, 4..6],
+            },
+            QConvLayer {
+                weights: QTensor4::seeded(4, 6, 3, 3, 12),
+                stride: 1,
+                channel_groups: vec![0..3, 3..6],
+            },
+            QConvLayer::simple(QTensor4::seeded(2, 4, 3, 3, 13), 1),
+        ],
+        input: QTensor3::seeded(6, 10, 10, 14),
+        session: session(101, 1001),
+    };
+    let strided = CrashModel {
+        name: "strided-cnn",
+        layers: vec![
+            QConvLayer::simple(QTensor4::seeded(4, 3, 3, 3, 21), 2),
+            QConvLayer {
+                weights: QTensor4::seeded(3, 4, 3, 3, 22),
+                stride: 1,
+                channel_groups: vec![0..2, 2..4],
+            },
+        ],
+        input: QTensor3::seeded(3, 12, 12, 23),
+        session: session(102, 1002),
+    };
+    let mlp = CrashModel {
+        name: "mlp",
+        layers: vec![
+            QConvLayer::fully_connected(QTensor4::seeded(16, 8, 1, 1, 31)),
+            QConvLayer::fully_connected(QTensor4::seeded(8, 16, 1, 1, 32)),
+            QConvLayer::fully_connected(QTensor4::seeded(4, 8, 1, 1, 33)),
+        ],
+        input: QTensor3::seeded(8, 1, 1, 34),
+        session: session(103, 1003),
+    };
+    vec![grouped, strided, mlp]
+}
+
+/// The detector must detect: a deliberate duplicate fires, a fresh epoch
+/// does not (that is the whole point of epoch derivation).
+fn detector_selftest() -> bool {
+    let mut t = PadTracker::new();
+    let c = BlockCoords {
+        fmap_id: 0,
+        layer_id: 0,
+        version: 1,
+        block_index: 0,
+    };
+    t.on_encrypt(0, c, 0).is_ok() && t.on_encrypt(0, c, 0).is_err() && t.on_encrypt(1, c, 0).is_ok()
+}
+
+/// Shared bookkeeping across one campaign.
+struct CampaignState {
+    incidents: crate::audit::IncidentLog,
+    max_blocks: u64,
+    pad_reuses: u32,
+    stale_accepts: u32,
+}
+
+impl CampaignState {
+    fn absorb(&mut self, run: &crate::secure_infer::JournaledRun) {
+        self.incidents
+            .records
+            .extend(run.incidents.records.iter().cloned());
+        self.max_blocks = self.max_blocks.max(run.max_layer_blocks);
+    }
+
+    fn note_error(&mut self, err: &JournaledError) {
+        if let JournaledError::Security(SecurityError::CounterReuse { .. }) = err {
+            self.pad_reuses += 1;
+        }
+    }
+}
+
+/// Runs one seeded power cut against one model.
+#[allow(clippy::too_many_lines)]
+fn run_trial(
+    model: &CrashModel,
+    expected: &QTensor3,
+    cut: u64,
+    roll: u64,
+    rng: &mut u64,
+    state: &mut CampaignState,
+) -> CrashTrial {
+    let mut durable = DurableState::default();
+    let mut tracker = PadTracker::new();
+    let mut clock = CrashClock::armed(cut);
+    let first = infer_journaled(
+        &model.layers,
+        &model.input,
+        &model.session,
+        &mut durable,
+        &mut Instruments {
+            tracker: &mut tracker,
+            injector: None,
+            clock: Some(&mut clock),
+        },
+    );
+    let trial = |variant, layer, phase, ok, detail: String| CrashTrial {
+        model: model.name,
+        cut,
+        variant,
+        layer,
+        phase,
+        ok,
+        detail,
+    };
+
+    let loss = match first {
+        Err(JournaledError::Crashed(loss)) => loss,
+        Ok(run) => {
+            // The cut landed past the run's last instant (only possible
+            // if calibration and this run diverged — flag it).
+            let ok = run.output == *expected;
+            state.absorb(&run);
+            return trial(
+                CrashVariant::Pure,
+                0,
+                "none",
+                ok,
+                "cut never fired".to_string(),
+            );
+        }
+        Err(err) => {
+            state.note_error(&err);
+            return trial(
+                CrashVariant::Pure,
+                0,
+                "none",
+                false,
+                format!("pre-crash failure: {err}"),
+            );
+        }
+    };
+
+    // Decide the adversary's move, degrading gracefully when the journal
+    // has nothing to attack yet.
+    let commits = durable
+        .journal
+        .replay(&model.session.secret, model.session.nonce)
+        .map(|r| (r.records.len(), r.last_commit().copied()))
+        .unwrap_or((0, None));
+    let variant = match roll % 4 {
+        1 if commits.1.is_some() => CrashVariant::TamperDram,
+        2 => CrashVariant::DoubleCrash,
+        3 if commits.0 > 0 => CrashVariant::JournalTamper,
+        _ => CrashVariant::Pure,
+    };
+
+    match variant {
+        CrashVariant::Pure => {
+            let resumed = infer_resume(
+                &model.layers,
+                &model.input,
+                &model.session,
+                &mut durable,
+                &mut Instruments {
+                    tracker: &mut tracker,
+                    injector: None,
+                    clock: None,
+                },
+                Some(loss),
+            );
+            match resumed {
+                Ok(run) => {
+                    let bitexact = run.output == *expected;
+                    let bound = run.first_executed_layer == loss.layer;
+                    state.absorb(&run);
+                    let ok = bitexact && bound;
+                    trial(
+                        variant,
+                        loss.layer,
+                        loss.phase.name(),
+                        ok,
+                        format!(
+                            "bit-exact={bitexact} resumed-at={} crashed-at={}",
+                            run.first_executed_layer, loss.layer
+                        ),
+                    )
+                }
+                Err(err) => {
+                    state.note_error(&err);
+                    trial(
+                        variant,
+                        loss.layer,
+                        loss.phase.name(),
+                        false,
+                        format!("resume failed: {err}"),
+                    )
+                }
+            }
+        }
+        CrashVariant::TamperDram => {
+            // Corrupt the newest committed tensor while power is down.
+            let rec = commits
+                .1
+                .unwrap_or_else(|| JournalRecord::epoch_open(0, 0, 0));
+            durable.dram.tamper_bit(rec.base_addr, 5, 3);
+            let resumed = infer_resume(
+                &model.layers,
+                &model.input,
+                &model.session,
+                &mut durable,
+                &mut Instruments {
+                    tracker: &mut tracker,
+                    injector: None,
+                    clock: None,
+                },
+                Some(loss),
+            );
+            match resumed {
+                Ok(run) => {
+                    let bitexact = run.output == *expected;
+                    let rolled_back = run.incidents.rollbacks() > 0;
+                    if !rolled_back {
+                        // The tampered commit slipped through verification.
+                        state.stale_accepts += 1;
+                    }
+                    state.absorb(&run);
+                    trial(
+                        variant,
+                        loss.layer,
+                        loss.phase.name(),
+                        bitexact && rolled_back,
+                        format!(
+                            "bit-exact={bitexact} rollbacks={}",
+                            run.incidents.rollbacks()
+                        ),
+                    )
+                }
+                Err(err) => {
+                    state.note_error(&err);
+                    trial(
+                        variant,
+                        loss.layer,
+                        loss.phase.name(),
+                        false,
+                        format!("tampered resume failed: {err}"),
+                    )
+                }
+            }
+        }
+        CrashVariant::DoubleCrash => {
+            let cut2 = splitmix(rng) % cut.max(1);
+            let mut clock2 = CrashClock::armed(cut2);
+            let second = infer_resume(
+                &model.layers,
+                &model.input,
+                &model.session,
+                &mut durable,
+                &mut Instruments {
+                    tracker: &mut tracker,
+                    injector: None,
+                    clock: Some(&mut clock2),
+                },
+                Some(loss),
+            );
+            let loss2 = match second {
+                Ok(run) => {
+                    // The second cut landed past the (shorter) resume.
+                    let ok = run.output == *expected;
+                    state.absorb(&run);
+                    return trial(
+                        variant,
+                        loss.layer,
+                        loss.phase.name(),
+                        ok,
+                        "second cut never fired".to_string(),
+                    );
+                }
+                Err(JournaledError::Crashed(l2)) => l2,
+                Err(err) => {
+                    state.note_error(&err);
+                    return trial(
+                        variant,
+                        loss.layer,
+                        loss.phase.name(),
+                        false,
+                        format!("first resume failed: {err}"),
+                    );
+                }
+            };
+            let final_run = infer_resume(
+                &model.layers,
+                &model.input,
+                &model.session,
+                &mut durable,
+                &mut Instruments {
+                    tracker: &mut tracker,
+                    injector: None,
+                    clock: None,
+                },
+                Some(loss2),
+            );
+            match final_run {
+                Ok(run) => {
+                    let bitexact = run.output == *expected;
+                    let bound = run.first_executed_layer >= loss2.layer.min(loss.layer);
+                    state.absorb(&run);
+                    trial(
+                        variant,
+                        loss2.layer,
+                        loss2.phase.name(),
+                        bitexact && bound,
+                        format!(
+                            "bit-exact={bitexact} resumed-at={} second-crash-at={}",
+                            run.first_executed_layer, loss2.layer
+                        ),
+                    )
+                }
+                Err(err) => {
+                    state.note_error(&err);
+                    trial(
+                        variant,
+                        loss2.layer,
+                        loss2.phase.name(),
+                        false,
+                        format!("second resume failed: {err}"),
+                    )
+                }
+            }
+        }
+        CrashVariant::JournalTamper => {
+            let idx = (splitmix(rng) as usize) % (commits.0 * RECORD_BYTES);
+            durable.journal.tamper_byte(idx);
+            let resumed = infer_resume(
+                &model.layers,
+                &model.input,
+                &model.session,
+                &mut durable,
+                &mut Instruments {
+                    tracker: &mut tracker,
+                    injector: None,
+                    clock: None,
+                },
+                Some(loss),
+            );
+            let refused = matches!(
+                resumed,
+                Err(JournaledError::Security(
+                    SecurityError::JournalIntegrity { .. }
+                ))
+            );
+            trial(
+                variant,
+                loss.layer,
+                loss.phase.name(),
+                refused,
+                format!("journal byte {idx} flipped; refused={refused}"),
+            )
+        }
+    }
+}
+
+/// Sweeps seeded power cuts over every interruptible instant of the
+/// campaign models and checks the crash-consistency acceptance bar.
+///
+/// For each model the campaign first calibrates (an uninterrupted
+/// journaled run must be bit-exact vs [`infer_plain`] — this also counts
+/// the interruptible instants), then injects `cuts_per_model` seeded
+/// cuts, each followed by a seeded adversary move ([`CrashVariant`]).
+#[must_use]
+pub fn run_crash_campaign(config: &CrashCampaignConfig) -> CrashCampaignReport {
+    let mut rng = config.seed;
+    let mut calibration_ok = true;
+    let mut state = CampaignState {
+        incidents: crate::audit::IncidentLog::new(),
+        max_blocks: 0,
+        pad_reuses: 0,
+        stale_accepts: 0,
+    };
+    let mut trials = Vec::new();
+    let models = crash_models();
+
+    for model in &models {
+        let expected = infer_plain(&model.layers, &model.input, model.session.shift);
+
+        // Calibration: count the interruptible instants and require the
+        // uninterrupted journaled output to be bit-exact.
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut counting = CrashClock::counting();
+        let calibrated = infer_journaled(
+            &model.layers,
+            &model.input,
+            &model.session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: Some(&mut counting),
+            },
+        );
+        let steps = counting.steps();
+        match calibrated {
+            Ok(run) if run.output == expected && steps > 0 => state.absorb(&run),
+            _ => {
+                calibration_ok = false;
+                continue;
+            }
+        }
+
+        for _ in 0..config.cuts_per_model {
+            let cut = splitmix(&mut rng) % steps;
+            let roll = splitmix(&mut rng);
+            trials.push(run_trial(model, &expected, cut, roll, &mut rng, &mut state));
+        }
+    }
+
+    let ladder = state
+        .incidents
+        .ladder_summary(&RecoveryCost::default(), state.max_blocks);
+    CrashCampaignReport {
+        seed: config.seed,
+        models: models.len() as u32,
+        calibration_ok,
+        detector_ok: detector_selftest(),
+        trials,
+        pad_reuses: state.pad_reuses,
+        stale_accepts: state.stale_accepts,
+        ladder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_commit(seq: u32) -> JournalRecord {
+        let mac_w = [7u8; 32];
+        let mac_r = [9u8; 32];
+        let mac_fr: [u8; 32] = std::array::from_fn(|i| mac_w[i] ^ mac_r[i]);
+        JournalRecord {
+            kind: JournalRecordKind::LayerCommit,
+            seq,
+            layer_id: 3,
+            epoch: 1,
+            final_vn: 2,
+            base_addr: 0x2_0000,
+            blocks: 24,
+            k: 6,
+            h: 8,
+            w: 8,
+            mac_w,
+            mac_r,
+            mac_fr,
+            mac_ir: [0u8; 32],
+            vn_eta: 24,
+            vn_kappa: 2,
+            vn_rho: 1,
+            vn_emitted: 48,
+        }
+    }
+
+    fn secret() -> DeviceSecret {
+        DeviceSecret::from_seed(99)
+    }
+
+    #[test]
+    fn record_roundtrips_through_the_sealed_encoding() {
+        for rec in [sample_commit(5), JournalRecord::epoch_open(0, 2, 7)] {
+            let bytes = rec.encode(&secret(), 1234);
+            assert_eq!(bytes.len(), RECORD_BYTES);
+            let back = JournalRecord::decode(&bytes, &secret(), 1234).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn any_flipped_bit_or_foreign_nonce_is_rejected() {
+        let rec = sample_commit(0);
+        let bytes = rec.encode(&secret(), 1234);
+        for idx in [0usize, 4, 50, RECORD_BYTES - 1] {
+            let mut bad = bytes.clone();
+            bad[idx] ^= 0x01;
+            assert!(
+                JournalRecord::decode(&bad, &secret(), 1234).is_none(),
+                "flip at {idx} must break the seal"
+            );
+        }
+        assert!(
+            JournalRecord::decode(&bytes, &secret(), 1235).is_none(),
+            "a journal from one execution must not replay into another"
+        );
+        assert!(
+            JournalRecord::decode(&bytes, &DeviceSecret::from_seed(98), 1234).is_none(),
+            "a journal from one device must not replay on another"
+        );
+    }
+
+    #[test]
+    fn commit_with_open_boundary_equation_is_refused() {
+        let mut rec = sample_commit(0);
+        rec.mac_fr = [0u8; 32]; // residue MAC_W ⊕ MAC_R ≠ 0 now
+        let bytes = rec.encode(&secret(), 1);
+        assert!(JournalRecord::decode(&bytes, &secret(), 1).is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_benign_and_repair_discards_it() {
+        let mut store = JournalStore::new();
+        store
+            .append(&JournalRecord::epoch_open(0, 0, 0), &secret(), 1, &mut None)
+            .unwrap();
+        store
+            .append(&sample_commit(1), &secret(), 1, &mut None)
+            .unwrap();
+        // Cut the power two beats into the next append: torn tail.
+        let mut clock = CrashClock::armed(2);
+        let torn = store.append(&sample_commit(2), &secret(), 1, &mut Some(&mut clock));
+        assert!(torn.is_err(), "the armed clock must cut the append");
+        assert_eq!(store.len(), 2 * RECORD_BYTES + 2 * 8);
+
+        let replayed = store.replay(&secret(), 1).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.torn_tail_bytes, 16);
+        assert_eq!(replayed.last_commit().unwrap().seq, 1);
+
+        store.repair(&secret(), 1).unwrap();
+        assert_eq!(store.len(), 2 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn torn_epoch_open_keeps_its_epoch_number_fresh() {
+        let mut store = JournalStore::new();
+        store
+            .append(&JournalRecord::epoch_open(0, 0, 4), &secret(), 1, &mut None)
+            .unwrap();
+        // EpochOpen(5) is torn mid-append: by write-ahead ordering no pad
+        // of epoch 5 was ever consumed, so 5 must still be handed out.
+        let mut clock = CrashClock::armed(3);
+        let _ = store.append(
+            &JournalRecord::epoch_open(1, 0, 5),
+            &secret(),
+            1,
+            &mut Some(&mut clock),
+        );
+        let replayed = store.repair(&secret(), 1).unwrap();
+        assert_eq!(replayed.max_epoch(), Some(4));
+        assert_eq!(replayed.next_epoch(), 5);
+    }
+
+    #[test]
+    fn full_length_tampering_is_a_breach_not_a_torn_tail() {
+        let mut store = JournalStore::new();
+        store
+            .append(&JournalRecord::epoch_open(0, 0, 0), &secret(), 1, &mut None)
+            .unwrap();
+        store
+            .append(&sample_commit(1), &secret(), 1, &mut None)
+            .unwrap();
+        store.tamper_byte(RECORD_BYTES + 10);
+        assert_eq!(
+            store.replay(&secret(), 1),
+            Err(SecurityError::JournalIntegrity { record: 1 })
+        );
+        // A tampered journal is never silently repaired.
+        assert!(store.repair(&secret(), 1).is_err());
+    }
+
+    #[test]
+    fn sequence_gaps_are_refused() {
+        let mut store = JournalStore::new();
+        store
+            .append(&JournalRecord::epoch_open(0, 0, 0), &secret(), 1, &mut None)
+            .unwrap();
+        store
+            .append(&sample_commit(2), &secret(), 1, &mut None)
+            .unwrap();
+        assert_eq!(
+            store.replay(&secret(), 1),
+            Err(SecurityError::JournalIntegrity { record: 1 })
+        );
+    }
+
+    #[test]
+    fn pad_tracker_fires_on_reuse_and_respects_epochs() {
+        assert!(detector_selftest());
+        let mut t = PadTracker::new();
+        let c = BlockCoords {
+            fmap_id: 2,
+            layer_id: 2,
+            version: 1,
+            block_index: 9,
+        };
+        t.on_encrypt(3, c, 2).unwrap();
+        assert_eq!(
+            t.on_encrypt(3, c, 2),
+            Err(SecurityError::CounterReuse {
+                epoch: 3,
+                layer_id: 2
+            })
+        );
+        t.on_encrypt(4, c, 2).unwrap();
+        assert_eq!(t.pads_issued(), 2);
+    }
+
+    #[test]
+    fn default_campaign_sweeps_enough_cuts_over_enough_models() {
+        let cfg = CrashCampaignConfig::default();
+        let models = crash_models();
+        assert!(models.len() >= 3);
+        assert!(u64::from(cfg.cuts_per_model) * models.len() as u64 >= 200);
+    }
+
+    #[test]
+    fn tiny_campaign_passes_and_is_deterministic() {
+        let cfg = CrashCampaignConfig {
+            seed: 7,
+            cuts_per_model: 3,
+        };
+        let a = run_crash_campaign(&cfg);
+        let b = run_crash_campaign(&cfg);
+        assert!(a.passed(), "{}", a.summary());
+        assert_eq!(a, b, "same seed must reproduce byte-identically");
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.trials.len(), 9);
+        assert!(a.ladder.resumes > 0, "resumed runs feed the ladder summary");
+        let other = run_crash_campaign(&CrashCampaignConfig {
+            seed: 8,
+            cuts_per_model: 3,
+        });
+        assert!(other.passed(), "{}", other.summary());
+        assert_ne!(
+            a.trials, other.trials,
+            "different seeds must pick different cuts"
+        );
+    }
+}

@@ -18,6 +18,7 @@ pub mod error;
 pub mod fault;
 pub mod functional;
 pub mod hwcost;
+pub mod journal;
 pub mod mac_verify;
 pub mod mea;
 pub mod noise;
@@ -32,17 +33,22 @@ pub mod vngen;
 pub mod widening;
 
 pub use audit::{
-    audit_network, AuditFinding, AuditReport, IncidentLog, IncidentRecord, RecoveryAction,
+    audit_network, AuditFinding, AuditReport, IncidentLog, IncidentRecord, LadderSummary,
+    RecoveryAction,
 };
 pub use command::{AuthenticatedCommand, Command, CommandError, HostChannel, NpuCommandProcessor};
 pub use detection::{detection_latency, DetectionLatency, RecoveryCost, RecoveryModel};
 pub use engine::{make_engine, SchemeKind, SchemeTiming, TileSecurityCost};
 pub use error::SecurityError;
 pub use fault::{
-    run_campaign, AccessCtx, CampaignConfig, CampaignReport, FaultInjector, FaultKind, FaultSpec,
-    Persistence, TrialResult,
+    run_campaign, AccessCtx, CampaignConfig, CampaignReport, CrashClock, CrashPhase, FaultInjector,
+    FaultKind, FaultSpec, Persistence, PowerLoss, TrialResult,
 };
 pub use functional::{Attack, FunctionalNpu, FunctionalReport};
+pub use journal::{
+    run_crash_campaign, CrashCampaignConfig, CrashCampaignReport, CrashTrial, CrashVariant,
+    DurableState, JournalRecord, JournalRecordKind, JournalReplay, JournalStore, PadTracker,
+};
 pub use mac_verify::{EagerLayerVerifier, LayerMacVerifier, ReadOnlyVerifier, VerifyOutcome};
 pub use mea::{evaluate_defense, infer_layer_dims, AddressTraceObserver, MeaReport};
 pub use noise::{observe_network_with_noise, observe_with_noise, NoiseConfig, NoisyObservation};
@@ -52,8 +58,9 @@ pub use pipeline::{
     PipelineConfig,
 };
 pub use secure_infer::{
-    infer_plain, infer_protected, infer_resilient, AbortReport, InferError, QConvLayer,
-    RecoveryPolicy, ResilientRun,
+    infer_journaled, infer_plain, infer_protected, infer_resilient, infer_resume, AbortReport,
+    InferError, Instruments, JournaledError, JournaledRun, QConvLayer, RecoveryPolicy,
+    ResilientRun, SecureSession,
 };
 pub use secure_memory::{BlockCoords, CryptoDatapath, UntrustedDram};
 pub use sgx_functional::{SgxError, SgxMemory};

@@ -14,7 +14,8 @@
 
 use crate::audit::{IncidentLog, IncidentRecord, RecoveryAction};
 use crate::error::SecurityError;
-use crate::fault::{AccessCtx, FaultInjector};
+use crate::fault::{AccessCtx, CrashClock, CrashPhase, FaultInjector, PowerLoss};
+use crate::journal::{DurableState, JournalRecord, JournalRecordKind, PadTracker};
 use crate::mac_verify::{EagerLayerVerifier, LayerMacVerifier};
 use crate::secure_memory::{Block, BlockCoords, CryptoDatapath, UntrustedDram};
 use seculator_compute::quant::{qconv2d, qconv2d_grouped, QTensor3, QTensor4};
@@ -662,6 +663,615 @@ pub fn infer_resilient(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Crash-consistent (journaled) inference
+// ---------------------------------------------------------------------------
+
+/// Everything that identifies one secure execution: the device secret,
+/// the per-execution nonce, the requantization shift, and the recovery
+/// policy. Bundled so the journaled drivers stay call-site friendly.
+#[derive(Debug, Clone, Copy)]
+pub struct SecureSession {
+    /// Burned-in device secret.
+    pub secret: DeviceSecret,
+    /// Per-execution nonce (binds the journal to this execution).
+    pub nonce: u64,
+    /// Requantization right-shift.
+    pub shift: u32,
+    /// Recovery-ladder bounds.
+    pub policy: RecoveryPolicy,
+}
+
+/// Harness instrumentation threaded through a journaled run: the pad
+/// reuse oracle (mandatory — it *is* the datapath-level detector), the
+/// DRAM adversary, and the power-cut clock (both optional).
+#[derive(Debug)]
+pub struct Instruments<'a> {
+    /// Observes every encryption; fails closed on (epoch, counter) reuse.
+    pub tracker: &'a mut PadTracker,
+    /// Seeded DRAM adversary, or `None` for an honest memory.
+    pub injector: Option<&'a mut FaultInjector>,
+    /// Power-cut driver, or `None` for uninterrupted execution.
+    pub clock: Option<&'a mut CrashClock>,
+}
+
+/// A completed journaled inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledRun {
+    /// Verified network output.
+    pub output: QTensor3,
+    /// Audit trail, stitched across any crash this run resumed from.
+    pub incidents: IncidentLog,
+    /// Largest per-layer tensor in blocks (latency accounting).
+    pub max_layer_blocks: u64,
+    /// Nonce epoch this run encrypted under.
+    pub epoch: u32,
+    /// First layer this run actually executed (0 for a fresh run; the
+    /// crash-consistency bound says this is ≥ the interrupted layer).
+    pub first_executed_layer: u32,
+    /// Layer-commit records this run appended.
+    pub commits: u32,
+}
+
+/// Why a journaled inference did not return an output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournaledError {
+    /// Power was cut. Volatile state is gone; the durable state (DRAM +
+    /// journal) is intact and [`infer_resume`] can continue from it.
+    Crashed(PowerLoss),
+    /// The recovery ladder was exhausted (graceful abort, audit
+    /// attached).
+    Aborted(Box<AbortReport>),
+    /// Fail-closed security stop: tampered journal, counter reuse.
+    Security(SecurityError),
+}
+
+impl std::fmt::Display for JournaledError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Crashed(loss) => write!(f, "{loss}"),
+            Self::Aborted(report) => write!(f, "{report}"),
+            Self::Security(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for JournaledError {}
+
+/// Ticks the optional crash clock; a fired cut propagates as the crash.
+fn tick(
+    clock: &mut Option<&mut CrashClock>,
+    layer: u32,
+    phase: CrashPhase,
+) -> Result<(), PowerLoss> {
+    match clock.as_deref_mut() {
+        Some(c) => c.tick(layer, phase),
+        None => Ok(()),
+    }
+}
+
+/// Per-run parameters of the core journaled loop (bundled to keep the
+/// resume path and the fresh path on one code path).
+struct CoreParams<'a> {
+    layers: &'a [QConvLayer],
+    session: &'a SecureSession,
+    epoch: u32,
+    seq: u32,
+    start_layer: u32,
+    base_addr: u64,
+    activ: QTensor3,
+    incidents: IncidentLog,
+}
+
+/// The journaled execution loop: [`infer_resilient`]'s two-version write
+/// plan and recovery ladder, plus (a) a [`CrashClock`] tick on every
+/// stateful step, (b) the [`PadTracker`] check on every encryption, and
+/// (c) one sealed [`JournalRecord`] appended at each verified layer
+/// boundary — the commit point after which a crash costs at most the
+/// *next* layer's work.
+#[allow(clippy::too_many_lines)]
+fn run_journaled_core(
+    p: CoreParams<'_>,
+    durable: &mut DurableState,
+    instruments: &mut Instruments<'_>,
+) -> Result<JournaledRun, JournaledError> {
+    let session = p.session;
+    let datapath = CryptoDatapath::with_epoch(session.secret, session.nonce, p.epoch);
+    let mut incidents = p.incidents;
+    let mut activ = p.activ;
+    let mut base_addr = p.base_addr;
+    let mut seq = p.seq;
+    let mut commits = 0u32;
+    let mut max_layer_blocks = 0u64;
+
+    for (li, layer) in p.layers.iter().enumerate().skip(p.start_layer as usize) {
+        let li = li as u32;
+        let groups = &layer.channel_groups;
+        let (head, rest) = if groups.len() > 1 {
+            groups.split_at(1)
+        } else {
+            (&groups[..], &[][..])
+        };
+
+        let mut layer_refetches = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            let v_part = attempt * 2 + 1;
+            let v_full = attempt * 2 + 2;
+            let mut lv = EagerLayerVerifier::new();
+
+            // One interruptible instant per output channel: a power cut
+            // can strike mid-tile, not just at tensor boundaries.
+            for _ in 0..layer.weights.k.max(1) {
+                tick(&mut instruments.clock, li, CrashPhase::Compute)
+                    .map_err(JournaledError::Crashed)?;
+            }
+            let partial = qconv2d_grouped(&activ, &layer.weights, layer.stride, head);
+            let (k, h, w) = (partial.k, partial.h, partial.w);
+            let pblocks = accum_to_blocks(&partial);
+            let nblocks = pblocks.len() as u64;
+
+            for (i, b) in pblocks.iter().enumerate() {
+                tick(&mut instruments.clock, li, CrashPhase::PartialEvict)
+                    .map_err(JournaledError::Crashed)?;
+                let coords = BlockCoords {
+                    fmap_id: li,
+                    layer_id: li,
+                    version: v_part,
+                    block_index: i as u32,
+                };
+                instruments
+                    .tracker
+                    .on_encrypt(p.epoch, coords, li)
+                    .map_err(JournaledError::Security)?;
+                let ctx = AccessCtx {
+                    layer: li,
+                    block: i as u64,
+                    blocks: nblocks,
+                    base: base_addr,
+                    final_version: false,
+                    attempt,
+                };
+                let mac = datapath.mac(coords, b);
+                let ct = datapath.encrypt(coords, b);
+                store_via(
+                    &mut instruments.injector,
+                    &mut durable.dram,
+                    base_addr + i as u64 * 64,
+                    ct,
+                    &ctx,
+                );
+                lv.on_write(&mac);
+            }
+
+            let mut part_rd = Vec::with_capacity(pblocks.len());
+            for i in 0..pblocks.len() {
+                tick(&mut instruments.clock, li, CrashPhase::ReadBack)
+                    .map_err(JournaledError::Crashed)?;
+                let coords = BlockCoords {
+                    fmap_id: li,
+                    layer_id: li,
+                    version: v_part,
+                    block_index: i as u32,
+                };
+                let ctx = AccessCtx {
+                    layer: li,
+                    block: i as u64,
+                    blocks: nblocks,
+                    base: base_addr,
+                    final_version: false,
+                    attempt,
+                };
+                let ct = load_via(
+                    &mut instruments.injector,
+                    &durable.dram,
+                    base_addr + i as u64 * 64,
+                    &ctx,
+                );
+                let pt = datapath.decrypt(coords, &ct);
+                lv.on_read(&datapath.mac(coords, &pt));
+                part_rd.push(pt);
+            }
+            let partial_back = blocks_to_accum(&part_rd, k, h, w);
+            for _ in 0..layer.weights.k.max(1) {
+                tick(&mut instruments.clock, li, CrashPhase::Compute)
+                    .map_err(JournaledError::Crashed)?;
+            }
+            let mut full = qconv2d_grouped(&activ, &layer.weights, layer.stride, rest);
+            for kk in 0..k {
+                for y in 0..h {
+                    for x in 0..w {
+                        *full.at_mut(kk, y, x) =
+                            full.get(kk, y, x).wrapping_add(partial_back.get(kk, y, x));
+                    }
+                }
+            }
+
+            let fblocks = accum_to_blocks(&full);
+            for (i, b) in fblocks.iter().enumerate() {
+                tick(&mut instruments.clock, li, CrashPhase::FinalEvict)
+                    .map_err(JournaledError::Crashed)?;
+                let coords = BlockCoords {
+                    fmap_id: li,
+                    layer_id: li,
+                    version: v_full,
+                    block_index: i as u32,
+                };
+                instruments
+                    .tracker
+                    .on_encrypt(p.epoch, coords, li)
+                    .map_err(JournaledError::Security)?;
+                let ctx = AccessCtx {
+                    layer: li,
+                    block: i as u64,
+                    blocks: nblocks,
+                    base: base_addr,
+                    final_version: true,
+                    attempt,
+                };
+                let mac = datapath.mac(coords, b);
+                let ct = datapath.encrypt(coords, b);
+                lv.on_write(&mac);
+                store_via(
+                    &mut instruments.injector,
+                    &mut durable.dram,
+                    base_addr + i as u64 * 64,
+                    ct,
+                    &ctx,
+                );
+            }
+
+            if let Some(inj) = instruments.injector.as_deref_mut() {
+                inj.tamper_stored(&mut durable.dram, li, attempt, base_addr, nblocks, &mut lv);
+            }
+
+            let mut refetches_this_attempt = 0u32;
+            let consumed = loop {
+                lv.reset_first_reads();
+                let mut rd = Vec::with_capacity(fblocks.len());
+                for i in 0..fblocks.len() {
+                    tick(&mut instruments.clock, li, CrashPhase::Consume)
+                        .map_err(JournaledError::Crashed)?;
+                    let coords = BlockCoords {
+                        fmap_id: li,
+                        layer_id: li,
+                        version: v_full,
+                        block_index: i as u32,
+                    };
+                    let ctx = AccessCtx {
+                        layer: li,
+                        block: i as u64,
+                        blocks: nblocks,
+                        base: base_addr,
+                        final_version: true,
+                        attempt,
+                    };
+                    let ct = load_via(
+                        &mut instruments.injector,
+                        &durable.dram,
+                        base_addr + i as u64 * 64,
+                        &ctx,
+                    );
+                    let pt = datapath.decrypt(coords, &ct);
+                    lv.on_first_read(&datapath.mac(coords, &pt));
+                    rd.push(pt);
+                }
+                if lv.check().is_verified() {
+                    break Some(rd);
+                }
+                if refetches_this_attempt < session.policy.max_refetches {
+                    refetches_this_attempt += 1;
+                    layer_refetches += 1;
+                    incidents.push(IncidentRecord {
+                        layer_id: li,
+                        attempt,
+                        action: RecoveryAction::Refetch,
+                        cause: SecurityError::LayerIntegrity { layer_id: li },
+                    });
+                    continue;
+                }
+                break None;
+            };
+
+            match consumed {
+                Some(rd) => {
+                    // Commit point: seal the boundary state into the
+                    // journal *before* the next layer starts consuming
+                    // this output. A crash during this append leaves a
+                    // torn tail and costs one layer of re-execution.
+                    let (mac_w, mac_r, mac_fr) = lv.registers();
+                    let mut mac_ir = [0u8; 32];
+                    for i in 0..32 {
+                        mac_ir[i] = mac_w[i] ^ mac_r[i] ^ mac_fr[i];
+                    }
+                    let record = JournalRecord {
+                        kind: JournalRecordKind::LayerCommit,
+                        seq,
+                        layer_id: li,
+                        epoch: p.epoch,
+                        final_vn: v_full,
+                        base_addr,
+                        blocks: nblocks,
+                        k: k as u32,
+                        h: h as u32,
+                        w: w as u32,
+                        mac_w,
+                        mac_r,
+                        mac_fr,
+                        mac_ir,
+                        vn_eta: nblocks.max(1),
+                        vn_kappa: v_full,
+                        vn_rho: 1,
+                        vn_emitted: nblocks.max(1) * u64::from(v_full),
+                    };
+                    durable
+                        .journal
+                        .append(
+                            &record,
+                            &session.secret,
+                            session.nonce,
+                            &mut instruments.clock,
+                        )
+                        .map_err(JournaledError::Crashed)?;
+                    seq += 1;
+                    commits += 1;
+                    activ = requantize_shift(&blocks_to_accum(&rd, k, h, w), session.shift);
+                    max_layer_blocks = max_layer_blocks.max(nblocks);
+                    base_addr += nblocks * 64;
+                    break;
+                }
+                None if attempt < session.policy.max_reexecutions => {
+                    incidents.push(IncidentRecord {
+                        layer_id: li,
+                        attempt,
+                        action: RecoveryAction::ReExecute,
+                        cause: SecurityError::LayerIntegrity { layer_id: li },
+                    });
+                    attempt += 1;
+                }
+                None => {
+                    let error = SecurityError::RecoveryExhausted {
+                        layer_id: li,
+                        refetches: layer_refetches,
+                        reexecutions: attempt,
+                    };
+                    incidents.push(IncidentRecord {
+                        layer_id: li,
+                        attempt,
+                        action: RecoveryAction::Abort,
+                        cause: error.clone(),
+                    });
+                    return Err(JournaledError::Aborted(Box::new(AbortReport {
+                        error,
+                        incidents,
+                        max_layer_blocks: max_layer_blocks.max(nblocks),
+                    })));
+                }
+            }
+        }
+    }
+
+    Ok(JournaledRun {
+        output: activ,
+        incidents,
+        max_layer_blocks,
+        epoch: p.epoch,
+        first_executed_layer: p.start_layer,
+        commits,
+    })
+}
+
+/// Crash-consistent protected inference from the beginning of the
+/// network. Repairs the journal (discarding any torn tail), opens a
+/// fresh nonce epoch with a write-ahead record, then runs the journaled
+/// core loop. On a power cut it returns [`JournaledError::Crashed`] with
+/// all durable state intact; continue with [`infer_resume`].
+///
+/// # Errors
+///
+/// [`JournaledError::Crashed`] on a power cut,
+/// [`JournaledError::Aborted`] when the recovery ladder is exhausted,
+/// [`JournaledError::Security`] on a tampered journal or counter reuse.
+pub fn infer_journaled(
+    layers: &[QConvLayer],
+    input: &QTensor3,
+    session: &SecureSession,
+    durable: &mut DurableState,
+    instruments: &mut Instruments<'_>,
+) -> Result<JournaledRun, JournaledError> {
+    let replayed = durable
+        .journal
+        .repair(&session.secret, session.nonce)
+        .map_err(JournaledError::Security)?;
+    let epoch = replayed.next_epoch();
+    let seq = replayed.records.len() as u32;
+    // Write-ahead: the epoch is declared durable before any pad of it is
+    // consumed, so a torn open record ⇒ the epoch number is still fresh.
+    durable
+        .journal
+        .append(
+            &JournalRecord::epoch_open(seq, 0, epoch),
+            &session.secret,
+            session.nonce,
+            &mut instruments.clock,
+        )
+        .map_err(JournaledError::Crashed)?;
+    run_journaled_core(
+        CoreParams {
+            layers,
+            session,
+            epoch,
+            seq: seq + 1,
+            start_layer: 0,
+            base_addr: 0x1_0000,
+            activ: input.clone(),
+            incidents: IncidentLog::new(),
+        },
+        durable,
+        instruments,
+    )
+}
+
+/// Re-verifies one journaled layer commit against the (persistent,
+/// untrusted) tensor memory: restores the sealed `MAC_W`/`MAC_R`
+/// registers, replays the consumer's first reads under the *committed*
+/// epoch's key, and closes the boundary equation again. Returns the
+/// recovered activations when the data is intact, `None` when it was
+/// tampered with while power was down.
+fn verify_commit(
+    rec: &JournalRecord,
+    session: &SecureSession,
+    durable: &DurableState,
+    instruments: &mut Instruments<'_>,
+) -> Result<Option<QTensor3>, JournaledError> {
+    let datapath = CryptoDatapath::with_epoch(session.secret, session.nonce, rec.epoch);
+    let mut lv = EagerLayerVerifier::restore(rec.mac_w, rec.mac_r, [0u8; 32]);
+    let blocks = rec.blocks as usize;
+    let mut rd = Vec::with_capacity(blocks);
+    for i in 0..blocks {
+        tick(
+            &mut instruments.clock,
+            rec.layer_id,
+            CrashPhase::ResumeVerify,
+        )
+        .map_err(JournaledError::Crashed)?;
+        let coords = BlockCoords {
+            fmap_id: rec.layer_id,
+            layer_id: rec.layer_id,
+            version: rec.final_vn,
+            block_index: i as u32,
+        };
+        let ctx = AccessCtx {
+            layer: rec.layer_id,
+            block: i as u64,
+            blocks: rec.blocks,
+            base: rec.base_addr,
+            final_version: true,
+            attempt: 0,
+        };
+        let ct = load_via(
+            &mut instruments.injector,
+            &durable.dram,
+            rec.base_addr + i as u64 * 64,
+            &ctx,
+        );
+        let pt = datapath.decrypt(coords, &ct);
+        lv.on_first_read(&datapath.mac(coords, &pt));
+        rd.push(pt);
+    }
+    if !lv.check().is_verified() {
+        return Ok(None);
+    }
+    let acc = blocks_to_accum(&rd, rec.k as usize, rec.h as usize, rec.w as usize);
+    Ok(Some(requantize_shift(&acc, session.shift)))
+}
+
+/// Resumes a journaled inference after a power loss.
+///
+/// The journal is repaired (torn tail discarded — power-loss garbage,
+/// not tampering), a **fresh nonce epoch** is derived so no counter is
+/// ever reused even though the interrupted layer's version numbers
+/// repeat, and the last committed layer's output is re-verified against
+/// its sealed MAC registers before being trusted as input. Commits that
+/// fail re-verification (tampered while power was down) are rolled back
+/// one by one — each rollback is an audit incident — until a verifiable
+/// commit or the network input is reached. Execution then continues on
+/// the normal journaled path, so at most one layer of work is repeated
+/// per pure crash, and the audit log is stitched across the outage via
+/// an initial [`RecoveryAction::Resume`] record.
+///
+/// `interrupted` carries the crash report when the caller observed it;
+/// `None` reconstructs the interrupted layer from the journal alone
+/// (e.g. after a cold restart).
+///
+/// # Errors
+///
+/// As [`infer_journaled`]; additionally [`JournaledError::Security`]
+/// with [`SecurityError::JournalIntegrity`] when the journal itself was
+/// tampered with — resume refuses to trust it (fail closed).
+pub fn infer_resume(
+    layers: &[QConvLayer],
+    input: &QTensor3,
+    session: &SecureSession,
+    durable: &mut DurableState,
+    instruments: &mut Instruments<'_>,
+    interrupted: Option<PowerLoss>,
+) -> Result<JournaledRun, JournaledError> {
+    let replayed = durable
+        .journal
+        .repair(&session.secret, session.nonce)
+        .map_err(JournaledError::Security)?;
+    let epoch = replayed.next_epoch();
+    let mut seq = replayed.records.len() as u32;
+
+    let crash_layer = interrupted.map_or_else(
+        || replayed.last_commit().map_or(0, |r| r.layer_id + 1),
+        |loss| loss.layer,
+    );
+    let mut incidents = IncidentLog::new();
+    incidents.push(IncidentRecord {
+        layer_id: crash_layer,
+        attempt: 0,
+        action: RecoveryAction::Resume,
+        cause: SecurityError::PowerInterrupted {
+            layer_id: crash_layer,
+        },
+    });
+
+    // Walk the commits backwards to the newest one whose output still
+    // verifies; everything after it is rolled back (and logged).
+    let commits: Vec<JournalRecord> = replayed.commits().copied().collect();
+    let mut start_layer = 0u32;
+    let mut base_addr = 0x1_0000u64;
+    let mut activ = input.clone();
+    for rec in commits.iter().rev() {
+        match verify_commit(rec, session, durable, instruments)? {
+            Some(recovered) => {
+                activ = recovered;
+                start_layer = rec.layer_id + 1;
+                base_addr = rec.base_addr + rec.blocks * 64;
+                break;
+            }
+            None => {
+                incidents.push(IncidentRecord {
+                    layer_id: rec.layer_id,
+                    attempt: 0,
+                    action: RecoveryAction::Rollback,
+                    cause: SecurityError::LayerIntegrity {
+                        layer_id: rec.layer_id,
+                    },
+                });
+            }
+        }
+    }
+
+    durable
+        .journal
+        .append(
+            &JournalRecord::epoch_open(seq, start_layer, epoch),
+            &session.secret,
+            session.nonce,
+            &mut instruments.clock,
+        )
+        .map_err(JournaledError::Crashed)?;
+    seq += 1;
+
+    run_journaled_core(
+        CoreParams {
+            layers,
+            session,
+            epoch,
+            seq,
+            start_layer,
+            base_addr,
+            activ,
+            incidents,
+        },
+        durable,
+        instruments,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,5 +1363,258 @@ mod tests {
         let b =
             infer_protected(&layers, &input(), 6, DeviceSecret::from_seed(8), 11, None).unwrap();
         assert_eq!(a, b, "re-keying must not change the computation");
+    }
+
+    // ---- journaled / crash-consistent drivers ----
+
+    fn test_session() -> SecureSession {
+        SecureSession {
+            secret: DeviceSecret::from_seed(55),
+            nonce: 777,
+            shift: 6,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn journaled_run_is_bit_exact_and_commits_every_layer() {
+        let layers = network();
+        let session = test_session();
+        let mut durable = crate::journal::DurableState::default();
+        let mut tracker = PadTracker::new();
+        let run = infer_journaled(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(run.output, infer_plain(&layers, &input(), 6));
+        assert_eq!(run.commits, layers.len() as u32);
+        assert_eq!(run.epoch, 0, "a fresh journal starts at epoch 0");
+        assert!(run.incidents.is_empty(), "clean run, clean audit");
+        let replayed = durable
+            .journal
+            .replay(&session.secret, session.nonce)
+            .unwrap();
+        // One EpochOpen plus one commit per layer, gap-free.
+        assert_eq!(replayed.records.len(), layers.len() + 1);
+        assert_eq!(replayed.commits().count(), layers.len());
+    }
+
+    #[test]
+    fn crash_resume_is_bit_exact_and_bumps_the_epoch() {
+        let layers = network();
+        let session = test_session();
+        let expected = infer_plain(&layers, &input(), 6);
+        let mut durable = crate::journal::DurableState::default();
+        let mut tracker = PadTracker::new();
+
+        // Calibrate to find a cut inside layer 1, then crash there.
+        let mut counting = CrashClock::counting();
+        infer_journaled(
+            &layers,
+            &input(),
+            &session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: Some(&mut counting),
+            },
+        )
+        .unwrap();
+        let cut = counting.steps() / 2;
+        let mut clock = CrashClock::armed(cut);
+        let err = infer_journaled(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: Some(&mut clock),
+            },
+        )
+        .unwrap_err();
+        let JournaledError::Crashed(loss) = err else {
+            panic!("armed clock must crash the run, got {err}");
+        };
+
+        // Resume with the *same* tracker: any pad reuse across the crash
+        // would fire. The resumed output must match bit-for-bit.
+        let resumed = infer_resume(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+            Some(loss),
+        )
+        .unwrap();
+        assert_eq!(resumed.output, expected, "resume must be bit-exact");
+        assert!(resumed.epoch > 0, "resume must re-key under a fresh epoch");
+        assert_eq!(
+            resumed.first_executed_layer, loss.layer,
+            "at most the interrupted layer is re-executed"
+        );
+        assert_eq!(
+            resumed.incidents.resumes(),
+            1,
+            "audit stitched across the crash"
+        );
+        assert_eq!(
+            resumed.incidents.rollbacks(),
+            0,
+            "honest memory: nothing to roll back"
+        );
+    }
+
+    #[test]
+    fn tamper_while_power_is_down_rolls_the_commit_back() {
+        let layers = network();
+        let session = test_session();
+        let expected = infer_plain(&layers, &input(), 6);
+        let mut durable = crate::journal::DurableState::default();
+        let mut tracker = PadTracker::new();
+
+        // Crash late enough that at least one layer committed.
+        let mut counting = CrashClock::counting();
+        infer_journaled(
+            &layers,
+            &input(),
+            &session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: Some(&mut counting),
+            },
+        )
+        .unwrap();
+        let mut clock = CrashClock::armed(counting.steps() * 3 / 4);
+        let err = infer_journaled(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: Some(&mut clock),
+            },
+        )
+        .unwrap_err();
+        let JournaledError::Crashed(loss) = err else {
+            panic!("expected a crash")
+        };
+        let last = durable
+            .journal
+            .replay(&session.secret, session.nonce)
+            .unwrap()
+            .last_commit()
+            .copied()
+            .expect("a 3/4 cut must land after the first commit");
+
+        // The adversary rewrites the committed tensor during the outage.
+        durable.dram.tamper_bit(last.base_addr, 1, 7);
+        let resumed = infer_resume(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+            Some(loss),
+        )
+        .unwrap();
+        assert_eq!(resumed.output, expected, "rollback re-derives the truth");
+        assert!(
+            resumed.incidents.rollbacks() >= 1,
+            "tamper must be rolled back"
+        );
+        assert!(
+            resumed.first_executed_layer <= last.layer_id,
+            "the rolled-back layer is re-executed"
+        );
+    }
+
+    #[test]
+    fn tampered_journal_fails_closed_on_resume() {
+        let layers = network();
+        let session = test_session();
+        let mut durable = crate::journal::DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut clock = CrashClock::armed(200);
+        let _ = infer_journaled(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: Some(&mut clock),
+            },
+        );
+        durable.journal.tamper_byte(10);
+        let err = infer_resume(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JournaledError::Security(SecurityError::JournalIntegrity { .. })
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn resume_from_an_empty_journal_restarts_from_the_input() {
+        let layers = network();
+        let session = test_session();
+        let expected = infer_plain(&layers, &input(), 6);
+        let mut durable = crate::journal::DurableState::default();
+        let mut tracker = PadTracker::new();
+        let resumed = infer_resume(
+            &layers,
+            &input(),
+            &session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.output, expected);
+        assert_eq!(resumed.first_executed_layer, 0);
+        assert_eq!(resumed.incidents.resumes(), 1);
     }
 }

@@ -106,7 +106,17 @@ impl CryptoDatapath {
     /// (paper §6.3: key = hardware id ‖ boot random).
     #[must_use]
     pub fn new(secret: DeviceSecret, execution_nonce: u64) -> Self {
-        let key = SessionKey::derive(&secret, execution_nonce);
+        Self::with_epoch(secret, execution_nonce, 0)
+    }
+
+    /// Derives the datapath for a specific *nonce epoch* — epoch 0 is the
+    /// plain execution key, and every crash-resume re-keys the cipher by
+    /// bumping the epoch so no CTR pad is ever generated twice even when
+    /// the resumed layer repeats the interrupted layer's version numbers
+    /// (see [`crate::journal`]).
+    #[must_use]
+    pub fn with_epoch(secret: DeviceSecret, execution_nonce: u64, epoch: u32) -> Self {
+        let key = SessionKey::derive_epoch(&secret, execution_nonce, epoch);
         Self {
             secret,
             cipher: AesCtr::new(&key.0),
@@ -264,6 +274,19 @@ mod tests {
         let b = CryptoDatapath::new(DeviceSecret::from_seed(1), 2);
         let pt: Block = [3u8; 64];
         assert_ne!(a.encrypt(coords(1, 0), &pt), b.encrypt(coords(1, 0), &pt));
+    }
+
+    #[test]
+    fn epoch_rekeys_the_cipher_but_not_the_macs() {
+        let e0 = CryptoDatapath::with_epoch(DeviceSecret::from_seed(1), 42, 0);
+        let e1 = CryptoDatapath::with_epoch(DeviceSecret::from_seed(1), 42, 1);
+        let pt: Block = [5u8; 64];
+        // Same coordinates, different epoch ⇒ different pad ⇒ different
+        // ciphertext (no counter reuse across a crash-resume)...
+        assert_ne!(e0.encrypt(coords(1, 0), &pt), e1.encrypt(coords(1, 0), &pt));
+        // ...while the plaintext-bound MAC is epoch-independent, which is
+        // what lets a resumed run verify a pre-crash layer's output.
+        assert_eq!(e0.mac(coords(1, 0), &pt), e1.mac(coords(1, 0), &pt));
     }
 
     #[test]

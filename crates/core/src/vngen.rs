@@ -34,10 +34,35 @@ impl PatternCounter {
         }
     }
 
+    /// Rebuilds a counter mid-sequence from its journaled position — the
+    /// crash-recovery path ([`crate::journal`]) persists only
+    /// `(⟨η, κ, ρ⟩, emitted)` and re-derives the three FSM registers,
+    /// because the position uniquely determines them.
+    #[must_use]
+    pub fn resume(spec: PatternSpec, emitted: u64) -> Self {
+        let emitted = emitted.min(spec.len());
+        let eta = spec.eta.max(1);
+        let kappa = u64::from(spec.kappa.max(1));
+        Self {
+            spec,
+            run: emitted % eta,
+            level: ((emitted / eta) % kappa) as u32 + 1,
+            rep: emitted / (eta * kappa),
+            emitted,
+        }
+    }
+
     /// The triplet being generated.
     #[must_use]
     pub fn spec(&self) -> PatternSpec {
         self.spec
+    }
+
+    /// Current position in the sequence (= VNs produced so far) — the
+    /// value a layer-commit journal record persists.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.emitted
     }
 
     /// Number of VNs produced so far.
@@ -241,6 +266,36 @@ mod tests {
         let rest: Vec<u32> = std::iter::from_fn(|| g.next_write_vn()).collect();
         assert_eq!(rest, [1, 2, 2, 3, 3]);
         assert!(g.writes_complete());
+    }
+
+    #[test]
+    fn resume_continues_exactly_where_a_fresh_counter_left_off() {
+        for (eta, kappa, rho) in [(1u64, 1u32, 1u64), (3, 4, 2), (5, 1, 7), (2, 3, 1)] {
+            let spec = PatternSpec::new(eta, kappa, rho);
+            for cut in 0..=spec.len() {
+                let mut fresh = PatternCounter::new(spec);
+                for _ in 0..cut {
+                    fresh.next_vn();
+                }
+                assert_eq!(fresh.position(), cut);
+                let mut resumed = PatternCounter::resume(spec, cut);
+                assert_eq!(resumed.position(), cut);
+                let rest_fresh: Vec<u32> = std::iter::from_fn(|| fresh.next_vn()).collect();
+                let rest_resumed: Vec<u32> = std::iter::from_fn(|| resumed.next_vn()).collect();
+                assert_eq!(
+                    rest_fresh, rest_resumed,
+                    "⟨{eta},{kappa},{rho}⟩ resumed at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_past_the_end_is_exhausted() {
+        let spec = PatternSpec::new(2, 2, 1);
+        let mut c = PatternCounter::resume(spec, 999);
+        assert!(c.exhausted());
+        assert_eq!(c.next_vn(), None);
     }
 
     #[test]

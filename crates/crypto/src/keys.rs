@@ -55,6 +55,29 @@ impl SessionKey {
         Self(key)
     }
 
+    /// Derives the execution key for a *nonce epoch* — the
+    /// crash-recovery refinement of [`SessionKey::derive`]. Epoch 0 is
+    /// the plain per-execution key; every crash-resume bumps the epoch,
+    /// so blocks re-encrypted after a power loss never share a
+    /// (key, counter) pair with the interrupted epoch even when the
+    /// version numbers repeat: `trunc128(SHA256(secret ‖ nonce ‖
+    /// "epoch" ‖ e))` for `e > 0`.
+    #[must_use]
+    pub fn derive_epoch(secret: &DeviceSecret, execution_nonce: u64, epoch: u32) -> Self {
+        if epoch == 0 {
+            return Self::derive(secret, execution_nonce);
+        }
+        let mut h = Sha256::new();
+        h.update(&secret.0);
+        h.update(&execution_nonce.to_le_bytes());
+        h.update(b"epoch");
+        h.update(&epoch.to_le_bytes());
+        let digest = h.finalize();
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&digest[..16]);
+        Self(key)
+    }
+
     /// Derives a sub-key for a named purpose (e.g., the XTS tweak key),
     /// so one session key can seed independent cipher instances.
     #[must_use]
@@ -80,6 +103,33 @@ mod tests {
         assert_ne!(SessionKey::derive(&s1, 0), SessionKey::derive(&s1, 1));
         assert_ne!(SessionKey::derive(&s1, 0), SessionKey::derive(&s2, 0));
         assert_eq!(SessionKey::derive(&s1, 7), SessionKey::derive(&s1, 7));
+    }
+
+    #[test]
+    fn epoch_zero_is_the_plain_execution_key() {
+        let s = DeviceSecret::from_seed(4);
+        assert_eq!(
+            SessionKey::derive_epoch(&s, 11, 0),
+            SessionKey::derive(&s, 11)
+        );
+    }
+
+    #[test]
+    fn epochs_yield_pairwise_distinct_keys() {
+        let s = DeviceSecret::from_seed(4);
+        let keys: Vec<SessionKey> = (0..8)
+            .map(|e| SessionKey::derive_epoch(&s, 11, e))
+            .collect();
+        for i in 0..keys.len() {
+            for j in 0..i {
+                assert_ne!(keys[i], keys[j], "epochs {i} and {j} must not collide");
+            }
+        }
+        // Epochs are also nonce-specific.
+        assert_ne!(
+            SessionKey::derive_epoch(&s, 11, 1),
+            SessionKey::derive_epoch(&s, 12, 1)
+        );
     }
 
     #[test]

@@ -51,6 +51,14 @@ impl MacRegister {
         self.0
     }
 
+    /// Rebuilds a register from previously-saved contents — how the
+    /// crash-recovery journal restores a sealed MAC register after a
+    /// power loss.
+    #[must_use]
+    pub fn from_value(value: [u8; 32]) -> Self {
+        Self(value)
+    }
+
     /// True if the register is all-zero (the state after absorbing every
     /// MAC an even number of times).
     #[must_use]

@@ -14,7 +14,10 @@ use seculator::arch::layer::{ConvShape, LayerDesc, LayerKind};
 use seculator::arch::tiling::TileConfig;
 use seculator::arch::trace::LayerSchedule;
 use seculator::core::storage::table7_rows;
-use seculator::core::{run_campaign, Attack, CampaignConfig, FunctionalNpu, SchemeKind, TimingNpu};
+use seculator::core::{
+    run_campaign, run_crash_campaign, Attack, CampaignConfig, CrashCampaignConfig, FunctionalNpu,
+    SchemeKind, TimingNpu,
+};
 use seculator::crypto::DeviceSecret;
 use seculator::models::{zoo, Network};
 use seculator::sim::config::NpuConfig;
@@ -28,6 +31,7 @@ fn usage() -> ! {
            patterns [--k N --c N --hw N]               derive VN patterns\n\
            attack                                      functional attack demo\n\
            fault-campaign [--seed N --faults K]        seeded fault-injection sweep\n\
+           crash-campaign [--seed N --cuts K]          seeded power-loss + resume sweep\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
            describe --network <name>                   per-layer mapped loop nests\n\n\
          networks: mobilenet resnet alexnet vgg16 vgg19 tiny\n\
@@ -41,6 +45,20 @@ fn opt(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parses a numeric `--name N` option. An *absent* option takes the
+/// default; a present-but-malformed value is a usage error (exit 2) —
+/// the campaign exit-code contract reserves 1 for detection misses, so
+/// a typo must never be silently swallowed into a passing run.
+fn num_opt(args: &[String], name: &str, default: u64) -> u64 {
+    match opt(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {name}: `{v}`");
+            usage()
+        }),
+    }
 }
 
 fn network(name: &str) -> Network {
@@ -201,15 +219,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fault-campaign" => {
-            let get = |name: &str, default: u64| {
-                opt(&args, name)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(default)
-            };
             let cfg = CampaignConfig {
-                seed: get("--seed", 42),
-                faults: get("--faults", 26) as u32,
-                clean_trials: get("--clean", 8) as u32,
+                seed: num_opt(&args, "--seed", 42),
+                faults: num_opt(&args, "--faults", 26) as u32,
+                clean_trials: num_opt(&args, "--clean", 8) as u32,
                 ..CampaignConfig::default()
             };
             println!(
@@ -217,6 +230,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cfg.seed, cfg.faults, cfg.clean_trials
             );
             let report = run_campaign(&cfg);
+            println!("{}", report.summary());
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+        "crash-campaign" => {
+            let cfg = CrashCampaignConfig {
+                seed: num_opt(&args, "--seed", 42),
+                cuts_per_model: num_opt(&args, "--cuts", 70) as u32,
+            };
+            println!(
+                "crash campaign: seed {} / {} cuts per model\n",
+                cfg.seed, cfg.cuts_per_model
+            );
+            let report = run_crash_campaign(&cfg);
             println!("{}", report.summary());
             if !report.passed() {
                 std::process::exit(1);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-eb425501a77a6cf8.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-eb425501a77a6cf8: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

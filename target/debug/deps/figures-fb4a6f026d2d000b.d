@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-fb4a6f026d2d000b.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-fb4a6f026d2d000b: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/figures_cli-d7f1e92c4f63e3a3.d: crates/bench/tests/figures_cli.rs
+
+/root/repo/target/debug/deps/figures_cli-d7f1e92c4f63e3a3: crates/bench/tests/figures_cli.rs
+
+crates/bench/tests/figures_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_figures=/root/repo/target/debug/figures

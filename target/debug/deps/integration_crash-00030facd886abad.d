@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_crash-00030facd886abad.d: tests/integration_crash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_crash-00030facd886abad.rmeta: tests/integration_crash.rs Cargo.toml
+
+tests/integration_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_crash-bba0518c4bf8ed16.d: tests/integration_crash.rs
+
+/root/repo/target/debug/deps/integration_crash-bba0518c4bf8ed16: tests/integration_crash.rs
+
+tests/integration_crash.rs:

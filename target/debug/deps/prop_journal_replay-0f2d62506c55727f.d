@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_journal_replay-0f2d62506c55727f.d: tests/prop_journal_replay.rs
+
+/root/repo/target/debug/deps/prop_journal_replay-0f2d62506c55727f: tests/prop_journal_replay.rs
+
+tests/prop_journal_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_journal_replay-d72c08a424caba7c.d: tests/prop_journal_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_journal_replay-d72c08a424caba7c.rmeta: tests/prop_journal_replay.rs Cargo.toml
+
+tests/prop_journal_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

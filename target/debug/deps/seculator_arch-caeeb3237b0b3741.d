@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/seculator_arch-caeeb3237b0b3741.d: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+/root/repo/target/debug/deps/seculator_arch-caeeb3237b0b3741: crates/arch/src/lib.rs crates/arch/src/analysis.rs crates/arch/src/dataflow.rs crates/arch/src/layer.rs crates/arch/src/mapper.rs crates/arch/src/pattern.rs crates/arch/src/recipe.rs crates/arch/src/tiling.rs crates/arch/src/trace.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/analysis.rs:
+crates/arch/src/dataflow.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/mapper.rs:
+crates/arch/src/pattern.rs:
+crates/arch/src/recipe.rs:
+crates/arch/src/tiling.rs:
+crates/arch/src/trace.rs:

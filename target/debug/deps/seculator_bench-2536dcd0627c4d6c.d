@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/seculator_bench-2536dcd0627c4d6c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libseculator_bench-2536dcd0627c4d6c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libseculator_bench-2536dcd0627c4d6c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

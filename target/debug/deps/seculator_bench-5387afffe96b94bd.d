@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seculator_bench-5387afffe96b94bd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/seculator_bench-5387afffe96b94bd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

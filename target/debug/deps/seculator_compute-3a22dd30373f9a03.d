@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/seculator_compute-3a22dd30373f9a03.d: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+/root/repo/target/debug/deps/seculator_compute-3a22dd30373f9a03: crates/compute/src/lib.rs crates/compute/src/executor.rs crates/compute/src/quant.rs crates/compute/src/reference.rs crates/compute/src/systolic.rs crates/compute/src/tensor.rs
+
+crates/compute/src/lib.rs:
+crates/compute/src/executor.rs:
+crates/compute/src/quant.rs:
+crates/compute/src/reference.rs:
+crates/compute/src/systolic.rs:
+crates/compute/src/tensor.rs:

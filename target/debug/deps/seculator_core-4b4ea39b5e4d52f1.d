@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/seculator_core-4b4ea39b5e4d52f1.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs Cargo.toml
+/root/repo/target/debug/deps/seculator_core-4b4ea39b5e4d52f1.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs Cargo.toml
 
-/root/repo/target/debug/deps/libseculator_core-4b4ea39b5e4d52f1.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs Cargo.toml
+/root/repo/target/debug/deps/libseculator_core-4b4ea39b5e4d52f1.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/audit.rs:
@@ -11,6 +11,7 @@ crates/core/src/error.rs:
 crates/core/src/fault.rs:
 crates/core/src/functional.rs:
 crates/core/src/hwcost.rs:
+crates/core/src/journal.rs:
 crates/core/src/mac_verify.rs:
 crates/core/src/mea.rs:
 crates/core/src/noise.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/seculator_core-79887c0bd3d4af77.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+/root/repo/target/debug/deps/seculator_core-79887c0bd3d4af77.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
 
-/root/repo/target/debug/deps/libseculator_core-79887c0bd3d4af77.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+/root/repo/target/debug/deps/libseculator_core-79887c0bd3d4af77.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
 
-/root/repo/target/debug/deps/libseculator_core-79887c0bd3d4af77.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+/root/repo/target/debug/deps/libseculator_core-79887c0bd3d4af77.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
 
 crates/core/src/lib.rs:
 crates/core/src/audit.rs:
@@ -13,6 +13,7 @@ crates/core/src/error.rs:
 crates/core/src/fault.rs:
 crates/core/src/functional.rs:
 crates/core/src/hwcost.rs:
+crates/core/src/journal.rs:
 crates/core/src/mac_verify.rs:
 crates/core/src/mea.rs:
 crates/core/src/noise.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/seculator_core-a1d483dd91b6e9d5.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/mea.rs crates/core/src/storage.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+/root/repo/target/debug/deps/seculator_core-a1d483dd91b6e9d5.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
 
-/root/repo/target/debug/deps/seculator_core-a1d483dd91b6e9d5: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/mea.rs crates/core/src/storage.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/mac_verify.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+/root/repo/target/debug/deps/seculator_core-a1d483dd91b6e9d5: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
 
 crates/core/src/lib.rs:
 crates/core/src/audit.rs:
@@ -9,17 +9,18 @@ crates/core/src/detection.rs:
 crates/core/src/engine.rs:
 crates/core/src/error.rs:
 crates/core/src/fault.rs:
-crates/core/src/mea.rs:
-crates/core/src/storage.rs:
 crates/core/src/functional.rs:
 crates/core/src/hwcost.rs:
+crates/core/src/journal.rs:
 crates/core/src/mac_verify.rs:
+crates/core/src/mea.rs:
 crates/core/src/noise.rs:
 crates/core/src/npu.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/secure_infer.rs:
 crates/core/src/secure_memory.rs:
 crates/core/src/sgx_functional.rs:
+crates/core/src/storage.rs:
 crates/core/src/tnpu_functional.rs:
 crates/core/src/vngen.rs:
 crates/core/src/widening.rs:

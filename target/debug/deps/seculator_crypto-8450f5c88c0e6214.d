@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/seculator_crypto-8450f5c88c0e6214.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+/root/repo/target/debug/deps/seculator_crypto-8450f5c88c0e6214: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/gf.rs crates/crypto/src/keys.rs crates/crypto/src/merkle.rs crates/crypto/src/sha256.rs crates/crypto/src/xor_mac.rs crates/crypto/src/xts.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/gf.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/xor_mac.rs:
+crates/crypto/src/xts.rs:

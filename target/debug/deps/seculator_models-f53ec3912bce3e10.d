@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/seculator_models-f53ec3912bce3e10.d: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/seculator_models-f53ec3912bce3e10: crates/models/src/lib.rs crates/models/src/extras.rs crates/models/src/network.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/extras.rs:
+crates/models/src/network.rs:
+crates/models/src/zoo.rs:

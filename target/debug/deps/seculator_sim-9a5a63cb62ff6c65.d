@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/seculator_sim-9a5a63cb62ff6c65.d: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs
+
+/root/repo/target/debug/deps/seculator_sim-9a5a63cb62ff6c65: crates/sim/src/lib.rs crates/sim/src/address.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/dram.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/global_buffer.rs crates/sim/src/reuse.rs crates/sim/src/stats.rs crates/sim/src/systolic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/address.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/global_buffer.rs:
+crates/sim/src/reuse.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/systolic.rs:

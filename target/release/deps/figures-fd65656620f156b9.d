@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-fd65656620f156b9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-fd65656620f156b9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/seculator_bench-f1ede3bf5e0914c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libseculator_bench-f1ede3bf5e0914c5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libseculator_bench-f1ede3bf5e0914c5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -75,3 +75,59 @@ fn bad_usage_exits_nonzero_with_help() {
     assert!(!ok);
     assert!(stderr.contains("usage:"));
 }
+
+fn run_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_seculator"))
+        .args(args)
+        .output()
+        .expect("cli binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn crash_campaign_subcommand_passes_and_is_deterministic() {
+    let (code, stdout, _) = run_code(&["crash-campaign", "--seed", "5", "--cuts", "3"]);
+    assert_eq!(
+        code,
+        Some(0),
+        "crash campaign must exit 0 on PASS: {stdout}"
+    );
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    assert!(stdout.contains("pad reuses: 0"), "{stdout}");
+    assert!(stdout.contains("stale acceptances: 0"), "{stdout}");
+    assert!(
+        stdout.contains("\"resumes\":"),
+        "machine-readable ladder summary present: {stdout}"
+    );
+    let (_, again, _) = run_code(&["crash-campaign", "--seed", "5", "--cuts", "3"]);
+    assert_eq!(stdout, again, "same seed must be byte-identical");
+    let (_, other, _) = run_code(&["crash-campaign", "--seed", "6", "--cuts", "3"]);
+    assert_ne!(stdout, other, "different seed, different cuts");
+}
+
+/// Both campaigns share one exit-code contract: 0 = clean pass, 1 = a
+/// detection miss (unreachable from a healthy build — the campaigns
+/// exercise it via `passed()`), 2 = usage error. A malformed numeric
+/// option must be a *usage* error, never silently defaulted into a
+/// passing (exit 0) run.
+#[test]
+fn campaigns_share_the_exit_code_contract() {
+    for campaign in ["fault-campaign", "crash-campaign"] {
+        let (code, _, stderr) = run_code(&[campaign, "--seed", "not-a-number"]);
+        assert_eq!(code, Some(2), "{campaign}: bad --seed is a usage error");
+        assert!(stderr.contains("invalid value for --seed"), "{stderr}");
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+    let (code, _, stderr) = run_code(&["fault-campaign", "--faults", "-3"]);
+    assert_eq!(code, Some(2), "negative counts are usage errors");
+    assert!(stderr.contains("invalid value for --faults"), "{stderr}");
+    let (code, _, stderr) = run_code(&["crash-campaign", "--cuts", "many"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    // Unknown commands are usage errors too (exit 2, not 1).
+    let (code, _, _) = run_code(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+}
