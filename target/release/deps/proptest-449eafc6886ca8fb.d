@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-449eafc6886ca8fb.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-449eafc6886ca8fb.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-449eafc6886ca8fb.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

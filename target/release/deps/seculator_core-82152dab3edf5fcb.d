@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/seculator_core-82152dab3edf5fcb.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+
+/root/repo/target/release/deps/seculator_core-82152dab3edf5fcb: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/command.rs crates/core/src/detection.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/functional.rs crates/core/src/hwcost.rs crates/core/src/journal.rs crates/core/src/mac_verify.rs crates/core/src/mea.rs crates/core/src/noise.rs crates/core/src/npu.rs crates/core/src/pipeline.rs crates/core/src/secure_infer.rs crates/core/src/secure_memory.rs crates/core/src/sgx_functional.rs crates/core/src/storage.rs crates/core/src/tnpu_functional.rs crates/core/src/vngen.rs crates/core/src/widening.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/command.rs:
+crates/core/src/detection.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/functional.rs:
+crates/core/src/hwcost.rs:
+crates/core/src/journal.rs:
+crates/core/src/mac_verify.rs:
+crates/core/src/mea.rs:
+crates/core/src/noise.rs:
+crates/core/src/npu.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/secure_infer.rs:
+crates/core/src/secure_memory.rs:
+crates/core/src/sgx_functional.rs:
+crates/core/src/storage.rs:
+crates/core/src/tnpu_functional.rs:
+crates/core/src/vngen.rs:
+crates/core/src/widening.rs:
