@@ -663,12 +663,19 @@ impl CrashCampaignReport {
     }
 }
 
-/// One campaign workload.
-struct CrashModel {
-    name: &'static str,
-    layers: Vec<QConvLayer>,
-    input: QTensor3,
-    session: SecureSession,
+/// One campaign workload: a named model plus the deterministic session
+/// it always runs under. Public so the throughput benchmark measures
+/// exactly the tensors and sessions the crash campaign exercises.
+#[derive(Debug, Clone)]
+pub struct CampaignModel {
+    /// Stable workload name (appears in campaign and benchmark reports).
+    pub name: &'static str,
+    /// The network.
+    pub layers: Vec<QConvLayer>,
+    /// Seeded input activations.
+    pub input: QTensor3,
+    /// Fixed per-model session (secret seed, nonce, shift, policy).
+    pub session: SecureSession,
 }
 
 fn session(seed: u64, nonce: u64) -> SecureSession {
@@ -683,8 +690,9 @@ fn session(seed: u64, nonce: u64) -> SecureSession {
 /// The three campaign workloads: a channel-grouped CNN (multi-group
 /// layers exercise the partial/final two-version plan), a strided CNN,
 /// and an MLP of 1×1 fully-connected layers.
-fn crash_models() -> Vec<CrashModel> {
-    let grouped = CrashModel {
+#[must_use]
+pub fn campaign_models() -> Vec<CampaignModel> {
+    let grouped = CampaignModel {
         name: "grouped-cnn",
         layers: vec![
             QConvLayer {
@@ -702,7 +710,7 @@ fn crash_models() -> Vec<CrashModel> {
         input: QTensor3::seeded(6, 10, 10, 14),
         session: session(101, 1001),
     };
-    let strided = CrashModel {
+    let strided = CampaignModel {
         name: "strided-cnn",
         layers: vec![
             QConvLayer::simple(QTensor4::seeded(4, 3, 3, 3, 21), 2),
@@ -715,7 +723,7 @@ fn crash_models() -> Vec<CrashModel> {
         input: QTensor3::seeded(3, 12, 12, 23),
         session: session(102, 1002),
     };
-    let mlp = CrashModel {
+    let mlp = CampaignModel {
         name: "mlp",
         layers: vec![
             QConvLayer::fully_connected(QTensor4::seeded(16, 8, 1, 1, 31)),
@@ -767,7 +775,7 @@ impl CampaignState {
 /// Runs one seeded power cut against one model.
 #[allow(clippy::too_many_lines)]
 fn run_trial(
-    model: &CrashModel,
+    model: &CampaignModel,
     expected: &QTensor3,
     cut: u64,
     roll: u64,
@@ -1062,7 +1070,7 @@ pub fn run_crash_campaign(config: &CrashCampaignConfig) -> CrashCampaignReport {
         stale_accepts: 0,
     };
     let mut trials = Vec::new();
-    let models = crash_models();
+    let models = campaign_models();
 
     for model in &models {
         let expected = infer_plain(&model.layers, &model.input, model.session.shift);
@@ -1290,7 +1298,7 @@ mod tests {
     #[test]
     fn default_campaign_sweeps_enough_cuts_over_enough_models() {
         let cfg = CrashCampaignConfig::default();
-        let models = crash_models();
+        let models = campaign_models();
         assert!(models.len() >= 3);
         assert!(u64::from(cfg.cuts_per_model) * models.len() as u64 >= 200);
     }

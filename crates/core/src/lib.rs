@@ -46,8 +46,9 @@ pub use fault::{
 };
 pub use functional::{Attack, FunctionalNpu, FunctionalReport};
 pub use journal::{
-    run_crash_campaign, CrashCampaignConfig, CrashCampaignReport, CrashTrial, CrashVariant,
-    DurableState, JournalRecord, JournalRecordKind, JournalReplay, JournalStore, PadTracker,
+    campaign_models, run_crash_campaign, CampaignModel, CrashCampaignConfig, CrashCampaignReport,
+    CrashTrial, CrashVariant, DurableState, JournalRecord, JournalRecordKind, JournalReplay,
+    JournalStore, PadTracker,
 };
 pub use mac_verify::{EagerLayerVerifier, LayerMacVerifier, ReadOnlyVerifier, VerifyOutcome};
 pub use mea::{evaluate_defense, infer_layer_dims, AddressTraceObserver, MeaReport};
@@ -58,11 +59,11 @@ pub use pipeline::{
     PipelineConfig,
 };
 pub use secure_infer::{
-    infer_journaled, infer_plain, infer_protected, infer_resilient, infer_resume, AbortReport,
-    InferError, Instruments, JournaledError, JournaledRun, QConvLayer, RecoveryPolicy,
-    ResilientRun, SecureSession,
+    infer_journaled, infer_plain, infer_protected, infer_protected_mode, infer_resilient,
+    infer_resume, AbortReport, InferError, Instruments, JournaledError, JournaledRun, QConvLayer,
+    RecoveryPolicy, ResilientRun, SecureSession,
 };
-pub use secure_memory::{BlockCoords, CryptoDatapath, UntrustedDram};
+pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
 pub use sgx_functional::{SgxError, SgxMemory};
 pub use storage::{table7_rows, StorageFootprint};
 pub use tnpu_functional::{TnpuError, TnpuMemory};

@@ -17,7 +17,7 @@ use crate::error::SecurityError;
 use crate::fault::{AccessCtx, CrashClock, CrashPhase, FaultInjector, PowerLoss};
 use crate::journal::{DurableState, JournalRecord, JournalRecordKind, PadTracker};
 use crate::mac_verify::{EagerLayerVerifier, LayerMacVerifier};
-use crate::secure_memory::{Block, BlockCoords, CryptoDatapath, UntrustedDram};
+use crate::secure_memory::{Block, BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
 use seculator_compute::quant::{qconv2d, qconv2d_grouped, QTensor3, QTensor4};
 use seculator_crypto::keys::DeviceSecret;
 
@@ -134,6 +134,36 @@ fn blocks_to_accum(
     t
 }
 
+/// Coordinates of every block of one tile at a fixed `(fmap, layer, VN)`
+/// — the unit [`CryptoDatapath::seal_blocks`] / `open_blocks` fan out
+/// over.
+fn tile_coords(fmap_id: u32, layer_id: u32, version: u32, blocks: usize) -> Vec<BlockCoords> {
+    (0..blocks)
+        .map(|i| BlockCoords {
+            fmap_id,
+            layer_id,
+            version,
+            block_index: i as u32,
+        })
+        .collect()
+}
+
+/// Sequentially fetches a pending tile's ciphertext from DRAM alongside
+/// its coordinates (VN 1, fmap = layer = producer — the deferred-verify
+/// layout of [`infer_protected`]).
+fn pending_tile(
+    dram: &UntrustedDram,
+    base: u64,
+    blocks: usize,
+    producer: u32,
+) -> (Vec<BlockCoords>, Vec<Block>) {
+    let coords = tile_coords(producer, producer, 1, blocks);
+    let cts = (0..blocks)
+        .map(|i| dram.load(base + i as u64 * 64))
+        .collect();
+    (coords, cts)
+}
+
 /// Requantizes an accumulator to int8 activations with a fixed
 /// right-shift (a simple power-of-two requantization).
 fn requantize_shift(t: &seculator_compute::quant::QAccum3, shift: u32) -> QTensor3 {
@@ -194,7 +224,35 @@ pub fn infer_protected(
     nonce: u64,
     attack: Option<(u32, u64)>,
 ) -> Result<QTensor3, InferError> {
-    let datapath = CryptoDatapath::new(secret, nonce);
+    infer_protected_mode(
+        layers,
+        input,
+        shift,
+        secret,
+        nonce,
+        attack,
+        DatapathMode::default(),
+    )
+}
+
+/// [`infer_protected`] with an explicit [`DatapathMode`] — the entry
+/// point the throughput benchmark uses to time the serial reference
+/// against the parallel datapath on identical inputs and assert the
+/// outputs are bit-identical.
+///
+/// # Errors
+///
+/// As [`infer_protected`].
+pub fn infer_protected_mode(
+    layers: &[QConvLayer],
+    input: &QTensor3,
+    shift: u32,
+    secret: DeviceSecret,
+    nonce: u64,
+    attack: Option<(u32, u64)>,
+    mode: DatapathMode,
+) -> Result<QTensor3, InferError> {
+    let datapath = CryptoDatapath::with_epoch_mode(secret, nonce, 0, mode);
     let mut dram = UntrustedDram::new();
     let mut verifier = LayerMacVerifier::new();
     let mut activ = input.clone();
@@ -219,15 +277,13 @@ pub fn infer_protected(
         // MACs land in the producer's register bank, closing its
         // write-set when `end_layer` fires below.
         if let Some(p) = pending.take() {
+            // Fetch the tile's ciphertext sequentially, then fan the pure
+            // decrypt+MAC work across the blocks in one batch; MACs are
+            // absorbed in block order (XOR makes even that order moot).
+            let (coords, cts) = pending_tile(&dram, p.base, p.blocks, p.producer);
+            let opened = datapath.open_blocks(&coords, &cts);
             let mut read_blocks = Vec::with_capacity(p.blocks);
-            for i in 0..p.blocks {
-                let coords = BlockCoords {
-                    fmap_id: p.producer,
-                    layer_id: p.producer,
-                    version: 1,
-                    block_index: i as u32,
-                };
-                let (pt, mac) = datapath.read_block(&dram, p.base + i as u64 * 64, coords);
+            for (pt, mac) in opened {
                 read_blocks.push(pt);
                 verifier.on_first_read(&mac);
             }
@@ -239,16 +295,13 @@ pub fn infer_protected(
         let acc = qconv2d_grouped(&activ, &layer.weights, layer.stride, &layer.channel_groups);
         let (k, h, w) = (acc.k, acc.h, acc.w);
 
-        // Evict the output tensor to untrusted DRAM, block by block.
+        // Evict the output tensor to untrusted DRAM: encrypt + MAC the
+        // whole tile in one batch, then store sequentially.
         let blocks = accum_to_blocks(&acc);
-        for (i, b) in blocks.iter().enumerate() {
-            let coords = BlockCoords {
-                fmap_id: li,
-                layer_id: li,
-                version: 1,
-                block_index: i as u32,
-            };
-            let mac = datapath.write_block(&mut dram, base_addr + i as u64 * 64, coords, b);
+        let coords = tile_coords(li, li, 1, blocks.len());
+        let sealed = datapath.seal_blocks(&coords, &blocks);
+        for (i, (ct, mac)) in sealed.into_iter().enumerate() {
+            dram.store(base_addr + i as u64 * 64, ct);
             verifier.on_write(&mac);
         }
 
@@ -280,15 +333,10 @@ pub fn infer_protected(
 
     // The host drains the final output, closing the last layer's check.
     if let Some(p) = pending.take() {
+        let (coords, cts) = pending_tile(&dram, p.base, p.blocks, p.producer);
+        let opened = datapath.open_blocks(&coords, &cts);
         let mut read_blocks = Vec::with_capacity(p.blocks);
-        for i in 0..p.blocks {
-            let coords = BlockCoords {
-                fmap_id: p.producer,
-                layer_id: p.producer,
-                version: 1,
-                block_index: i as u32,
-            };
-            let (pt, mac) = datapath.read_block(&dram, p.base + i as u64 * 64, coords);
+        for (pt, mac) in opened {
             read_blocks.push(pt);
             verifier.record_output_drain(&mac);
         }
@@ -468,18 +516,17 @@ pub fn infer_resilient(
             let v_full = attempt * 2 + 2;
             let mut lv = EagerLayerVerifier::new();
 
-            // Pass 1: compute + evict the partial accumulation.
+            // Pass 1: compute + evict the partial accumulation. The pure
+            // encrypt+MAC work is batched up front (fanning out in
+            // parallel mode); the injector-visible stores then run in
+            // the original block order.
             let partial = qconv2d_grouped(&activ, &layer.weights, layer.stride, head);
             let (k, h, w) = (partial.k, partial.h, partial.w);
             let pblocks = accum_to_blocks(&partial);
             let nblocks = pblocks.len() as u64;
-            for (i, b) in pblocks.iter().enumerate() {
-                let coords = BlockCoords {
-                    fmap_id: li,
-                    layer_id: li,
-                    version: v_part,
-                    block_index: i as u32,
-                };
+            let pcoords = tile_coords(li, li, v_part, pblocks.len());
+            let sealed = datapath.seal_blocks(&pcoords, &pblocks);
+            for (i, (ct, mac)) in sealed.into_iter().enumerate() {
                 let ctx = AccessCtx {
                     layer: li,
                     block: i as u64,
@@ -488,8 +535,6 @@ pub fn infer_resilient(
                     final_version: false,
                     attempt,
                 };
-                let mac = datapath.mac(coords, b);
-                let ct = datapath.encrypt(coords, b);
                 store_via(
                     &mut injector,
                     &mut dram,
@@ -502,15 +547,10 @@ pub fn infer_resilient(
 
             // Read the partial back (ordinary reads — they balance the
             // partial writes in the MAC equation) and fold in the
-            // remaining channel groups.
-            let mut part_rd = Vec::with_capacity(pblocks.len());
+            // remaining channel groups. Loads stay sequential (the
+            // injector sees them in order); decrypt+MAC is batched.
+            let mut part_ct = Vec::with_capacity(pblocks.len());
             for i in 0..pblocks.len() {
-                let coords = BlockCoords {
-                    fmap_id: li,
-                    layer_id: li,
-                    version: v_part,
-                    block_index: i as u32,
-                };
                 let ctx = AccessCtx {
                     layer: li,
                     block: i as u64,
@@ -519,9 +559,16 @@ pub fn infer_resilient(
                     final_version: false,
                     attempt,
                 };
-                let ct = load_via(&mut injector, &dram, base_addr + i as u64 * 64, &ctx);
-                let pt = datapath.decrypt(coords, &ct);
-                lv.on_read(&datapath.mac(coords, &pt));
+                part_ct.push(load_via(
+                    &mut injector,
+                    &dram,
+                    base_addr + i as u64 * 64,
+                    &ctx,
+                ));
+            }
+            let mut part_rd = Vec::with_capacity(pblocks.len());
+            for (pt, mac) in datapath.open_blocks(&pcoords, &part_ct) {
+                lv.on_read(&mac);
                 part_rd.push(pt);
             }
             let partial_back = blocks_to_accum(&part_rd, k, h, w);
@@ -537,13 +584,9 @@ pub fn infer_resilient(
 
             // Pass 2: evict the final version at the same addresses.
             let fblocks = accum_to_blocks(&full);
-            for (i, b) in fblocks.iter().enumerate() {
-                let coords = BlockCoords {
-                    fmap_id: li,
-                    layer_id: li,
-                    version: v_full,
-                    block_index: i as u32,
-                };
+            let fcoords = tile_coords(li, li, v_full, fblocks.len());
+            let sealed = datapath.seal_blocks(&fcoords, &fblocks);
+            for (i, (ct, mac)) in sealed.into_iter().enumerate() {
                 let ctx = AccessCtx {
                     layer: li,
                     block: i as u64,
@@ -552,8 +595,6 @@ pub fn infer_resilient(
                     final_version: true,
                     attempt,
                 };
-                let mac = datapath.mac(coords, b);
-                let ct = datapath.encrypt(coords, b);
                 // The on-chip register absorbs the MAC at issue time even
                 // if the adversary drops the write on its way to DRAM.
                 lv.on_write(&mac);
@@ -577,14 +618,8 @@ pub fn infer_resilient(
             let mut refetches_this_attempt = 0u32;
             let consumed = loop {
                 lv.reset_first_reads();
-                let mut rd = Vec::with_capacity(fblocks.len());
+                let mut cts = Vec::with_capacity(fblocks.len());
                 for i in 0..fblocks.len() {
-                    let coords = BlockCoords {
-                        fmap_id: li,
-                        layer_id: li,
-                        version: v_full,
-                        block_index: i as u32,
-                    };
                     let ctx = AccessCtx {
                         layer: li,
                         block: i as u64,
@@ -593,9 +628,16 @@ pub fn infer_resilient(
                         final_version: true,
                         attempt,
                     };
-                    let ct = load_via(&mut injector, &dram, base_addr + i as u64 * 64, &ctx);
-                    let pt = datapath.decrypt(coords, &ct);
-                    lv.on_first_read(&datapath.mac(coords, &pt));
+                    cts.push(load_via(
+                        &mut injector,
+                        &dram,
+                        base_addr + i as u64 * 64,
+                        &ctx,
+                    ));
+                }
+                let mut rd = Vec::with_capacity(fblocks.len());
+                for (pt, mac) in datapath.open_blocks(&fcoords, &cts) {
+                    lv.on_first_read(&mac);
                     rd.push(pt);
                 }
                 if lv.check().is_verified() {
@@ -811,18 +853,19 @@ fn run_journaled_core(
             let pblocks = accum_to_blocks(&partial);
             let nblocks = pblocks.len() as u64;
 
-            for (i, b) in pblocks.iter().enumerate() {
+            // Pure crypto for the whole tile is batched up front (rayon
+            // fan-out in parallel mode); the stateful steps — crash
+            // ticks, pad-reuse tracking, injector-visible stores — then
+            // run in the original block order, so a power cut or reuse
+            // stop leaves exactly the state the serial loop would have.
+            let pcoords = tile_coords(li, li, v_part, pblocks.len());
+            let sealed = datapath.seal_blocks(&pcoords, &pblocks);
+            for (i, (ct, mac)) in sealed.into_iter().enumerate() {
                 tick(&mut instruments.clock, li, CrashPhase::PartialEvict)
                     .map_err(JournaledError::Crashed)?;
-                let coords = BlockCoords {
-                    fmap_id: li,
-                    layer_id: li,
-                    version: v_part,
-                    block_index: i as u32,
-                };
                 instruments
                     .tracker
-                    .on_encrypt(p.epoch, coords, li)
+                    .on_encrypt(p.epoch, pcoords[i], li)
                     .map_err(JournaledError::Security)?;
                 let ctx = AccessCtx {
                     layer: li,
@@ -832,8 +875,6 @@ fn run_journaled_core(
                     final_version: false,
                     attempt,
                 };
-                let mac = datapath.mac(coords, b);
-                let ct = datapath.encrypt(coords, b);
                 store_via(
                     &mut instruments.injector,
                     &mut durable.dram,
@@ -844,16 +885,10 @@ fn run_journaled_core(
                 lv.on_write(&mac);
             }
 
-            let mut part_rd = Vec::with_capacity(pblocks.len());
+            let mut part_ct = Vec::with_capacity(pblocks.len());
             for i in 0..pblocks.len() {
                 tick(&mut instruments.clock, li, CrashPhase::ReadBack)
                     .map_err(JournaledError::Crashed)?;
-                let coords = BlockCoords {
-                    fmap_id: li,
-                    layer_id: li,
-                    version: v_part,
-                    block_index: i as u32,
-                };
                 let ctx = AccessCtx {
                     layer: li,
                     block: i as u64,
@@ -862,14 +897,16 @@ fn run_journaled_core(
                     final_version: false,
                     attempt,
                 };
-                let ct = load_via(
+                part_ct.push(load_via(
                     &mut instruments.injector,
                     &durable.dram,
                     base_addr + i as u64 * 64,
                     &ctx,
-                );
-                let pt = datapath.decrypt(coords, &ct);
-                lv.on_read(&datapath.mac(coords, &pt));
+                ));
+            }
+            let mut part_rd = Vec::with_capacity(pblocks.len());
+            for (pt, mac) in datapath.open_blocks(&pcoords, &part_ct) {
+                lv.on_read(&mac);
                 part_rd.push(pt);
             }
             let partial_back = blocks_to_accum(&part_rd, k, h, w);
@@ -888,18 +925,14 @@ fn run_journaled_core(
             }
 
             let fblocks = accum_to_blocks(&full);
-            for (i, b) in fblocks.iter().enumerate() {
+            let fcoords = tile_coords(li, li, v_full, fblocks.len());
+            let sealed = datapath.seal_blocks(&fcoords, &fblocks);
+            for (i, (ct, mac)) in sealed.into_iter().enumerate() {
                 tick(&mut instruments.clock, li, CrashPhase::FinalEvict)
                     .map_err(JournaledError::Crashed)?;
-                let coords = BlockCoords {
-                    fmap_id: li,
-                    layer_id: li,
-                    version: v_full,
-                    block_index: i as u32,
-                };
                 instruments
                     .tracker
-                    .on_encrypt(p.epoch, coords, li)
+                    .on_encrypt(p.epoch, fcoords[i], li)
                     .map_err(JournaledError::Security)?;
                 let ctx = AccessCtx {
                     layer: li,
@@ -909,8 +942,6 @@ fn run_journaled_core(
                     final_version: true,
                     attempt,
                 };
-                let mac = datapath.mac(coords, b);
-                let ct = datapath.encrypt(coords, b);
                 lv.on_write(&mac);
                 store_via(
                     &mut instruments.injector,
@@ -928,16 +959,10 @@ fn run_journaled_core(
             let mut refetches_this_attempt = 0u32;
             let consumed = loop {
                 lv.reset_first_reads();
-                let mut rd = Vec::with_capacity(fblocks.len());
+                let mut cts = Vec::with_capacity(fblocks.len());
                 for i in 0..fblocks.len() {
                     tick(&mut instruments.clock, li, CrashPhase::Consume)
                         .map_err(JournaledError::Crashed)?;
-                    let coords = BlockCoords {
-                        fmap_id: li,
-                        layer_id: li,
-                        version: v_full,
-                        block_index: i as u32,
-                    };
                     let ctx = AccessCtx {
                         layer: li,
                         block: i as u64,
@@ -946,14 +971,16 @@ fn run_journaled_core(
                         final_version: true,
                         attempt,
                     };
-                    let ct = load_via(
+                    cts.push(load_via(
                         &mut instruments.injector,
                         &durable.dram,
                         base_addr + i as u64 * 64,
                         &ctx,
-                    );
-                    let pt = datapath.decrypt(coords, &ct);
-                    lv.on_first_read(&datapath.mac(coords, &pt));
+                    ));
+                }
+                let mut rd = Vec::with_capacity(fblocks.len());
+                for (pt, mac) in datapath.open_blocks(&fcoords, &cts) {
+                    lv.on_first_read(&mac);
                     rd.push(pt);
                 }
                 if lv.check().is_verified() {
@@ -1127,7 +1154,8 @@ fn verify_commit(
     let datapath = CryptoDatapath::with_epoch(session.secret, session.nonce, rec.epoch);
     let mut lv = EagerLayerVerifier::restore(rec.mac_w, rec.mac_r, [0u8; 32]);
     let blocks = rec.blocks as usize;
-    let mut rd = Vec::with_capacity(blocks);
+    let coords = tile_coords(rec.layer_id, rec.layer_id, rec.final_vn, blocks);
+    let mut cts = Vec::with_capacity(blocks);
     for i in 0..blocks {
         tick(
             &mut instruments.clock,
@@ -1135,12 +1163,6 @@ fn verify_commit(
             CrashPhase::ResumeVerify,
         )
         .map_err(JournaledError::Crashed)?;
-        let coords = BlockCoords {
-            fmap_id: rec.layer_id,
-            layer_id: rec.layer_id,
-            version: rec.final_vn,
-            block_index: i as u32,
-        };
         let ctx = AccessCtx {
             layer: rec.layer_id,
             block: i as u64,
@@ -1149,14 +1171,16 @@ fn verify_commit(
             final_version: true,
             attempt: 0,
         };
-        let ct = load_via(
+        cts.push(load_via(
             &mut instruments.injector,
             &durable.dram,
             rec.base_addr + i as u64 * 64,
             &ctx,
-        );
-        let pt = datapath.decrypt(coords, &ct);
-        lv.on_first_read(&datapath.mac(coords, &pt));
+        ));
+    }
+    let mut rd = Vec::with_capacity(blocks);
+    for (pt, mac) in datapath.open_blocks(&coords, &cts) {
+        lv.on_first_read(&mac);
         rd.push(pt);
     }
     if !lv.check().is_verified() {

@@ -8,9 +8,10 @@
 //! networks; this datapath actually encrypts/decrypts/verifies every byte
 //! and is exercised on small networks in tests and examples.
 
+use rayon::prelude::*;
 use seculator_crypto::ctr::{AesCtr, BlockCounter};
 use seculator_crypto::keys::{DeviceSecret, SessionKey};
-use seculator_crypto::xor_mac::{block_mac, BlockMacInput};
+use seculator_crypto::xor_mac::{block_mac, BlockMacEngine, BlockMacInput};
 use std::collections::HashMap;
 
 /// One 64-byte ciphertext block in the simulated DRAM.
@@ -93,12 +94,32 @@ pub struct BlockCoords {
     pub block_index: u32,
 }
 
+/// Which implementation the crypto datapath routes block operations
+/// through. Both modes are bit-identical by construction (and by test);
+/// they differ only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DatapathMode {
+    /// Reference path: per-byte scalar AES rounds and the incremental
+    /// SHA-256 hasher, one block at a time. This is what every call
+    /// cost before the parallel datapath existed, kept as the
+    /// benchmark baseline and equivalence oracle.
+    Serial,
+    /// Fast path: T-table AES, the fixed two-compression
+    /// [`BlockMacEngine`], and rayon fan-out across the blocks of a
+    /// batch in [`CryptoDatapath::seal_blocks`] /
+    /// [`CryptoDatapath::open_blocks`].
+    #[default]
+    Parallel,
+}
+
 /// The on-chip crypto datapath: computes one-time pads and block MACs
 /// from a device secret and per-execution session key.
 #[derive(Debug, Clone)]
 pub struct CryptoDatapath {
     secret: DeviceSecret,
     cipher: AesCtr,
+    mac_engine: BlockMacEngine,
+    mode: DatapathMode,
 }
 
 impl CryptoDatapath {
@@ -116,11 +137,33 @@ impl CryptoDatapath {
     /// (see [`crate::journal`]).
     #[must_use]
     pub fn with_epoch(secret: DeviceSecret, execution_nonce: u64, epoch: u32) -> Self {
+        Self::with_epoch_mode(secret, execution_nonce, epoch, DatapathMode::default())
+    }
+
+    /// [`Self::with_epoch`] with an explicit [`DatapathMode`] — the
+    /// constructor the throughput benchmark uses to pit the two
+    /// implementations against each other on identical inputs.
+    #[must_use]
+    pub fn with_epoch_mode(
+        secret: DeviceSecret,
+        execution_nonce: u64,
+        epoch: u32,
+        mode: DatapathMode,
+    ) -> Self {
         let key = SessionKey::derive_epoch(&secret, execution_nonce, epoch);
+        let mac_engine = BlockMacEngine::new(&secret.0);
         Self {
             secret,
             cipher: AesCtr::new(&key.0),
+            mac_engine,
+            mode,
         }
+    }
+
+    /// The mode this datapath routes block operations through.
+    #[must_use]
+    pub fn mode(&self) -> DatapathMode {
+        self.mode
     }
 
     fn counter(coords: BlockCoords) -> BlockCounter {
@@ -135,31 +178,94 @@ impl CryptoDatapath {
     /// Encrypts one plaintext block under its coordinates.
     #[must_use]
     pub fn encrypt(&self, coords: BlockCoords, plaintext: &Block) -> Block {
-        self.cipher
-            .encrypt_block64(plaintext, Self::counter(coords))
+        match self.mode {
+            DatapathMode::Serial => self
+                .cipher
+                .encrypt_block64_scalar(plaintext, Self::counter(coords)),
+            DatapathMode::Parallel => self
+                .cipher
+                .encrypt_block64(plaintext, Self::counter(coords)),
+        }
     }
 
     /// Decrypts one ciphertext block under its coordinates.
     #[must_use]
     pub fn decrypt(&self, coords: BlockCoords, ciphertext: &Block) -> Block {
-        self.cipher
-            .decrypt_block64(ciphertext, Self::counter(coords))
+        // CTR decryption is the same XOR; route through `encrypt` so both
+        // modes share one dispatch point.
+        self.encrypt(coords, ciphertext)
     }
 
     /// Computes the block MAC `SHA256(P ‖ L ‖ F ‖ VN ‖ I ‖ B)` over
     /// *plaintext* content.
     #[must_use]
     pub fn mac(&self, coords: BlockCoords, plaintext: &Block) -> [u8; 32] {
-        block_mac(
-            BlockMacInput {
-                device_secret: &self.secret.0,
-                layer_id: coords.layer_id,
-                fmap_id: coords.fmap_id,
-                version: coords.version,
-                block_index: coords.block_index,
-            },
-            plaintext,
-        )
+        match self.mode {
+            DatapathMode::Serial => block_mac(
+                BlockMacInput {
+                    device_secret: &self.secret.0,
+                    layer_id: coords.layer_id,
+                    fmap_id: coords.fmap_id,
+                    version: coords.version,
+                    block_index: coords.block_index,
+                },
+                plaintext,
+            ),
+            DatapathMode::Parallel => self.mac_engine.mac(
+                coords.layer_id,
+                coords.fmap_id,
+                coords.version,
+                coords.block_index,
+                plaintext,
+            ),
+        }
+    }
+
+    /// Seals a tile: for each `(coords, plaintext)` pair computes
+    /// `(ciphertext, mac)`.
+    ///
+    /// In [`DatapathMode::Parallel`] the per-block work — CTR pad
+    /// generation and MAC computation, both pure functions of the
+    /// coordinates and content — fans out across the batch with rayon,
+    /// modeling the paper's parallel AES/SHA engines (§6.3–6.4). Results
+    /// come back in input order, so callers absorb MACs and perform
+    /// stores in exactly the sequence the serial path would have; XOR
+    /// aggregation makes even that ordering irrelevant to the final
+    /// registers (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != blocks.len()`.
+    #[must_use]
+    pub fn seal_blocks(&self, coords: &[BlockCoords], blocks: &[Block]) -> Vec<(Block, [u8; 32])> {
+        assert_eq!(coords.len(), blocks.len(), "one coordinate tuple per block");
+        let seal_one =
+            |(i, &c): (usize, &BlockCoords)| (self.encrypt(c, &blocks[i]), self.mac(c, &blocks[i]));
+        match self.mode {
+            DatapathMode::Serial => coords.iter().enumerate().map(seal_one).collect(),
+            DatapathMode::Parallel => coords.par_iter().enumerate().map(seal_one).collect(),
+        }
+    }
+
+    /// Opens a tile: for each `(coords, ciphertext)` pair computes
+    /// `(plaintext, mac-over-plaintext)`. The parallel-mode contract is
+    /// the same as [`Self::seal_blocks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != blocks.len()`.
+    #[must_use]
+    pub fn open_blocks(&self, coords: &[BlockCoords], blocks: &[Block]) -> Vec<(Block, [u8; 32])> {
+        assert_eq!(coords.len(), blocks.len(), "one coordinate tuple per block");
+        let open_one = |(i, &c): (usize, &BlockCoords)| {
+            let pt = self.decrypt(c, &blocks[i]);
+            let mac = self.mac(c, &pt);
+            (pt, mac)
+        };
+        match self.mode {
+            DatapathMode::Serial => coords.iter().enumerate().map(open_one).collect(),
+            DatapathMode::Parallel => coords.par_iter().enumerate().map(open_one).collect(),
+        }
     }
 
     /// Writes a block: MAC the plaintext, encrypt, store. Returns the MAC
@@ -287,6 +393,71 @@ mod tests {
         // ...while the plaintext-bound MAC is epoch-independent, which is
         // what lets a resumed run verify a pre-crash layer's output.
         assert_eq!(e0.mac(coords(1, 0), &pt), e1.mac(coords(1, 0), &pt));
+    }
+
+    fn tile(n: u32) -> (Vec<BlockCoords>, Vec<Block>) {
+        let coords: Vec<BlockCoords> = (0..n).map(|i| coords(1, i)).collect();
+        let blocks: Vec<Block> = (0..n)
+            .map(|i| {
+                let mut b = [0u8; 64];
+                for (j, byte) in b.iter_mut().enumerate() {
+                    *byte = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+                }
+                b
+            })
+            .collect();
+        (coords, blocks)
+    }
+
+    #[test]
+    fn serial_and_parallel_datapaths_are_bit_identical() {
+        let secret = DeviceSecret::from_seed(1);
+        let serial = CryptoDatapath::with_epoch_mode(secret, 42, 0, DatapathMode::Serial);
+        let parallel = CryptoDatapath::with_epoch_mode(secret, 42, 0, DatapathMode::Parallel);
+        let (coords, blocks) = tile(100);
+        let sealed_s = serial.seal_blocks(&coords, &blocks);
+        let sealed_p = parallel.seal_blocks(&coords, &blocks);
+        assert_eq!(sealed_s, sealed_p, "seal: same ciphertext, same MACs");
+        let cts: Vec<Block> = sealed_p.iter().map(|(ct, _)| *ct).collect();
+        let opened_s = serial.open_blocks(&coords, &cts);
+        let opened_p = parallel.open_blocks(&coords, &cts);
+        assert_eq!(opened_s, opened_p, "open: same plaintext, same MACs");
+        for (i, (pt, mac)) in opened_p.iter().enumerate() {
+            assert_eq!(*pt, blocks[i], "roundtrip recovers the tile");
+            assert_eq!(*mac, sealed_p[i].1, "read MAC matches write MAC");
+        }
+    }
+
+    #[test]
+    fn parallel_mac_fold_equals_sequential_fold() {
+        // The XOR fold of per-block MACs must not depend on how the batch
+        // was split across workers: absorb the batched results in input
+        // order, in reverse, and via a pairwise reduction — all three
+        // registers must agree with the one built by per-block serial
+        // calls.
+        use seculator_crypto::xor_mac::MacRegister;
+        let dp = datapath();
+        let (coords, blocks) = tile(64);
+        let sealed = dp.seal_blocks(&coords, &blocks);
+        let mut serial_reg = MacRegister::new();
+        for (c, b) in coords.iter().zip(blocks.iter()) {
+            serial_reg.absorb(&dp.mac(*c, b));
+        }
+        let mut fwd = MacRegister::new();
+        let mut rev = MacRegister::new();
+        for (_, m) in &sealed {
+            fwd.absorb(m);
+        }
+        for (_, m) in sealed.iter().rev() {
+            rev.absorb(m);
+        }
+        let reduced = sealed
+            .iter()
+            .map(|(_, m)| MacRegister::from_value(*m))
+            .fold(MacRegister::new(), |a, b| a.xor(&b));
+        assert_eq!(serial_reg, fwd);
+        assert_eq!(serial_reg, rev);
+        assert_eq!(serial_reg, reduced);
     }
 
     #[test]

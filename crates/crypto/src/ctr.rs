@@ -80,31 +80,78 @@ impl AesCtr {
         }
     }
 
-    /// Produces the 64-byte one-time pad for `counter`.
+    /// Fills `pad` with the 64-byte one-time pad for `counter`.
     ///
     /// The four AES lanes use `counter.minor * 4 + lane` so that distinct
-    /// 64-byte blocks (distinct minor counters) never overlap lanes.
+    /// 64-byte blocks (distinct minor counters) never overlap lanes. All
+    /// four lanes reuse the one key schedule expanded at [`Self::new`] —
+    /// this models the paper's four parallel AES engines sharing a key
+    /// (§6.3) and is what makes the batched APIs cheap.
+    pub fn pad64_into(&self, counter: BlockCounter, pad: &mut [u8; 64]) {
+        let mut lanes = [counter.to_bytes(); 4];
+        let base = counter.minor.wrapping_mul(4);
+        for (lane, input) in lanes.iter_mut().enumerate() {
+            input[8..].copy_from_slice(&base.wrapping_add(lane as u64).to_be_bytes());
+        }
+        let blocks = self.aes.encrypt_blocks4(&lanes);
+        for (lane, block) in blocks.iter().enumerate() {
+            pad[16 * lane..16 * (lane + 1)].copy_from_slice(block);
+        }
+    }
+
+    /// Produces the 64-byte one-time pad for `counter`.
     #[must_use]
     pub fn pad64(&self, counter: BlockCounter) -> [u8; 64] {
+        let mut pad = [0u8; 64];
+        self.pad64_into(counter, &mut pad);
+        pad
+    }
+
+    /// Reference pad generation through the per-byte scalar AES rounds.
+    ///
+    /// Exists so tests and the benchmark's serial baseline can prove the
+    /// table-driven fast path produces identical pads.
+    #[must_use]
+    pub fn pad64_scalar(&self, counter: BlockCounter) -> [u8; 64] {
         let mut pad = [0u8; 64];
         for lane in 0..4u64 {
             let lane_counter = BlockCounter {
                 major: counter.major,
                 minor: counter.minor.wrapping_mul(4).wrapping_add(lane),
             };
-            let block = self.aes.encrypt_block(&lane_counter.to_bytes());
+            let block = self.aes.encrypt_block_scalar(&lane_counter.to_bytes());
             pad[16 * lane as usize..16 * (lane as usize + 1)].copy_from_slice(&block);
         }
         pad
     }
 
+    /// Encrypts a 64-byte block (`plaintext ⊕ OTP`) into `out`.
+    pub fn encrypt_block64_into(
+        &self,
+        plaintext: &[u8; 64],
+        counter: BlockCounter,
+        out: &mut [u8; 64],
+    ) {
+        self.pad64_into(counter, out);
+        for (o, p) in out.iter_mut().zip(plaintext.iter()) {
+            *o ^= p;
+        }
+    }
+
     /// Encrypts a 64-byte block (`plaintext ⊕ OTP`).
     #[must_use]
     pub fn encrypt_block64(&self, plaintext: &[u8; 64], counter: BlockCounter) -> [u8; 64] {
-        let pad = self.pad64(counter);
         let mut out = [0u8; 64];
-        for i in 0..64 {
-            out[i] = plaintext[i] ^ pad[i];
+        self.encrypt_block64_into(plaintext, counter, &mut out);
+        out
+    }
+
+    /// Reference encryption through [`Self::pad64_scalar`].
+    #[must_use]
+    pub fn encrypt_block64_scalar(&self, plaintext: &[u8; 64], counter: BlockCounter) -> [u8; 64] {
+        let mut out = self.pad64_scalar(counter);
+        for (o, p) in out.iter_mut().zip(plaintext.iter()) {
+            *o ^= p;
         }
         out
     }
@@ -113,6 +160,51 @@ impl AesCtr {
     #[must_use]
     pub fn decrypt_block64(&self, ciphertext: &[u8; 64], counter: BlockCounter) -> [u8; 64] {
         self.encrypt_block64(ciphertext, counter)
+    }
+
+    /// Encrypts a batch of 64-byte blocks, one counter per block,
+    /// amortizing counter-block setup across the tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len() != counters.len()` — a mismatched batch is
+    /// a caller bug, never recoverable data.
+    #[must_use]
+    pub fn encrypt_blocks64(
+        &self,
+        blocks: &[[u8; 64]],
+        counters: &[BlockCounter],
+    ) -> Vec<[u8; 64]> {
+        assert_eq!(
+            blocks.len(),
+            counters.len(),
+            "one counter per 64-byte block"
+        );
+        let mut out = vec![[0u8; 64]; blocks.len()];
+        for ((o, pt), &c) in out.iter_mut().zip(blocks.iter()).zip(counters.iter()) {
+            self.encrypt_block64_into(pt, c, o);
+        }
+        out
+    }
+
+    /// Writes the raw keystream for `counters` into `out`
+    /// (64 bytes per counter, concatenated in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 64 * counters.len()`.
+    pub fn keystream_into(&self, counters: &[BlockCounter], out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            64 * counters.len(),
+            "keystream buffer must be exactly 64 bytes per counter"
+        );
+        for (chunk, &c) in out.chunks_exact_mut(64).zip(counters.iter()) {
+            let pad: &mut [u8; 64] = chunk
+                .try_into()
+                .expect("chunks_exact yields 64-byte chunks");
+            self.pad64_into(c, pad);
+        }
     }
 
     /// Encrypts an arbitrary byte stream starting at `initial`, advancing
@@ -200,6 +292,54 @@ mod tests {
             v1, v2,
             "freshness: same data re-encrypted under a new VN must differ"
         );
+    }
+
+    #[test]
+    fn fips197_known_answer_through_the_batched_lane_path() {
+        // Drive the FIPS-197 Appendix C vector through `pad64`'s lane
+        // arithmetic: with minor = (0x8899aabbccddeeff - 3) / 4, lane 3
+        // computes AES-ENC over exactly the Appendix C plaintext
+        // 00112233445566778899aabbccddeeff, so pad bytes 48..64 must be
+        // the Appendix C ciphertext. This pins the *batched* path (shared
+        // key schedule, lane counter = minor*4 + lane) to the standard,
+        // not just single-block encrypt.
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let expected = hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let counter = BlockCounter {
+            major: 0x0011_2233_4455_6677,
+            minor: 0x2226_6aae_f337_7bbf, // minor*4 + 3 == 0x8899aabbccddeeff
+        };
+        let ctr = AesCtr::new(&key);
+        let pad = ctr.pad64(counter);
+        assert_eq!(&pad[48..64], &expected[..]);
+        // The scalar reference path must agree byte-for-byte.
+        assert_eq!(pad, ctr.pad64_scalar(counter));
+        // And the batch API must match the single-block API.
+        let pt = [[0x5Au8; 64], [0xA5u8; 64]];
+        let counters = [counter, BlockCounter::from_parts(1, 2, 3, 4)];
+        let batch = ctr.encrypt_blocks64(&pt, &counters);
+        assert_eq!(batch[0], ctr.encrypt_block64(&pt[0], counters[0]));
+        assert_eq!(batch[1], ctr.encrypt_block64(&pt[1], counters[1]));
+    }
+
+    #[test]
+    fn keystream_into_matches_pad64_per_counter() {
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        let counters: Vec<BlockCounter> = (0..5)
+            .map(|i| BlockCounter::from_parts(2, 7, 1, i))
+            .collect();
+        let mut stream = vec![0u8; 64 * counters.len()];
+        ctr.keystream_into(&counters, &mut stream);
+        for (i, &c) in counters.iter().enumerate() {
+            assert_eq!(&stream[64 * i..64 * (i + 1)], &ctr.pad64(c)[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one counter per 64-byte block")]
+    fn encrypt_blocks64_rejects_mismatched_batch() {
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        let _ = ctr.encrypt_blocks64(&[[0u8; 64]], &[]);
     }
 
     #[test]

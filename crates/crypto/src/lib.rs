@@ -52,7 +52,7 @@ pub use ctr::{AesCtr, BlockCounter};
 pub use keys::{DeviceSecret, SessionKey};
 pub use merkle::MerkleTree;
 pub use sha256::Sha256;
-pub use xor_mac::{block_mac, BlockMacInput, MacRegister};
+pub use xor_mac::{block_mac, BlockMacEngine, BlockMacInput, MacRegister};
 pub use xts::AesXts;
 
 /// Size in bytes of one NPU memory block (the unit of encryption and MAC

@@ -10,7 +10,7 @@
 //! in any order — XOR is commutative, and the block index `I` inside the
 //! MAC pins each block to its position.
 
-use crate::sha256::Sha256;
+use crate::sha256::{compress_words, iv, k, Sha256};
 
 /// A 256-bit XOR-accumulating MAC register (one of `MAC_W`, `MAC_R`,
 /// `MAC_FR`, `MAC_IR` in the paper).
@@ -122,6 +122,91 @@ pub fn block_mac(input: BlockMacInput<'_>, block: &[u8; 64]) -> [u8; 32] {
     h.finalize()
 }
 
+/// Total MAC preimage length: `P(16) ‖ L(4) ‖ F(4) ‖ VN(4) ‖ I(4) ‖ B(64)`.
+const MAC_MSG_LEN: usize = 96;
+
+/// Precomputed per-block MAC engine: the high-throughput counterpart of
+/// [`block_mac`].
+///
+/// The MAC preimage is always exactly [`MAC_MSG_LEN`] bytes, so the hash
+/// is always exactly two SHA-256 compressions with a fixed padding tail.
+/// The engine freezes the device secret and the fully-padded second
+/// block at construction — already converted to the big-endian schedule
+/// words the compression consumes, so each [`Self::mac`] call drops the
+/// u32 coordinates straight into the schedule and runs the compressions
+/// directly: no incremental-hasher buffering, no length bookkeeping, no
+/// byte-serialize/word-deserialize round trip, no allocation. Output is
+/// bit-identical to [`block_mac`] (unit-tested below), which stays as
+/// the serial reference path.
+#[derive(Debug, Clone)]
+pub struct BlockMacEngine {
+    /// First compression block as 16 schedule words: `P` in words 0..4;
+    /// the per-call coordinates (words 4..8) and `B[0..32]` (words
+    /// 8..16) fill the rest.
+    first: [u32; 16],
+    /// Second compression block as schedule words: `B[32..64]` goes in
+    /// words 0..8; words 8..16 carry the fixed FIPS-180-4 padding (the
+    /// 0x80 marker, zeros, then the message bit length 768).
+    second: [u32; 16],
+    /// Initial hash state, frozen here because `iv()` derives it from
+    /// floating-point roots — far too slow to recompute per block.
+    iv: [u32; 8],
+    k: &'static [u32; 64],
+}
+
+impl BlockMacEngine {
+    /// Builds an engine bound to one device secret (`P`).
+    #[must_use]
+    pub fn new(device_secret: &[u8; 16]) -> Self {
+        let mut first = [0u32; 16];
+        for (w, bytes) in first.iter_mut().zip(device_secret.chunks_exact(4)) {
+            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        }
+        let mut second = [0u32; 16];
+        second[8] = 0x8000_0000;
+        second[15] = (MAC_MSG_LEN as u32) * 8;
+        Self {
+            first,
+            second,
+            iv: iv(),
+            k: k(),
+        }
+    }
+
+    /// Computes `SHA256(P ‖ L ‖ F ‖ VN ‖ I ‖ B)` via the fixed
+    /// two-compression fast path.
+    #[must_use]
+    pub fn mac(
+        &self,
+        layer_id: u32,
+        fmap_id: u32,
+        version: u32,
+        block_index: u32,
+        block: &[u8; 64],
+    ) -> [u8; 32] {
+        let mut first = self.first;
+        first[4] = layer_id;
+        first[5] = fmap_id;
+        first[6] = version;
+        first[7] = block_index;
+        for (w, bytes) in first[8..].iter_mut().zip(block[..32].chunks_exact(4)) {
+            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        }
+        let mut second = self.second;
+        for (w, bytes) in second[..8].iter_mut().zip(block[32..].chunks_exact(4)) {
+            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        }
+        let mut state = self.iv;
+        compress_words(&mut state, &first, self.k);
+        compress_words(&mut state, &second, self.k);
+        let mut out = [0u8; 32];
+        for (i, word) in state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +234,33 @@ mod tests {
         let mut tampered = block;
         tampered[63] ^= 1;
         assert_ne!(base, block_mac(input(1, 2, 3, 4), &tampered), "content");
+    }
+
+    #[test]
+    fn engine_matches_reference_block_mac_exactly() {
+        // The two-compression fast path must be bit-identical to the
+        // incremental-hasher reference for arbitrary coordinates/content.
+        let engine = BlockMacEngine::new(&SECRET);
+        let mut block = [0u8; 64];
+        for i in 0..50u32 {
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(37).wrapping_add(j as u8);
+            }
+            let coords = (i, i ^ 3, i.wrapping_mul(7), u32::MAX - i);
+            assert_eq!(
+                engine.mac(coords.0, coords.1, coords.2, coords.3, &block),
+                block_mac(
+                    BlockMacInput {
+                        device_secret: &SECRET,
+                        layer_id: coords.0,
+                        fmap_id: coords.1,
+                        version: coords.2,
+                        block_index: coords.3,
+                    },
+                    &block
+                )
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Hot-path latency profile of the crypto primitives, for eyeballing
+//! where the serial/parallel datapath gap comes from. Ignored by default
+//! (it spins hundreds of thousands of AES/SHA iterations, far too slow
+//! under a debug build); run on demand with
+//! `cargo test --release -p seculator-crypto --test microprof -- --ignored --nocapture`.
+
+use seculator_crypto::aes::Aes128;
+use seculator_crypto::xor_mac::{block_mac, BlockMacEngine, BlockMacInput};
+use seculator_crypto::DeviceSecret;
+use seculator_crypto::{AesCtr, BlockCounter, SessionKey};
+use std::time::Instant;
+
+#[test]
+#[ignore = "manual profiling aid; run with --release --ignored"]
+fn microprof() {
+    let secret = DeviceSecret::from_seed(9);
+    let key = SessionKey::derive_epoch(&secret, 77, 0);
+    let ctr = AesCtr::new(&key.0);
+    let engine = BlockMacEngine::new(&secret.0);
+    let block = [0x5au8; 64];
+    let n = 200_000u32;
+
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for i in 0..n {
+        let c = BlockCounter {
+            major: 1,
+            minor: u64::from(i) * 4,
+        };
+        acc ^= ctr.pad64(c)[0];
+    }
+    println!(
+        "pad64 (T-table x4): {:>7.1} ns/block  ({acc})",
+        t.elapsed().as_nanos() as f64 / f64::from(n)
+    );
+
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for i in 0..n / 4 {
+        let c = BlockCounter {
+            major: 1,
+            minor: u64::from(i) * 4,
+        };
+        acc ^= ctr.pad64_scalar(c)[0];
+    }
+    println!(
+        "pad64_scalar      : {:>7.1} ns/block  ({acc})",
+        t.elapsed().as_nanos() as f64 / f64::from(n / 4)
+    );
+
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for i in 0..n {
+        acc ^= engine.mac(1, 2, 3, i, &block)[0];
+    }
+    println!(
+        "engine.mac        : {:>7.1} ns/block  ({acc})",
+        t.elapsed().as_nanos() as f64 / f64::from(n)
+    );
+
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for i in 0..n / 4 {
+        acc ^= block_mac(
+            BlockMacInput {
+                device_secret: &secret.0,
+                layer_id: 1,
+                fmap_id: 2,
+                version: 3,
+                block_index: i,
+            },
+            &block,
+        )[0];
+    }
+    println!(
+        "block_mac         : {:>7.1} ns/block  ({acc})",
+        t.elapsed().as_nanos() as f64 / f64::from(n / 4)
+    );
+
+    let aes = Aes128::new(&key.0);
+    let t = Instant::now();
+    let mut b = [0u8; 16];
+    for _ in 0..n {
+        b = aes.encrypt_block(&b);
+    }
+    println!(
+        "aes t-table       : {:>7.1} ns/16B   ({})",
+        t.elapsed().as_nanos() as f64 / f64::from(n),
+        b[0]
+    );
+
+    let t = Instant::now();
+    let mut b = [0u8; 16];
+    for _ in 0..n / 4 {
+        b = aes.encrypt_block_scalar(&b);
+    }
+    println!(
+        "aes scalar        : {:>7.1} ns/16B   ({})",
+        t.elapsed().as_nanos() as f64 / f64::from(n / 4),
+        b[0]
+    );
+}

@@ -34,6 +34,9 @@ fn usage() -> ! {
            crash-campaign [--seed N --cuts K]          seeded power-loss + resume sweep\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
            describe --network <name>                   per-layer mapped loop nests\n\n\
+         global options:\n\
+           --threads <N>   worker threads for the parallel crypto datapath\n\
+                           (default: all cores; also honors RAYON_NUM_THREADS)\n\n\
          networks: mobilenet resnet alexnet vgg16 vgg19 tiny\n\
          schemes:  baseline secure tnpu guardnn seculator seculator+"
     );
@@ -91,9 +94,31 @@ fn scheme(name: &str) -> SchemeKind {
     }
 }
 
+/// Applies the global `--threads` option: an explicit worker count for
+/// the parallel crypto datapath. Shares the 0/1/2 exit-code contract —
+/// `--threads 0` or a non-number is a usage error (exit 2), never a
+/// silent fallback to the default.
+fn configure_threads(args: &[String]) {
+    if let Some(v) = opt(args, "--threads") {
+        let n: usize = match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid value for --threads: `{v}` (expected an integer >= 1)");
+                usage()
+            }
+        };
+        // Err only if a pool was already built, which cannot happen this
+        // early in main — but never panic over a perf knob either way.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global();
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    configure_threads(&args);
     let npu = TimingNpu::new(NpuConfig::paper());
 
     match cmd.as_str() {

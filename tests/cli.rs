@@ -131,3 +131,67 @@ fn campaigns_share_the_exit_code_contract() {
     let (code, _, _) = run_code(&["frobnicate"]);
     assert_eq!(code, Some(2));
 }
+
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> (Option<i32>, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_seculator"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("cli binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The parallel crypto datapath must never leak into observable output:
+/// a crash campaign pinned to one worker thread is byte-identical to the
+/// same campaign fanned out across the default pool. This is the
+/// end-to-end form of the XOR-fold order-independence invariant.
+#[test]
+fn crash_campaign_is_thread_count_invariant() {
+    let args = ["crash-campaign", "--seed", "5", "--cuts", "3"];
+    let (code, pinned, _) = run_env(&args, &[("RAYON_NUM_THREADS", "1")]);
+    assert_eq!(code, Some(0), "pinned run passes: {pinned}");
+    let (code, default_pool, _) = run_env(&args, &[]);
+    assert_eq!(code, Some(0), "default-pool run passes: {default_pool}");
+    assert_eq!(
+        pinned, default_pool,
+        "thread count must not change campaign output"
+    );
+    let (code, explicit, _) = run_code(&[
+        "crash-campaign",
+        "--seed",
+        "5",
+        "--cuts",
+        "3",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(code, Some(0), "--threads 2 run passes: {explicit}");
+    assert_eq!(
+        pinned, explicit,
+        "--threads must not change campaign output"
+    );
+}
+
+/// `--threads` joins the shared exit-code contract: zero or a non-number
+/// is a usage error (exit 2), never a silent fallback to the default
+/// worker count.
+#[test]
+fn threads_option_shares_the_exit_code_contract() {
+    for bad in ["0", "not-a-number", "-1"] {
+        let (code, _, stderr) = run_code(&["run", "--network", "tiny", "--threads", bad]);
+        assert_eq!(code, Some(2), "--threads {bad} is a usage error: {stderr}");
+        assert!(stderr.contains("invalid value for --threads"), "{stderr}");
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+    let (code, stdout, _) = run_code(&["run", "--network", "tiny", "--threads", "1"]);
+    assert_eq!(
+        code,
+        Some(0),
+        "an explicit valid count still runs: {stdout}"
+    );
+}
