@@ -11,9 +11,12 @@
 //! ablate-maccache, ablate-blocksize, ablate-bandwidth, json, throughput.
 //!
 //! `throughput` accepts `--quick` (smaller tiles / fewer repetitions, the
-//! mode CI uses) and `--check` (exit 1 unless the parallel datapath beats
-//! the serial one on the MLP model). It writes `BENCH_throughput.json`
-//! next to the working directory in addition to the console table.
+//! mode CI uses), `--check` (exit 1 unless the parallel datapath beats
+//! the serial one on the MLP model), and `--metrics <path>` (write the
+//! telemetry snapshot — counters, histograms, and the per-layer
+//! security-overhead breakdown — as JSON). It writes
+//! `BENCH_throughput.json` next to the working directory in addition to
+//! the console table.
 
 use seculator_arch::dataflow::{ConvDataflow, Dataflow, MatmulDataflow, PreprocDataflow};
 use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind, MatmulShape, PreprocStyle};
@@ -35,6 +38,11 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     let quick = argv.iter().any(|a| a == "--quick");
     let check = argv.iter().any(|a| a == "--check");
+    let metrics = argv
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
     let all = which == "all";
     let mut ran = false;
     macro_rules! exp {
@@ -86,7 +94,10 @@ fn main() {
     // Under `all` the throughput experiment always runs in quick mode so
     // regenerating every figure stays fast; ask for it by id to get the
     // full-size tiles.
-    exp!("throughput", throughput(quick || all, check));
+    exp!(
+        "throughput",
+        throughput(quick || all, check, metrics.as_deref())
+    );
 
     if !ran {
         eprintln!("unknown experiment id `{which}`; see the source header for valid ids");
@@ -822,9 +833,11 @@ fn best_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
     best
 }
 
-fn throughput(quick: bool, check: bool) {
-    use seculator_core::{campaign_models, infer_protected_mode, BlockCoords};
-    use seculator_core::{CryptoDatapath, DatapathMode};
+fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
+    use seculator_core::secure_infer::Instruments;
+    use seculator_core::telemetry;
+    use seculator_core::{campaign_models, infer_journaled, infer_protected_mode, BlockCoords};
+    use seculator_core::{CryptoDatapath, DatapathMode, DurableState, PadTracker};
 
     println!("Crypto-datapath throughput: serial (scalar AES + incremental MAC)");
     println!("vs. parallel (T-table lanes + two-compression MAC engine, rayon");
@@ -988,6 +1001,64 @@ fn throughput(quick: bool, check: bool) {
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("\nwrote BENCH_throughput.json");
+
+    // Per-layer security-overhead breakdown: one journaled inference per
+    // campaign model through the instrumented datapath, attributed by
+    // the telemetry stage spans. The throughput table above and
+    // BENCH_throughput.json are byte-identical whether or not the
+    // `telemetry` feature is compiled in; this section simply has
+    // nothing to report when the spans compile to no-ops.
+    let breakdown_cursor = telemetry::event_cursor();
+    let mut per_model: Vec<(&str, Vec<telemetry::LayerRow>)> = Vec::new();
+    for m in campaign_models() {
+        let cursor = telemetry::event_cursor();
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        infer_journaled(
+            &m.layers,
+            &m.input,
+            &m.session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+        )
+        .expect("clean journaled inference verifies");
+        per_model.push((
+            m.name,
+            telemetry::layer_breakdown(&telemetry::events_since(cursor)),
+        ));
+    }
+    if telemetry::enabled() {
+        println!("\nper-layer security overhead (journaled inference, parallel datapath):");
+        println!(
+            "{:<12} {:>6} {:>10} {:>10} {:>12} {:>11}",
+            "model", "layer", "seal µs", "open µs", "mac fold µs", "journal µs"
+        );
+        for (name, rows) in &per_model {
+            for r in rows {
+                println!(
+                    "{:<12} {:>6} {:>10.1} {:>10.1} {:>12.1} {:>11.1}",
+                    name,
+                    r.layer,
+                    r.seal_ns as f64 / 1e3,
+                    r.open_ns as f64 / 1e3,
+                    r.mac_fold_ns as f64 / 1e3,
+                    r.journal_ns as f64 / 1e3
+                );
+            }
+        }
+    }
+    if let Some(path) = metrics {
+        let mut snap = telemetry::snapshot();
+        // Aggregated across models: same layer index sums together, which
+        // keeps the snapshot schema flat and stable.
+        snap.layers = telemetry::layer_breakdown(&telemetry::events_since(breakdown_cursor));
+        std::fs::write(path, snap.to_json()).expect("write --metrics file");
+        println!("wrote {path}");
+    }
 
     if check {
         let mlp = rows

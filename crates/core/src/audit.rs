@@ -18,6 +18,7 @@
 //! 5. **Formula fidelity** — the master-equation triplet replays the
 //!    schedule's exact VN sequence.
 
+use crate::telemetry;
 use seculator_arch::trace::{AccessOp, LayerSchedule, TensorClass};
 use serde::{Deserialize, Serialize};
 
@@ -294,7 +295,20 @@ impl IncidentLog {
     }
 
     /// Appends a record.
+    ///
+    /// This is the single funnel every recovery ladder feeds, which is
+    /// what guarantees the telemetry campaign counters always agree with
+    /// [`IncidentLog::ladder_summary`] — both derive from the same
+    /// records.
     pub fn push(&mut self, record: IncidentRecord) {
+        telemetry::incr(telemetry::Counter::Detections);
+        telemetry::incr(match record.action {
+            RecoveryAction::Refetch => telemetry::Counter::Refetches,
+            RecoveryAction::ReExecute => telemetry::Counter::Reexecutions,
+            RecoveryAction::Abort => telemetry::Counter::Aborts,
+            RecoveryAction::Resume => telemetry::Counter::Resumes,
+            RecoveryAction::Rollback => telemetry::Counter::Rollbacks,
+        });
         self.records.push(record);
     }
 

@@ -82,6 +82,16 @@ pub enum SecurityError {
         /// Layer that was executing when power was cut.
         layer_id: u32,
     },
+    /// A journaled VN-FSM position is beyond the pattern's capacity: no
+    /// honest run can emit more VNs than `⟨η, κ, ρ⟩` provides, so an
+    /// out-of-range position is a tamper/corruption signal — it must
+    /// never be clamped into a valid-looking FSM state.
+    PatternResumeOutOfRange {
+        /// The journaled (claimed) number of VNs already emitted.
+        emitted: u64,
+        /// The pattern's total length `η · κ · ρ`.
+        capacity: u64,
+    },
     /// The datapath-level reuse detector observed a second encryption
     /// under an already-used (epoch, counter) pair — a freshness
     /// violation that must abort the run before ciphertext is released.
@@ -106,6 +116,7 @@ impl SecurityError {
                 | Self::OutputIntegrity
                 | Self::RecoveryExhausted { .. }
                 | Self::JournalIntegrity { .. }
+                | Self::PatternResumeOutOfRange { .. }
                 | Self::CounterReuse { .. }
         )
     }
@@ -159,6 +170,13 @@ impl std::fmt::Display for SecurityError {
                     "power lost during layer {layer_id}; resumed from journal"
                 )
             }
+            Self::PatternResumeOutOfRange { emitted, capacity } => {
+                write!(
+                    f,
+                    "journaled VN position {emitted} exceeds the pattern capacity {capacity}; \
+                     journal untrusted for resume"
+                )
+            }
             Self::CounterReuse { epoch, layer_id } => {
                 write!(
                     f,
@@ -187,6 +205,11 @@ mod tests {
         }
         .is_breach());
         assert!(SecurityError::JournalIntegrity { record: 0 }.is_breach());
+        assert!(SecurityError::PatternResumeOutOfRange {
+            emitted: 9,
+            capacity: 4
+        }
+        .is_breach());
         assert!(SecurityError::CounterReuse {
             epoch: 1,
             layer_id: 0

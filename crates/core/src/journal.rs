@@ -46,6 +46,7 @@
 use crate::error::SecurityError;
 use crate::fault::{CrashClock, CrashPhase, PowerLoss};
 use crate::secure_memory::{BlockCoords, UntrustedDram};
+use crate::telemetry;
 use seculator_crypto::keys::{DeviceSecret, SessionKey};
 use seculator_crypto::sha256::Sha256;
 use std::collections::HashSet;
@@ -271,6 +272,18 @@ impl JournalRecord {
             if residue != rec.mac_ir || rec.mac_ir != [0u8; 32] {
                 return None;
             }
+            // The journaled VN position can never exceed the pattern's
+            // capacity η·κ·ρ; an overrange position is the same class of
+            // writer bug the residue check guards against, and letting
+            // it through would ask `PatternCounter::resume` to rebuild
+            // an impossible FSM state.
+            let capacity = rec
+                .vn_eta
+                .saturating_mul(u64::from(rec.vn_kappa))
+                .saturating_mul(rec.vn_rho);
+            if rec.vn_emitted > capacity {
+                return None;
+            }
         }
         Some(rec)
     }
@@ -360,6 +373,8 @@ impl JournalStore {
         nonce: u64,
         clock: &mut Option<&mut CrashClock>,
     ) -> Result<(), PowerLoss> {
+        telemetry::incr(telemetry::Counter::JournalAppends);
+        let _span = telemetry::span(telemetry::Hist::JournalAppendNs);
         let encoded = record.encode(secret, nonce);
         for chunk in encoded.chunks(APPEND_CHUNK) {
             if let Some(c) = clock.as_deref_mut() {
@@ -384,6 +399,8 @@ impl JournalStore {
         secret: &DeviceSecret,
         nonce: u64,
     ) -> Result<JournalReplay, SecurityError> {
+        telemetry::incr(telemetry::Counter::JournalReplays);
+        let _span = telemetry::span(telemetry::Hist::JournalReplayNs);
         let mut records = Vec::new();
         let mut off = 0usize;
         while self.bytes.len() - off >= RECORD_BYTES {
@@ -416,6 +433,9 @@ impl JournalStore {
         nonce: u64,
     ) -> Result<JournalReplay, SecurityError> {
         let replayed = self.replay(secret, nonce)?;
+        if replayed.torn_tail_bytes > 0 {
+            telemetry::incr(telemetry::Counter::TornTailRepairs);
+        }
         self.bytes.truncate(replayed.records.len() * RECORD_BYTES);
         Ok(replayed)
     }
@@ -467,8 +487,10 @@ impl PadTracker {
         layer_id: u32,
     ) -> Result<(), SecurityError> {
         if self.seen.insert((epoch, coords)) {
+            telemetry::incr(telemetry::Counter::PadsIssued);
             Ok(())
         } else {
+            telemetry::incr(telemetry::Counter::PadReuses);
             Err(SecurityError::CounterReuse { epoch, layer_id })
         }
     }
@@ -968,7 +990,23 @@ fn run_trial(
                         "second cut never fired".to_string(),
                     );
                 }
-                Err(JournaledError::Crashed(l2)) => l2,
+                Err(JournaledError::Crashed(l2)) => {
+                    // The crashed resume still *initiated* a resume; its
+                    // audit record died with the run, so mirror it here —
+                    // directly into `records` (like `absorb`), because
+                    // the dying run's own `push` already counted it in
+                    // the global telemetry. This keeps the printed
+                    // ladder in lock-step with `--metrics` counters.
+                    state.incidents.records.push(crate::audit::IncidentRecord {
+                        layer_id: loss.layer,
+                        attempt: 0,
+                        action: crate::audit::RecoveryAction::Resume,
+                        cause: SecurityError::PowerInterrupted {
+                            layer_id: loss.layer,
+                        },
+                    });
+                    l2
+                }
                 Err(err) => {
                     state.note_error(&err);
                     return trial(

@@ -28,6 +28,7 @@ pub mod secure_infer;
 pub mod secure_memory;
 pub mod sgx_functional;
 pub mod storage;
+pub mod telemetry;
 pub mod tnpu_functional;
 pub mod vngen;
 pub mod widening;
@@ -66,6 +67,7 @@ pub use secure_infer::{
 pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
 pub use sgx_functional::{SgxError, SgxMemory};
 pub use storage::{table7_rows, StorageFootprint};
+pub use telemetry::{layer_breakdown, Snapshot as TelemetrySnapshot, SpanEvent};
 pub use tnpu_functional::{TnpuError, TnpuMemory};
 pub use vngen::{FirstReadDetector, PatternCounter, VnGenerator};
 pub use widening::{intersperse_dummy, widen_layer, widen_network};

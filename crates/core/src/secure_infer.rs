@@ -18,6 +18,7 @@ use crate::fault::{AccessCtx, CrashClock, CrashPhase, FaultInjector, PowerLoss};
 use crate::journal::{DurableState, JournalRecord, JournalRecordKind, PadTracker};
 use crate::mac_verify::{EagerLayerVerifier, LayerMacVerifier};
 use crate::secure_memory::{Block, BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
+use crate::telemetry;
 use seculator_compute::quant::{qconv2d, qconv2d_grouped, QTensor3, QTensor4};
 use seculator_crypto::keys::DeviceSecret;
 
@@ -859,7 +860,13 @@ fn run_journaled_core(
             // run in the original block order, so a power cut or reuse
             // stop leaves exactly the state the serial loop would have.
             let pcoords = tile_coords(li, li, v_part, pblocks.len());
-            let sealed = datapath.seal_blocks(&pcoords, &pblocks);
+            // Stage spans attribute wall time to this layer in the
+            // telemetry event ring — the substrate of the per-layer
+            // breakdown in `figures throughput` and `--metrics` dumps.
+            let sealed = {
+                let _stage = telemetry::stage_span("seal", u64::from(li));
+                datapath.seal_blocks(&pcoords, &pblocks)
+            };
             for (i, (ct, mac)) in sealed.into_iter().enumerate() {
                 tick(&mut instruments.clock, li, CrashPhase::PartialEvict)
                     .map_err(JournaledError::Crashed)?;
@@ -904,10 +911,18 @@ fn run_journaled_core(
                     &ctx,
                 ));
             }
+            let opened = {
+                let _stage = telemetry::stage_span("open", u64::from(li));
+                datapath.open_blocks(&pcoords, &part_ct)
+            };
             let mut part_rd = Vec::with_capacity(pblocks.len());
-            for (pt, mac) in datapath.open_blocks(&pcoords, &part_ct) {
-                lv.on_read(&mac);
-                part_rd.push(pt);
+            {
+                let _stage = telemetry::stage_span("mac_fold", u64::from(li));
+                let _span = telemetry::span(telemetry::Hist::MacFoldNs);
+                for (pt, mac) in opened {
+                    lv.on_read(&mac);
+                    part_rd.push(pt);
+                }
             }
             let partial_back = blocks_to_accum(&part_rd, k, h, w);
             for _ in 0..layer.weights.k.max(1) {
@@ -926,7 +941,10 @@ fn run_journaled_core(
 
             let fblocks = accum_to_blocks(&full);
             let fcoords = tile_coords(li, li, v_full, fblocks.len());
-            let sealed = datapath.seal_blocks(&fcoords, &fblocks);
+            let sealed = {
+                let _stage = telemetry::stage_span("seal", u64::from(li));
+                datapath.seal_blocks(&fcoords, &fblocks)
+            };
             for (i, (ct, mac)) in sealed.into_iter().enumerate() {
                 tick(&mut instruments.clock, li, CrashPhase::FinalEvict)
                     .map_err(JournaledError::Crashed)?;
@@ -978,10 +996,18 @@ fn run_journaled_core(
                         &ctx,
                     ));
                 }
+                let opened = {
+                    let _stage = telemetry::stage_span("open", u64::from(li));
+                    datapath.open_blocks(&fcoords, &cts)
+                };
                 let mut rd = Vec::with_capacity(fblocks.len());
-                for (pt, mac) in datapath.open_blocks(&fcoords, &cts) {
-                    lv.on_first_read(&mac);
-                    rd.push(pt);
+                {
+                    let _stage = telemetry::stage_span("mac_fold", u64::from(li));
+                    let _span = telemetry::span(telemetry::Hist::MacFoldNs);
+                    for (pt, mac) in opened {
+                        lv.on_first_read(&mac);
+                        rd.push(pt);
+                    }
                 }
                 if lv.check().is_verified() {
                     break Some(rd);
@@ -1031,15 +1057,18 @@ fn run_journaled_core(
                         vn_rho: 1,
                         vn_emitted: nblocks.max(1) * u64::from(v_full),
                     };
-                    durable
-                        .journal
-                        .append(
-                            &record,
-                            &session.secret,
-                            session.nonce,
-                            &mut instruments.clock,
-                        )
-                        .map_err(JournaledError::Crashed)?;
+                    {
+                        let _stage = telemetry::stage_span("journal", u64::from(li));
+                        durable
+                            .journal
+                            .append(
+                                &record,
+                                &session.secret,
+                                session.nonce,
+                                &mut instruments.clock,
+                            )
+                            .map_err(JournaledError::Crashed)?;
+                    }
                     seq += 1;
                     commits += 1;
                     activ = requantize_shift(&blocks_to_accum(&rd, k, h, w), session.shift);
@@ -1123,6 +1152,7 @@ pub fn infer_journaled(
             &mut instruments.clock,
         )
         .map_err(JournaledError::Crashed)?;
+    telemetry::incr(telemetry::Counter::EpochBumps);
     run_journaled_core(
         CoreParams {
             layers,
@@ -1278,6 +1308,7 @@ pub fn infer_resume(
             &mut instruments.clock,
         )
         .map_err(JournaledError::Crashed)?;
+    telemetry::incr(telemetry::Counter::EpochBumps);
     seq += 1;
 
     run_journaled_core(

@@ -8,6 +8,7 @@
 //! networks; this datapath actually encrypts/decrypts/verifies every byte
 //! and is exercised on small networks in tests and examples.
 
+use crate::telemetry;
 use rayon::prelude::*;
 use seculator_crypto::ctr::{AesCtr, BlockCounter};
 use seculator_crypto::keys::{DeviceSecret, SessionKey};
@@ -239,12 +240,39 @@ impl CryptoDatapath {
     #[must_use]
     pub fn seal_blocks(&self, coords: &[BlockCoords], blocks: &[Block]) -> Vec<(Block, [u8; 32])> {
         assert_eq!(coords.len(), blocks.len(), "one coordinate tuple per block");
+        // Telemetry is batch-level only: one counter bump and one span
+        // per tile, never per block, so the rayon fan-out stays clean.
+        self.note_batch(telemetry::Counter::SealBatches, coords.len());
+        let _span = telemetry::span(telemetry::Hist::SealNs);
         let seal_one =
             |(i, &c): (usize, &BlockCoords)| (self.encrypt(c, &blocks[i]), self.mac(c, &blocks[i]));
         match self.mode {
             DatapathMode::Serial => coords.iter().enumerate().map(seal_one).collect(),
             DatapathMode::Parallel => coords.par_iter().enumerate().map(seal_one).collect(),
         }
+    }
+
+    /// Batch-level telemetry shared by [`Self::seal_blocks`] and
+    /// [`Self::open_blocks`]: the batch counter, its per-block twin, the
+    /// AES path split by mode, and the MAC-block total.
+    fn note_batch(&self, batch_counter: telemetry::Counter, blocks: usize) {
+        let n = blocks as u64;
+        telemetry::incr(batch_counter);
+        telemetry::add(
+            match batch_counter {
+                telemetry::Counter::SealBatches => telemetry::Counter::SealBlocks,
+                _ => telemetry::Counter::OpenBlocks,
+            },
+            n,
+        );
+        telemetry::add(
+            match self.mode {
+                DatapathMode::Serial => telemetry::Counter::AesBlocksSerial,
+                DatapathMode::Parallel => telemetry::Counter::AesBlocksParallel,
+            },
+            n,
+        );
+        telemetry::add(telemetry::Counter::MacBlocks, n);
     }
 
     /// Opens a tile: for each `(coords, ciphertext)` pair computes
@@ -257,6 +285,8 @@ impl CryptoDatapath {
     #[must_use]
     pub fn open_blocks(&self, coords: &[BlockCoords], blocks: &[Block]) -> Vec<(Block, [u8; 32])> {
         assert_eq!(coords.len(), blocks.len(), "one coordinate tuple per block");
+        self.note_batch(telemetry::Counter::OpenBatches, coords.len());
+        let _span = telemetry::span(telemetry::Hist::OpenNs);
         let open_one = |(i, &c): (usize, &BlockCoords)| {
             let pt = self.decrypt(c, &blocks[i]);
             let mac = self.mac(c, &pt);

@@ -8,6 +8,8 @@
 //! storage footprint is a handful of registers, matching the paper's
 //! 40 µm² synthesis result (Table 6).
 
+use crate::error::SecurityError;
+use crate::telemetry;
 use seculator_arch::pattern::PatternSpec;
 
 /// One pattern-following counter: produces the sequence
@@ -38,18 +40,31 @@ impl PatternCounter {
     /// crash-recovery path ([`crate::journal`]) persists only
     /// `(⟨η, κ, ρ⟩, emitted)` and re-derives the three FSM registers,
     /// because the position uniquely determines them.
-    #[must_use]
-    pub fn resume(spec: PatternSpec, emitted: u64) -> Self {
-        let emitted = emitted.min(spec.len());
+    ///
+    /// # Errors
+    ///
+    /// A position beyond the pattern's length cannot have been produced
+    /// by any honest run, so it is a tamper/corruption signal, not a
+    /// state to clamp into: `emitted > spec.len()` returns
+    /// [`SecurityError::PatternResumeOutOfRange`]. (`emitted ==
+    /// spec.len()` is the valid exhausted state a completed layer
+    /// journals.)
+    pub fn resume(spec: PatternSpec, emitted: u64) -> Result<Self, SecurityError> {
+        if emitted > spec.len() {
+            return Err(SecurityError::PatternResumeOutOfRange {
+                emitted,
+                capacity: spec.len(),
+            });
+        }
         let eta = spec.eta.max(1);
         let kappa = u64::from(spec.kappa.max(1));
-        Self {
+        Ok(Self {
             spec,
             run: emitted % eta,
             level: ((emitted / eta) % kappa) as u32 + 1,
             rep: emitted / (eta * kappa),
             emitted,
-        }
+        })
     }
 
     /// The triplet being generated.
@@ -85,6 +100,7 @@ impl PatternCounter {
             return None;
         }
         let vn = self.level;
+        telemetry::incr(telemetry::Counter::VnAdvances);
         self.emitted += 1;
         self.run += 1;
         if self.run == self.spec.eta {
@@ -278,7 +294,8 @@ mod tests {
                     fresh.next_vn();
                 }
                 assert_eq!(fresh.position(), cut);
-                let mut resumed = PatternCounter::resume(spec, cut);
+                let mut resumed =
+                    PatternCounter::resume(spec, cut).expect("in-range position resumes");
                 assert_eq!(resumed.position(), cut);
                 let rest_fresh: Vec<u32> = std::iter::from_fn(|| fresh.next_vn()).collect();
                 let rest_resumed: Vec<u32> = std::iter::from_fn(|| resumed.next_vn()).collect();
@@ -291,11 +308,30 @@ mod tests {
     }
 
     #[test]
-    fn resume_past_the_end_is_exhausted() {
+    fn resume_at_the_exact_end_is_exhausted() {
+        // `emitted == len` is the state a *completed* layer journals
+        // (every VN issued); it must stay resumable, just exhausted.
         let spec = PatternSpec::new(2, 2, 1);
-        let mut c = PatternCounter::resume(spec, 999);
+        let mut c = PatternCounter::resume(spec, spec.len()).expect("len is a valid position");
         assert!(c.exhausted());
         assert_eq!(c.next_vn(), None);
+    }
+
+    #[test]
+    fn resume_past_the_end_is_a_security_error() {
+        // An out-of-range journal position cannot come from an honest
+        // run — surfacing it (rather than clamping) is the satellite-2
+        // contract of this PR.
+        let spec = PatternSpec::new(2, 2, 1);
+        match PatternCounter::resume(spec, 999) {
+            Err(crate::error::SecurityError::PatternResumeOutOfRange { emitted, capacity }) => {
+                assert_eq!(emitted, 999);
+                assert_eq!(capacity, spec.len());
+            }
+            other => panic!("expected PatternResumeOutOfRange, got {other:?}"),
+        }
+        assert!(PatternCounter::resume(spec, spec.len() + 1).is_err());
+        assert!(PatternCounter::resume(spec, spec.len()).is_ok());
     }
 
     #[test]

@@ -343,6 +343,57 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_packs_saturated_components_without_overflow() {
+        // All four architectural components at their 2^32 - 1 register
+        // ceiling: the packing must fill both halves exactly, and the
+        // serialized counter must be all-ones.
+        let c = BlockCounter::from_parts(u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+        assert_eq!(c.major, u64::MAX);
+        assert_eq!(c.minor, u64::MAX);
+        assert_eq!(c.to_bytes(), [0xFF; 16]);
+        // And a single saturated component lands in its own half only.
+        let v = BlockCounter::from_parts(0, 0, u32::MAX, 0);
+        assert_eq!(v.major, 0);
+        assert_eq!(v.minor, u64::from(u32::MAX) << 32);
+    }
+
+    #[test]
+    fn lane_paths_agree_at_the_minor_counter_wrap_edge() {
+        // minor = u64::MAX makes the lane base (minor * 4) wrap; the
+        // table-driven four-lane path and the scalar reference must still
+        // produce the same pad, and the pad must round-trip.
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        for c in [
+            BlockCounter::from_parts(1, 2, u32::MAX, u32::MAX),
+            BlockCounter::from_parts(1, 2, u32::MAX, 0),
+            BlockCounter::from_parts(1, 2, 0, u32::MAX),
+        ] {
+            assert_eq!(ctr.pad64(c), ctr.pad64_scalar(c), "{c:?}");
+            let pt = [0x3Cu8; 64];
+            assert_eq!(ctr.decrypt_block64(&ctr.encrypt_block64(&pt, c), c), pt);
+        }
+    }
+
+    #[test]
+    fn lane_counters_do_not_collide_across_the_block_index_ceiling() {
+        // The last block of one version (block_index = 2^32 - 1) sits
+        // right next to the first block of the next version in minor
+        // space; their lane counters are 4 apart and must not collide —
+        // lane 3 of the former vs lane 0 of the latter.
+        let ctr = AesCtr::new(b"0123456789abcdef");
+        let zero = [0u8; 64];
+        let last = ctr.encrypt_block64(&zero, BlockCounter::from_parts(0, 0, 6, u32::MAX));
+        let next = ctr.encrypt_block64(&zero, BlockCounter::from_parts(0, 0, 7, 0));
+        assert_ne!(&last[48..64], &next[0..16]);
+        // Same check at the absolute top of minor space, where minor*4
+        // wraps: the saturated block and block (0, 0) of version 0 map to
+        // lane bases u64::MAX*4 and 0 — adjacent modulo 2^64.
+        let wrap = ctr.encrypt_block64(&zero, BlockCounter::from_parts(0, 0, u32::MAX, u32::MAX));
+        let first = ctr.encrypt_block64(&zero, BlockCounter::from_parts(0, 0, 0, 0));
+        assert_ne!(&wrap[48..64], &first[0..16]);
+    }
+
+    #[test]
     fn lane_counters_do_not_collide_across_adjacent_blocks() {
         // block index i lane 3 vs block index i+1 lane 0 must use
         // different AES inputs: minor*4+3 != (minor+1)*4+0.

@@ -37,6 +37,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Crypto primitives sit under every secure path and must never panic on
+// a recoverable condition: impossible states use `expect` with a proof
+// of impossibility, everything else returns. Tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aes;
 pub mod ctr;

@@ -91,9 +91,17 @@ impl ThreadPoolBuilder {
 
     /// Installs the setting globally.
     ///
+    /// Re-installing the *same* thread count is an idempotent success,
+    /// so initialization order (library warm-up vs. an explicit CLI
+    /// `--threads` flag) cannot silently drop an agreeing request. Only
+    /// a genuinely *conflicting* count fails, and callers must treat
+    /// that error as fatal rather than discard it: the requested count
+    /// is not in effect.
+    ///
     /// # Errors
     ///
-    /// [`ThreadPoolBuildError`] if a global pool was already built.
+    /// [`ThreadPoolBuildError`] if a global pool was already built with
+    /// a different thread count.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             // Freeze the auto default so later env changes cannot skew it.
@@ -101,7 +109,11 @@ impl ThreadPoolBuilder {
         } else {
             self.num_threads
         };
-        GLOBAL_THREADS.set(n).map_err(|_| ThreadPoolBuildError)
+        match GLOBAL_THREADS.set(n) {
+            Ok(()) => Ok(()),
+            Err(_) if *GLOBAL_THREADS.get().expect("set failed, so present") == n => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError),
+        }
     }
 }
 
@@ -338,6 +350,30 @@ where
 mod tests {
     use super::prelude::*;
     use super::*;
+
+    /// One test owns the whole `build_global` lifecycle: the global is
+    /// process-wide, so splitting these assertions across tests would
+    /// race. No other shim test calls `build_global`.
+    #[test]
+    fn build_global_is_idempotent_for_agreeing_counts_only() {
+        assert!(ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .is_ok());
+        assert_eq!(current_num_threads(), 3);
+        // Same count again: idempotent success, count unchanged.
+        assert!(ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .is_ok());
+        assert_eq!(current_num_threads(), 3);
+        // Conflicting count: loud failure, original count stays.
+        assert!(ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build_global()
+            .is_err());
+        assert_eq!(current_num_threads(), 3);
+    }
 
     #[test]
     fn collect_preserves_index_order() {

@@ -13,10 +13,12 @@ use seculator::arch::dataflow::{ConvDataflow, Dataflow};
 use seculator::arch::layer::{ConvShape, LayerDesc, LayerKind};
 use seculator::arch::tiling::TileConfig;
 use seculator::arch::trace::LayerSchedule;
+use seculator::core::secure_infer::Instruments;
 use seculator::core::storage::table7_rows;
+use seculator::core::telemetry;
 use seculator::core::{
-    run_campaign, run_crash_campaign, Attack, CampaignConfig, CrashCampaignConfig, FunctionalNpu,
-    SchemeKind, TimingNpu,
+    campaign_models, infer_journaled, run_campaign, run_crash_campaign, Attack, CampaignConfig,
+    CrashCampaignConfig, DurableState, FunctionalNpu, PadTracker, SchemeKind, TimingNpu,
 };
 use seculator::crypto::DeviceSecret;
 use seculator::models::{zoo, Network};
@@ -33,10 +35,13 @@ fn usage() -> ! {
            fault-campaign [--seed N --faults K]        seeded fault-injection sweep\n\
            crash-campaign [--seed N --cuts K]          seeded power-loss + resume sweep\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
-           describe --network <name>                   per-layer mapped loop nests\n\n\
+           describe --network <name>                   per-layer mapped loop nests\n\
+           stats    [--format json|prom]               telemetry snapshot of a fixed workload\n\n\
          global options:\n\
            --threads <N>   worker threads for the parallel crypto datapath\n\
-                           (default: all cores; also honors RAYON_NUM_THREADS)\n\n\
+                           (default: all cores; also honors RAYON_NUM_THREADS;\n\
+                           an explicit flag always wins or the run fails)\n\
+           --metrics <path> write the telemetry snapshot JSON there after the run\n\n\
          networks: mobilenet resnet alexnet vgg16 vgg19 tiny\n\
          schemes:  baseline secure tnpu guardnn seculator seculator+"
     );
@@ -107,18 +112,91 @@ fn configure_threads(args: &[String]) {
                 usage()
             }
         };
-        // Err only if a pool was already built, which cannot happen this
-        // early in main — but never panic over a perf knob either way.
-        let _ = rayon::ThreadPoolBuilder::new()
+        // An explicit flag must take effect or fail the run: if the pool
+        // was already frozen at a *different* count (e.g. a library
+        // initialized it first), silently keeping the old count would
+        // make `--threads` a lie. Agreeing re-initialization is Ok.
+        if rayon::ThreadPoolBuilder::new()
             .num_threads(n)
-            .build_global();
+            .build_global()
+            .is_err()
+        {
+            eprintln!(
+                "--threads {n} rejected: the thread pool was already \
+                 initialized with a different count ({})",
+                rayon::current_num_threads()
+            );
+            std::process::exit(2);
+        }
     }
+}
+
+/// Writes the telemetry snapshot to the global `--metrics` path, if one
+/// was given. Called on every exit path that follows a completed run, so
+/// campaign failures (exit 1) still leave their counters behind.
+fn write_metrics(path: Option<&str>) {
+    let Some(path) = path else { return };
+    let json = telemetry::snapshot().to_json();
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write --metrics file `{path}`: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// The `stats` workload: one journaled inference per campaign model,
+/// plus one clean functional-NPU run (the VN generator only runs on the
+/// functional path). Small, deterministic, and it exercises every
+/// instrumented stage — seal/open batches, MAC folds, VN advances,
+/// journal appends, epoch bumps — so the snapshot is representative
+/// without being a benchmark.
+fn stats_workload() {
+    for model in campaign_models() {
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        infer_journaled(
+            &model.layers,
+            &model.input,
+            &model.session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+        )
+        .expect("the fixed stats workload runs cleanly");
+    }
+    let layers = [
+        LayerDesc::new(0, LayerKind::Conv(ConvShape::simple(8, 4, 16, 3))),
+        LayerDesc::new(1, LayerKind::Conv(ConvShape::simple(4, 8, 16, 3))),
+    ];
+    let tiling = TileConfig {
+        kt: 4,
+        ct: 2,
+        ht: 8,
+        wt: 8,
+    };
+    let schedules: Vec<LayerSchedule> = layers
+        .iter()
+        .map(|l| {
+            LayerSchedule::new(
+                *l,
+                Dataflow::Conv(ConvDataflow::IrMultiChannelAlongChannel),
+                tiling,
+            )
+            .expect("static shapes resolve")
+        })
+        .collect();
+    let mut fnpu = FunctionalNpu::new(DeviceSecret::from_seed(1), 1);
+    fnpu.run(&schedules)
+        .expect("the clean functional run verifies");
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     configure_threads(&args);
+    let metrics_path = opt(&args, "--metrics");
     let npu = TimingNpu::new(NpuConfig::paper());
 
     match cmd.as_str() {
@@ -257,6 +335,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = run_campaign(&cfg);
             println!("{}", report.summary());
             if !report.passed() {
+                write_metrics(metrics_path.as_deref());
                 std::process::exit(1);
             }
         }
@@ -272,7 +351,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = run_crash_campaign(&cfg);
             println!("{}", report.summary());
             if !report.passed() {
+                write_metrics(metrics_path.as_deref());
                 std::process::exit(1);
+            }
+        }
+        "stats" => {
+            let cursor = telemetry::event_cursor();
+            stats_workload();
+            let mut snap = telemetry::snapshot();
+            snap.layers = telemetry::layer_breakdown(&telemetry::events_since(cursor));
+            match opt(&args, "--format").as_deref() {
+                None | Some("json") => println!("{}", snap.to_json()),
+                Some("prom") => print!("{}", snap.to_prometheus()),
+                Some(other) => {
+                    eprintln!("unknown --format `{other}` (expected json or prom)");
+                    usage()
+                }
             }
         }
         "describe" => {
@@ -293,5 +387,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => usage(),
     }
+    write_metrics(metrics_path.as_deref());
     Ok(())
 }

@@ -177,6 +177,171 @@ fn crash_campaign_is_thread_count_invariant() {
     );
 }
 
+/// A scratch path under the target-adjacent temp dir, unique per test so
+/// parallel test threads never collide.
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("seculator-cli-{}-{name}", std::process::id()))
+}
+
+/// Pulls a bare-number field out of hand-rolled JSON ( `"name": 42` or
+/// `"name":42` ), panicking with context when absent — test-only parsing
+/// for the fixed telemetry and ladder schemas.
+fn json_u64(doc: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let at = doc
+        .find(&key)
+        .unwrap_or_else(|| panic!("no {key} in {doc}"));
+    doc[at + key.len()..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {doc}"))
+}
+
+/// `stats` runs its fixed workload and prints the telemetry snapshot;
+/// the schema is present in both feature modes, the counters are only
+/// nonzero when the `telemetry` feature is compiled in.
+#[test]
+fn stats_subcommand_emits_the_telemetry_schema() {
+    let (code, stdout, _) = run_code(&["stats"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{stdout}"
+    );
+    for key in ["seal_batches", "vn_advances", "journal_appends", "seal_ns"] {
+        assert!(
+            stdout.contains(&format!("\"{key}\"")),
+            "missing {key}: {stdout}"
+        );
+    }
+    if cfg!(feature = "telemetry") {
+        assert!(stdout.contains("\"enabled\": true"), "{stdout}");
+        assert!(json_u64(&stdout, "seal_batches") > 0, "{stdout}");
+        assert!(json_u64(&stdout, "vn_advances") > 0, "{stdout}");
+        assert!(stdout.contains("\"layer\": 0"), "per-layer rows: {stdout}");
+    } else {
+        assert!(stdout.contains("\"enabled\": false"), "{stdout}");
+        assert_eq!(json_u64(&stdout, "seal_batches"), 0, "{stdout}");
+    }
+    let (code, prom, _) = run_code(&["stats", "--format", "prom"]);
+    assert_eq!(code, Some(0));
+    assert!(
+        prom.contains("# TYPE seculator_seal_batches counter"),
+        "{prom}"
+    );
+    let (code, _, stderr) = run_code(&["stats", "--format", "xml"]);
+    assert_eq!(code, Some(2), "unknown format is a usage error: {stderr}");
+}
+
+/// The `--metrics` counters must agree *exactly* with the recovery
+/// ladder the campaign prints: both are fed by the same single funnel
+/// (`IncidentLog::push`), so any divergence means double- or
+/// under-counting somewhere in the recovery paths.
+#[test]
+fn crash_campaign_metrics_counters_match_the_printed_ladder() {
+    let path = scratch("ladder.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (code, stdout, _) = run_code(&[
+        "crash-campaign",
+        "--seed",
+        "5",
+        "--cuts",
+        "3",
+        "--metrics",
+        path_s,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        metrics.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{metrics}"
+    );
+    if !cfg!(feature = "telemetry") {
+        assert!(metrics.contains("\"enabled\": false"), "{metrics}");
+        return;
+    }
+    let ladder_at = stdout
+        .find("ladder: ")
+        .expect("ladder line in campaign output");
+    let ladder = &stdout[ladder_at..];
+    for (counter, ladder_field) in [
+        ("refetches", "refetches"),
+        ("reexecutions", "reexecutions"),
+        ("resumes", "resumes"),
+        ("rollbacks", "rollbacks"),
+    ] {
+        assert_eq!(
+            json_u64(&metrics, counter),
+            json_u64(ladder, ladder_field),
+            "telemetry `{counter}` diverged from the campaign ladder\n{metrics}\n{ladder}"
+        );
+    }
+    // Every detection resolves to exactly one ladder action (the campaign
+    // passed, so nothing aborted), and this campaign exercises recovery.
+    let actions = json_u64(&metrics, "refetches")
+        + json_u64(&metrics, "reexecutions")
+        + json_u64(&metrics, "resumes")
+        + json_u64(&metrics, "rollbacks")
+        + json_u64(&metrics, "aborts");
+    assert_eq!(json_u64(&metrics, "detections"), actions, "{metrics}");
+    assert!(actions > 0, "campaign must exercise the ladder: {stdout}");
+}
+
+/// The regression the telemetry work rode in on: an explicit `--threads`
+/// must take effect no matter what initialized the pool's default first
+/// (here `RAYON_NUM_THREADS=7` in the environment). Before the fix the
+/// flag's `build_global` result was discarded, so an earlier freeze
+/// silently won. The snapshot's `threads` field reports the effective
+/// count in both feature modes.
+#[test]
+fn threads_flag_beats_the_environment() {
+    let path = scratch("threads.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (code, stdout, stderr) = run_env(
+        &[
+            "crash-campaign",
+            "--seed",
+            "5",
+            "--cuts",
+            "2",
+            "--threads",
+            "2",
+            "--metrics",
+            path_s,
+        ],
+        &[("RAYON_NUM_THREADS", "7")],
+    );
+    assert_eq!(code, Some(0), "{stdout}\n{stderr}");
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        metrics.contains("\"threads\": 2"),
+        "--threads 2 must beat RAYON_NUM_THREADS=7: {metrics}"
+    );
+    // And without the flag, the environment default stands.
+    let (code, _, _) = run_env(
+        &["stats", "--metrics", path_s],
+        &[("RAYON_NUM_THREADS", "7")],
+    );
+    assert_eq!(code, Some(0));
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(metrics.contains("\"threads\": 7"), "{metrics}");
+}
+
+/// An unwritable `--metrics` path is a usage error (exit 2), reported on
+/// stderr — never a silently dropped snapshot.
+#[test]
+fn unwritable_metrics_path_is_a_usage_error() {
+    let (code, _, stderr) = run_code(&["stats", "--metrics", "/nonexistent-dir/metrics.json"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("cannot write --metrics file"), "{stderr}");
+}
+
 /// `--threads` joins the shared exit-code contract: zero or a non-number
 /// is a usage error (exit 2), never a silent fallback to the default
 /// worker count.

@@ -1,0 +1,148 @@
+//! Telemetry registry invariants: counters are monotone under any
+//! sequence of recordings, recording is exact for a quiescent counter,
+//! and concurrent recording from many threads loses no increments.
+//!
+//! The registry is one process-global; each `#[test]` below therefore
+//! uses a *disjoint* set of counters/histograms so the exact-delta
+//! assertions cannot race each other inside this test binary.
+
+use proptest::prelude::*;
+use seculator::core::telemetry::{self, Counter, Hist};
+
+/// Whether the binary was compiled with recording on. When the feature
+/// is off every `add`/`observe` is a no-op and every read returns 0 —
+/// the properties below degenerate to "everything stays 0".
+const ENABLED: bool = cfg!(feature = "telemetry");
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A random recording sequence never decreases any counter, and the
+    /// final value of each exercised counter equals its starting value
+    /// plus exactly the amounts applied (nothing lost, nothing doubled).
+    #[test]
+    fn counters_are_monotone_and_lose_nothing(
+        amounts in prop::collection::vec((0usize..3, 0u64..1000), 1..50),
+    ) {
+        // Disjoint from every other test in this binary (the datapath
+        // test below owns the seal/open/MAC counters).
+        const MINE: [Counter; 3] =
+            [Counter::TornTailRepairs, Counter::EpochBumps, Counter::PadsIssued];
+        let start: Vec<u64> = MINE.iter().map(|&c| telemetry::get(c)).collect();
+        let mut applied = [0u64; 3];
+        for &(which, n) in &amounts {
+            telemetry::add(MINE[which], n);
+            applied[which] += n;
+            // Monotone at every intermediate step, for every counter.
+            for (i, &c) in MINE.iter().enumerate() {
+                prop_assert!(telemetry::get(c) >= start[i]);
+            }
+        }
+        for (i, &c) in MINE.iter().enumerate() {
+            let expect = if ENABLED { start[i] + applied[i] } else { 0 };
+            prop_assert_eq!(telemetry::get(c), expect);
+        }
+    }
+
+    /// Histogram observations are conserved: `count` grows by the number
+    /// of observations, `sum_ns` by their total, and the per-bucket tallies
+    /// sum back to `count`.
+    #[test]
+    fn histogram_observations_are_conserved(
+        ns in prop::collection::vec(0u64..1_000_000_000, 1..40),
+    ) {
+        // Hist::JournalReplayNs is exercised only by this test in this
+        // binary (the datapath test feeds the seal/open histograms).
+        let before = snapshot_hist("journal_replay_ns");
+        for &v in &ns {
+            telemetry::observe(Hist::JournalReplayNs, v);
+        }
+        let after = snapshot_hist("journal_replay_ns");
+        let (want_count, want_sum) = if ENABLED {
+            (before.0 + ns.len() as u64, before.1 + ns.iter().sum::<u64>())
+        } else {
+            (0, 0)
+        };
+        prop_assert_eq!(after.0, want_count);
+        prop_assert_eq!(after.1, want_sum);
+        prop_assert_eq!(after.2, after.0, "bucket tallies must sum to count");
+    }
+}
+
+/// (count, sum_ns, bucket-total) for one histogram by name.
+fn snapshot_hist(name: &str) -> (u64, u64, u64) {
+    let h = telemetry::snapshot()
+        .histograms
+        .into_iter()
+        .find(|h| h.name == name)
+        .expect("known histogram name");
+    (h.count, h.sum_ns, h.buckets.iter().sum())
+}
+
+/// Concurrent increments from many threads are all retained — the smoke
+/// test for the registry's lock-free recording path.
+#[test]
+fn concurrent_increments_lose_nothing() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 10_000;
+    // Counter::Detections is exercised only by this test in this binary.
+    let before = telemetry::get(Counter::Detections);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    telemetry::incr(Counter::Detections);
+                }
+            });
+        }
+    });
+    let expect = if ENABLED {
+        before + THREADS as u64 * PER_THREAD
+    } else {
+        0
+    };
+    assert_eq!(telemetry::get(Counter::Detections), expect);
+}
+
+/// End-to-end: the counters the datapath feeds agree exactly with the
+/// work a seal/open round performed (block counts are attributed to the
+/// right mode, and the MAC engine saw every block once per direction).
+#[test]
+fn datapath_counters_match_the_work_done() {
+    use seculator::core::{BlockCoords, CryptoDatapath, DatapathMode};
+    use seculator::crypto::DeviceSecret;
+
+    let coords: Vec<BlockCoords> = (0..37)
+        .map(|i| BlockCoords {
+            fmap_id: 3,
+            layer_id: 1,
+            version: 2,
+            block_index: i,
+        })
+        .collect();
+    let blocks = vec![[0x5Au8; 64]; coords.len()];
+
+    // MacBlocks and the per-mode AES counters are exercised only by this
+    // test in this binary.
+    let serial_before = telemetry::get(Counter::AesBlocksSerial);
+    let parallel_before = telemetry::get(Counter::AesBlocksParallel);
+    let mac_before = telemetry::get(Counter::MacBlocks);
+
+    let serial =
+        CryptoDatapath::with_epoch_mode(DeviceSecret::from_seed(9), 77, 0, DatapathMode::Serial);
+    let sealed = serial.seal_blocks(&coords, &blocks);
+    let parallel =
+        CryptoDatapath::with_epoch_mode(DeviceSecret::from_seed(9), 77, 0, DatapathMode::Parallel);
+    let cts: Vec<[u8; 64]> = sealed.iter().map(|(ct, _)| *ct).collect();
+    let _ = parallel.open_blocks(&coords, &cts);
+
+    let n = coords.len() as u64;
+    let (want_serial, want_parallel, want_mac) = if ENABLED {
+        (serial_before + n, parallel_before + n, mac_before + 2 * n)
+    } else {
+        (0, 0, 0)
+    };
+    assert_eq!(telemetry::get(Counter::AesBlocksSerial), want_serial);
+    assert_eq!(telemetry::get(Counter::AesBlocksParallel), want_parallel);
+    assert_eq!(telemetry::get(Counter::MacBlocks), want_mac);
+}
