@@ -8,7 +8,8 @@
 //! Experiment ids: table1, table2, table3, table4, table5, table6,
 //! table7, table8, table9, table10, fig4, fig5, fig7, fig8, fig9,
 //! energy, mea, noise, batch, reuse, roofline, audit, detection-latency,
-//! ablate-maccache, ablate-blocksize, ablate-bandwidth, json, throughput.
+//! ablate-maccache, ablate-blocksize, ablate-bandwidth, json, throughput,
+//! serve.
 //!
 //! `throughput` accepts `--quick` (smaller tiles / fewer repetitions, the
 //! mode CI uses), `--check` (exit 1 unless the parallel datapath beats
@@ -17,6 +18,12 @@
 //! security-overhead breakdown — as JSON). It writes
 //! `BENCH_throughput.json` next to the working directory in addition to
 //! the console table.
+//!
+//! `serve` sweeps the multi-session scheduler over 1/2/4/8 concurrent
+//! tenant sessions of the same model, reporting aggregate sealed-pad
+//! throughput and p50/p99 per-session latency, and writes
+//! `BENCH_serve.json`. It honors `--quick` the same way `throughput`
+//! does.
 
 use seculator_arch::dataflow::{ConvDataflow, Dataflow, MatmulDataflow, PreprocDataflow};
 use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind, MatmulShape, PreprocStyle};
@@ -98,6 +105,7 @@ fn main() {
         "throughput",
         throughput(quick || all, check, metrics.as_deref())
     );
+    exp!("serve", serve_exp(quick || all));
 
     if !ran {
         eprintln!("unknown experiment id `{which}`; see the source header for valid ids");
@@ -833,6 +841,16 @@ fn best_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
     best
 }
 
+/// Writes a benchmark artifact, exiting with a distinct diagnostic on
+/// failure instead of a panic backtrace (an unwritable path is an
+/// environment problem, not a bug).
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(2);
+    }
+}
+
 fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
     use seculator_core::secure_infer::Instruments;
     use seculator_core::telemetry;
@@ -999,7 +1017,7 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
 \"threads\": {threads},\n  \"tile_blocks\": {tile_blocks},\n  \"models\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    write_or_die("BENCH_throughput.json", &json);
     println!("\nwrote BENCH_throughput.json");
 
     // Per-layer security-overhead breakdown: one journaled inference per
@@ -1056,7 +1074,7 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
         // Aggregated across models: same layer index sums together, which
         // keeps the snapshot schema flat and stable.
         snap.layers = telemetry::layer_breakdown(&telemetry::events_since(breakdown_cursor));
-        std::fs::write(path, snap.to_json()).expect("write --metrics file");
+        write_or_die(path, &snap.to_json());
         println!("wrote {path}");
     }
 
@@ -1078,6 +1096,160 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
             mlp.seal_speedup()
         );
     }
+}
+
+fn serve_exp(quick: bool) {
+    use seculator_core::{campaign_models, infer_plain, AdmitSpec, SessionManager, SessionVerdict};
+
+    println!("Multi-session scheduler sweep: every point serves the same eight");
+    println!("inferences, varying only how many run concurrently (N sessions");
+    println!("per manager run, 8/N consecutive runs). Aggregate rate counts");
+    println!("every CTR pad issued (one pad = one 64 B block sealed/opened),");
+    println!("so points are directly comparable: equal work, equal duration.\n");
+
+    const JOBS: usize = 8;
+    let reps: u32 = if quick { 8 } else { 48 };
+    let models = campaign_models();
+    let model = &models[0]; // grouped-cnn: the largest zoo member
+    let reference = infer_plain(&model.layers, &model.input, model.session.shift);
+    println!(
+        "model: {} ({} layers), {JOBS} inferences per point, best of {reps} samples\n",
+        model.name,
+        model.layers.len()
+    );
+    println!(
+        "{:<9} {:>7} {:>8} {:>16} {:>9} {:>9} {:>10}",
+        "sessions", "rounds", "blocks", "agg blocks/s", "p50 ms", "p99 ms", "vs 1-sess"
+    );
+
+    struct ServeRow {
+        sessions: usize,
+        rounds: u64,
+        blocks: u64,
+        wall_ms: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+    }
+    let points: [usize; 4] = [1, 2, 4, 8];
+    // One weight copy serves every tenant of every manager run — weights
+    // are public in the threat model; only per-session state duplicates.
+    let weights = std::sync::Arc::new(model.layers.clone());
+    let build = |n: usize| {
+        let mut mgr = SessionManager::new(
+            model.session.secret,
+            model.session.nonce,
+            model.session.shift,
+            model.session.policy,
+            n,
+        );
+        for tenant in 0..n as u32 {
+            mgr.admit(AdmitSpec {
+                tenant,
+                name: model.name.to_string(),
+                layers: std::sync::Arc::clone(&weights),
+                input: model.input.clone(),
+                arrival_round: 0,
+                injector: None,
+            });
+        }
+        mgr
+    };
+    // One sample = JOBS inferences as JOBS/n consecutive manager runs.
+    let sample = |n: usize| {
+        let mgrs: Vec<SessionManager> = (0..JOBS / n).map(|_| build(n)).collect();
+        let t0 = std::time::Instant::now();
+        let rs: Vec<_> = mgrs.into_iter().map(|mut m| m.run()).collect();
+        (t0.elapsed().as_secs_f64() * 1e3, rs)
+    };
+
+    // One untimed warmup pass per point, then the timed samples rotate
+    // across the points so CPU drift over the sweep biases every point
+    // equally instead of flattering whichever ran first.
+    let mut walls = [f64::INFINITY; 4];
+    let mut kept: [Vec<seculator_core::ServeReport>; 4] = Default::default();
+    for (i, &n) in points.iter().enumerate() {
+        kept[i] = sample(n).1;
+    }
+    for _ in 0..reps {
+        for (i, &n) in points.iter().enumerate() {
+            let (dt, rs) = sample(n);
+            if dt < walls[i] {
+                walls[i] = dt;
+                kept[i] = rs;
+            }
+        }
+    }
+
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for (i, &n) in points.iter().enumerate() {
+        let wall_ms = walls[i];
+        let reports = std::mem::take(&mut kept[i]);
+
+        // Correctness gates before any number is reported: no pad ever
+        // issued twice across sessions, and every scheduled session
+        // reproduces the single-session plaintext reference exactly.
+        let mut blocks = 0u64;
+        let mut rounds = 0u64;
+        let mut lat_ms: Vec<f64> = Vec::new();
+        for report in &reports {
+            assert_eq!(report.pad_collisions, 0, "cross-session pad reuse");
+            blocks += report.pads_issued;
+            rounds = rounds.max(report.rounds);
+            for o in &report.outcomes {
+                match &o.verdict {
+                    SessionVerdict::Completed(_) => assert_eq!(
+                        o.output(),
+                        Some(&reference),
+                        "tenant {} diverged from the reference",
+                        o.tenant
+                    ),
+                    SessionVerdict::Aborted(e) => {
+                        panic!("clean tenant {} aborted: {e:?}", o.tenant)
+                    }
+                }
+                lat_ms.push(o.latency_ns as f64 / 1e6);
+            }
+        }
+        lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| lat_ms[((lat_ms.len() - 1) as f64 * p).round() as usize];
+        let row = ServeRow {
+            sessions: n,
+            rounds,
+            blocks,
+            wall_ms,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+        };
+        let agg = row.blocks as f64 / (row.wall_ms / 1e3);
+        let base = &rows.first().unwrap_or(&row);
+        let vs1 = agg / (base.blocks as f64 / (base.wall_ms / 1e3));
+        println!(
+            "{:<9} {:>7} {:>8} {:>16.0} {:>9.2} {:>9.2} {:>9.2}x",
+            row.sessions, row.rounds, row.blocks, agg, row.p50_ms, row.p99_ms, vs1
+        );
+        rows.push(row);
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let agg = r.blocks as f64 / (r.wall_ms / 1e3);
+            format!(
+                "    {{\"sessions\":{},\"rounds\":{},\"blocks\":{},\
+\"wall_ms_best\":{:.3},\"agg_blocks_per_sec\":{:.0},\"p50_ms\":{:.3},\
+\"p99_ms\":{:.3},\"bit_identical\":true,\"pad_collisions\":0}}",
+                r.sessions, r.rounds, r.blocks, r.wall_ms, agg, r.p50_ms, r.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"seculator-bench-serve-v1\",\n  \"quick\": {quick},\n  \
+\"model\": \"{}\",\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ]\n}}\n",
+        model.name,
+        entries.join(",\n")
+    );
+    write_or_die("BENCH_serve.json", &json);
+    println!("\nwrote BENCH_serve.json");
 }
 
 fn ablate_maccache() {

@@ -500,6 +500,13 @@ impl PadTracker {
     pub fn pads_issued(&self) -> usize {
         self.seen.len()
     }
+
+    /// Iterates every `(epoch, counter)` pair that has produced a pad —
+    /// the raw material for *cross*-session uniqueness ledgers (within a
+    /// session the tracker itself already fails closed on reuse).
+    pub fn issued(&self) -> impl Iterator<Item = &(u32, BlockCoords)> {
+        self.seen.iter()
+    }
 }
 
 /// Machine state that survives a power loss: the (persistent, untrusted)

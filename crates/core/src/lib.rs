@@ -26,6 +26,7 @@ pub mod npu;
 pub mod pipeline;
 pub mod secure_infer;
 pub mod secure_memory;
+pub mod session;
 pub mod sgx_functional;
 pub mod storage;
 pub mod telemetry;
@@ -65,6 +66,10 @@ pub use secure_infer::{
     RecoveryPolicy, ResilientRun, SecureSession,
 };
 pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
+pub use session::{
+    run_serve_campaign, AdmitSpec, PadLedger, ServeCampaignConfig, ServeCampaignReport,
+    ServeReport, ServeTrial, SessionManager, SessionOutcome, SessionVerdict,
+};
 pub use sgx_functional::{SgxError, SgxMemory};
 pub use storage::{table7_rows, StorageFootprint};
 pub use telemetry::{layer_breakdown, Snapshot as TelemetrySnapshot, SpanEvent};

@@ -793,328 +793,422 @@ fn tick(
     }
 }
 
-/// Per-run parameters of the core journaled loop (bundled to keep the
-/// resume path and the fresh path on one code path).
-struct CoreParams<'a> {
-    layers: &'a [QConvLayer],
-    session: &'a SecureSession,
+/// In-flight state of one journaled execution, advanced one verified
+/// layer per [`step_journaled_layer`] call.
+///
+/// Factoring the loop state out of the driver is what lets the
+/// multi-session scheduler ([`crate::session`]) interleave per-layer
+/// work items from many tenant sessions over one datapath: each tenant
+/// owns a cursor, and a round-robin pass steps each runnable cursor
+/// once. [`infer_journaled`] / [`infer_resume`] are the single-tenant
+/// drivers of the same machinery.
+#[derive(Debug)]
+pub(crate) struct JournaledCursor {
+    datapath: CryptoDatapath,
     epoch: u32,
     seq: u32,
-    start_layer: u32,
+    next_layer: u32,
+    first_layer: u32,
     base_addr: u64,
     activ: QTensor3,
     incidents: IncidentLog,
+    commits: u32,
+    max_layer_blocks: u64,
 }
 
-/// The journaled execution loop: [`infer_resilient`]'s two-version write
-/// plan and recovery ladder, plus (a) a [`CrashClock`] tick on every
-/// stateful step, (b) the [`PadTracker`] check on every encryption, and
-/// (c) one sealed [`JournalRecord`] appended at each verified layer
-/// boundary — the commit point after which a crash costs at most the
-/// *next* layer's work.
+impl JournaledCursor {
+    /// Builds a cursor positioned at `start_layer` with the given
+    /// durable-state coordinates (epoch already declared durable, journal
+    /// `seq` pointing past the epoch-open record).
+    pub(crate) fn new(
+        session: &SecureSession,
+        epoch: u32,
+        seq: u32,
+        start_layer: u32,
+        base_addr: u64,
+        activ: QTensor3,
+        incidents: IncidentLog,
+    ) -> Self {
+        Self {
+            datapath: CryptoDatapath::with_epoch(session.secret, session.nonce, epoch),
+            epoch,
+            seq,
+            next_layer: start_layer,
+            first_layer: start_layer,
+            base_addr,
+            activ,
+            incidents,
+            commits: 0,
+            max_layer_blocks: 0,
+        }
+    }
+
+    /// Whether every layer of `layers` has committed.
+    pub(crate) fn done(&self, layers: &[QConvLayer]) -> bool {
+        (self.next_layer as usize) >= layers.len()
+    }
+
+    /// Layer-commit records appended so far.
+    pub(crate) fn commits(&self) -> u32 {
+        self.commits
+    }
+
+    /// Consumes a finished cursor into its run report.
+    pub(crate) fn finish(self) -> JournaledRun {
+        JournaledRun {
+            output: self.activ,
+            incidents: self.incidents,
+            max_layer_blocks: self.max_layer_blocks,
+            epoch: self.epoch,
+            first_executed_layer: self.first_layer,
+            commits: self.commits,
+        }
+    }
+}
+
+/// Repairs the journal, opens a fresh nonce epoch with a write-ahead
+/// record, and returns a cursor positioned at layer 0 — the admission
+/// half of [`infer_journaled`], shared with the multi-session scheduler.
+pub(crate) fn open_journaled_cursor(
+    input: &QTensor3,
+    session: &SecureSession,
+    durable: &mut DurableState,
+    clock: &mut Option<&mut CrashClock>,
+) -> Result<JournaledCursor, JournaledError> {
+    let replayed = durable
+        .journal
+        .repair(&session.secret, session.nonce)
+        .map_err(JournaledError::Security)?;
+    let epoch = replayed.next_epoch();
+    let seq = replayed.records.len() as u32;
+    // Write-ahead: the epoch is declared durable before any pad of it is
+    // consumed, so a torn open record ⇒ the epoch number is still fresh.
+    durable
+        .journal
+        .append(
+            &JournalRecord::epoch_open(seq, 0, epoch),
+            &session.secret,
+            session.nonce,
+            clock,
+        )
+        .map_err(JournaledError::Crashed)?;
+    telemetry::incr(telemetry::Counter::EpochBumps);
+    Ok(JournaledCursor::new(
+        session,
+        epoch,
+        seq + 1,
+        0,
+        0x1_0000,
+        input.clone(),
+        IncidentLog::new(),
+    ))
+}
+
+/// Executes and commits exactly one layer of a journaled run —
+/// [`infer_resilient`]'s two-version write plan and recovery ladder,
+/// plus (a) a [`CrashClock`] tick on every stateful step, (b) the
+/// [`PadTracker`] check on every encryption, and (c) one sealed
+/// [`JournalRecord`] appended at the verified layer boundary — the
+/// commit point after which a crash costs at most the *next* layer's
+/// work. On success the cursor advances to the next layer; on abort the
+/// incident log travels out inside the report and the cursor is spent.
 #[allow(clippy::too_many_lines)]
-fn run_journaled_core(
-    p: CoreParams<'_>,
+pub(crate) fn step_journaled_layer(
+    layers: &[QConvLayer],
+    session: &SecureSession,
+    cursor: &mut JournaledCursor,
     durable: &mut DurableState,
     instruments: &mut Instruments<'_>,
-) -> Result<JournaledRun, JournaledError> {
-    let session = p.session;
-    let datapath = CryptoDatapath::with_epoch(session.secret, session.nonce, p.epoch);
-    let mut incidents = p.incidents;
-    let mut activ = p.activ;
-    let mut base_addr = p.base_addr;
-    let mut seq = p.seq;
-    let mut commits = 0u32;
-    let mut max_layer_blocks = 0u64;
+) -> Result<(), JournaledError> {
+    let li = cursor.next_layer;
+    let Some(layer) = layers.get(li as usize) else {
+        return Ok(());
+    };
+    let groups = &layer.channel_groups;
+    let (head, rest) = if groups.len() > 1 {
+        groups.split_at(1)
+    } else {
+        (&groups[..], &[][..])
+    };
 
-    for (li, layer) in p.layers.iter().enumerate().skip(p.start_layer as usize) {
-        let li = li as u32;
-        let groups = &layer.channel_groups;
-        let (head, rest) = if groups.len() > 1 {
-            groups.split_at(1)
-        } else {
-            (&groups[..], &[][..])
+    let mut layer_refetches = 0u32;
+    let mut attempt = 0u32;
+    loop {
+        let v_part = attempt * 2 + 1;
+        let v_full = attempt * 2 + 2;
+        let mut lv = EagerLayerVerifier::new();
+
+        // One interruptible instant per output channel: a power cut
+        // can strike mid-tile, not just at tensor boundaries.
+        for _ in 0..layer.weights.k.max(1) {
+            tick(&mut instruments.clock, li, CrashPhase::Compute)
+                .map_err(JournaledError::Crashed)?;
+        }
+        let partial = qconv2d_grouped(&cursor.activ, &layer.weights, layer.stride, head);
+        let (k, h, w) = (partial.k, partial.h, partial.w);
+        let pblocks = accum_to_blocks(&partial);
+        let nblocks = pblocks.len() as u64;
+
+        // Pure crypto for the whole tile is batched up front (rayon
+        // fan-out in parallel mode); the stateful steps — crash
+        // ticks, pad-reuse tracking, injector-visible stores — then
+        // run in the original block order, so a power cut or reuse
+        // stop leaves exactly the state the serial loop would have.
+        let pcoords = tile_coords(li, li, v_part, pblocks.len());
+        // Stage spans attribute wall time to this layer in the
+        // telemetry event ring — the substrate of the per-layer
+        // breakdown in `figures throughput` and `--metrics` dumps.
+        let sealed = {
+            let _stage = telemetry::stage_span("seal", u64::from(li));
+            cursor.datapath.seal_blocks(&pcoords, &pblocks)
         };
-
-        let mut layer_refetches = 0u32;
-        let mut attempt = 0u32;
-        loop {
-            let v_part = attempt * 2 + 1;
-            let v_full = attempt * 2 + 2;
-            let mut lv = EagerLayerVerifier::new();
-
-            // One interruptible instant per output channel: a power cut
-            // can strike mid-tile, not just at tensor boundaries.
-            for _ in 0..layer.weights.k.max(1) {
-                tick(&mut instruments.clock, li, CrashPhase::Compute)
-                    .map_err(JournaledError::Crashed)?;
-            }
-            let partial = qconv2d_grouped(&activ, &layer.weights, layer.stride, head);
-            let (k, h, w) = (partial.k, partial.h, partial.w);
-            let pblocks = accum_to_blocks(&partial);
-            let nblocks = pblocks.len() as u64;
-
-            // Pure crypto for the whole tile is batched up front (rayon
-            // fan-out in parallel mode); the stateful steps — crash
-            // ticks, pad-reuse tracking, injector-visible stores — then
-            // run in the original block order, so a power cut or reuse
-            // stop leaves exactly the state the serial loop would have.
-            let pcoords = tile_coords(li, li, v_part, pblocks.len());
-            // Stage spans attribute wall time to this layer in the
-            // telemetry event ring — the substrate of the per-layer
-            // breakdown in `figures throughput` and `--metrics` dumps.
-            let sealed = {
-                let _stage = telemetry::stage_span("seal", u64::from(li));
-                datapath.seal_blocks(&pcoords, &pblocks)
+        for (i, (ct, mac)) in sealed.into_iter().enumerate() {
+            tick(&mut instruments.clock, li, CrashPhase::PartialEvict)
+                .map_err(JournaledError::Crashed)?;
+            instruments
+                .tracker
+                .on_encrypt(cursor.epoch, pcoords[i], li)
+                .map_err(JournaledError::Security)?;
+            let ctx = AccessCtx {
+                layer: li,
+                block: i as u64,
+                blocks: nblocks,
+                base: cursor.base_addr,
+                final_version: false,
+                attempt,
             };
-            for (i, (ct, mac)) in sealed.into_iter().enumerate() {
-                tick(&mut instruments.clock, li, CrashPhase::PartialEvict)
-                    .map_err(JournaledError::Crashed)?;
-                instruments
-                    .tracker
-                    .on_encrypt(p.epoch, pcoords[i], li)
-                    .map_err(JournaledError::Security)?;
-                let ctx = AccessCtx {
-                    layer: li,
-                    block: i as u64,
-                    blocks: nblocks,
-                    base: base_addr,
-                    final_version: false,
-                    attempt,
-                };
-                store_via(
-                    &mut instruments.injector,
-                    &mut durable.dram,
-                    base_addr + i as u64 * 64,
-                    ct,
-                    &ctx,
-                );
-                lv.on_write(&mac);
-            }
+            store_via(
+                &mut instruments.injector,
+                &mut durable.dram,
+                cursor.base_addr + i as u64 * 64,
+                ct,
+                &ctx,
+            );
+            lv.on_write(&mac);
+        }
 
-            let mut part_ct = Vec::with_capacity(pblocks.len());
-            for i in 0..pblocks.len() {
-                tick(&mut instruments.clock, li, CrashPhase::ReadBack)
+        let mut part_ct = Vec::with_capacity(pblocks.len());
+        for i in 0..pblocks.len() {
+            tick(&mut instruments.clock, li, CrashPhase::ReadBack)
+                .map_err(JournaledError::Crashed)?;
+            let ctx = AccessCtx {
+                layer: li,
+                block: i as u64,
+                blocks: nblocks,
+                base: cursor.base_addr,
+                final_version: false,
+                attempt,
+            };
+            part_ct.push(load_via(
+                &mut instruments.injector,
+                &durable.dram,
+                cursor.base_addr + i as u64 * 64,
+                &ctx,
+            ));
+        }
+        let opened = {
+            let _stage = telemetry::stage_span("open", u64::from(li));
+            cursor.datapath.open_blocks(&pcoords, &part_ct)
+        };
+        let mut part_rd = Vec::with_capacity(pblocks.len());
+        {
+            let _stage = telemetry::stage_span("mac_fold", u64::from(li));
+            let _span = telemetry::span(telemetry::Hist::MacFoldNs);
+            for (pt, mac) in opened {
+                lv.on_read(&mac);
+                part_rd.push(pt);
+            }
+        }
+        let partial_back = blocks_to_accum(&part_rd, k, h, w);
+        for _ in 0..layer.weights.k.max(1) {
+            tick(&mut instruments.clock, li, CrashPhase::Compute)
+                .map_err(JournaledError::Crashed)?;
+        }
+        let mut full = qconv2d_grouped(&cursor.activ, &layer.weights, layer.stride, rest);
+        for kk in 0..k {
+            for y in 0..h {
+                for x in 0..w {
+                    *full.at_mut(kk, y, x) =
+                        full.get(kk, y, x).wrapping_add(partial_back.get(kk, y, x));
+                }
+            }
+        }
+
+        let fblocks = accum_to_blocks(&full);
+        let fcoords = tile_coords(li, li, v_full, fblocks.len());
+        let sealed = {
+            let _stage = telemetry::stage_span("seal", u64::from(li));
+            cursor.datapath.seal_blocks(&fcoords, &fblocks)
+        };
+        for (i, (ct, mac)) in sealed.into_iter().enumerate() {
+            tick(&mut instruments.clock, li, CrashPhase::FinalEvict)
+                .map_err(JournaledError::Crashed)?;
+            instruments
+                .tracker
+                .on_encrypt(cursor.epoch, fcoords[i], li)
+                .map_err(JournaledError::Security)?;
+            let ctx = AccessCtx {
+                layer: li,
+                block: i as u64,
+                blocks: nblocks,
+                base: cursor.base_addr,
+                final_version: true,
+                attempt,
+            };
+            lv.on_write(&mac);
+            store_via(
+                &mut instruments.injector,
+                &mut durable.dram,
+                cursor.base_addr + i as u64 * 64,
+                ct,
+                &ctx,
+            );
+        }
+
+        if let Some(inj) = instruments.injector.as_deref_mut() {
+            inj.tamper_stored(
+                &mut durable.dram,
+                li,
+                attempt,
+                cursor.base_addr,
+                nblocks,
+                &mut lv,
+            );
+        }
+
+        let mut refetches_this_attempt = 0u32;
+        let consumed = loop {
+            lv.reset_first_reads();
+            let mut cts = Vec::with_capacity(fblocks.len());
+            for i in 0..fblocks.len() {
+                tick(&mut instruments.clock, li, CrashPhase::Consume)
                     .map_err(JournaledError::Crashed)?;
                 let ctx = AccessCtx {
                     layer: li,
                     block: i as u64,
                     blocks: nblocks,
-                    base: base_addr,
-                    final_version: false,
+                    base: cursor.base_addr,
+                    final_version: true,
                     attempt,
                 };
-                part_ct.push(load_via(
+                cts.push(load_via(
                     &mut instruments.injector,
                     &durable.dram,
-                    base_addr + i as u64 * 64,
+                    cursor.base_addr + i as u64 * 64,
                     &ctx,
                 ));
             }
             let opened = {
                 let _stage = telemetry::stage_span("open", u64::from(li));
-                datapath.open_blocks(&pcoords, &part_ct)
+                cursor.datapath.open_blocks(&fcoords, &cts)
             };
-            let mut part_rd = Vec::with_capacity(pblocks.len());
+            let mut rd = Vec::with_capacity(fblocks.len());
             {
                 let _stage = telemetry::stage_span("mac_fold", u64::from(li));
                 let _span = telemetry::span(telemetry::Hist::MacFoldNs);
                 for (pt, mac) in opened {
-                    lv.on_read(&mac);
-                    part_rd.push(pt);
+                    lv.on_first_read(&mac);
+                    rd.push(pt);
                 }
             }
-            let partial_back = blocks_to_accum(&part_rd, k, h, w);
-            for _ in 0..layer.weights.k.max(1) {
-                tick(&mut instruments.clock, li, CrashPhase::Compute)
-                    .map_err(JournaledError::Crashed)?;
+            if lv.check().is_verified() {
+                break Some(rd);
             }
-            let mut full = qconv2d_grouped(&activ, &layer.weights, layer.stride, rest);
-            for kk in 0..k {
-                for y in 0..h {
-                    for x in 0..w {
-                        *full.at_mut(kk, y, x) =
-                            full.get(kk, y, x).wrapping_add(partial_back.get(kk, y, x));
-                    }
-                }
-            }
-
-            let fblocks = accum_to_blocks(&full);
-            let fcoords = tile_coords(li, li, v_full, fblocks.len());
-            let sealed = {
-                let _stage = telemetry::stage_span("seal", u64::from(li));
-                datapath.seal_blocks(&fcoords, &fblocks)
-            };
-            for (i, (ct, mac)) in sealed.into_iter().enumerate() {
-                tick(&mut instruments.clock, li, CrashPhase::FinalEvict)
-                    .map_err(JournaledError::Crashed)?;
-                instruments
-                    .tracker
-                    .on_encrypt(p.epoch, fcoords[i], li)
-                    .map_err(JournaledError::Security)?;
-                let ctx = AccessCtx {
-                    layer: li,
-                    block: i as u64,
-                    blocks: nblocks,
-                    base: base_addr,
-                    final_version: true,
+            if refetches_this_attempt < session.policy.max_refetches {
+                refetches_this_attempt += 1;
+                layer_refetches += 1;
+                cursor.incidents.push(IncidentRecord {
+                    layer_id: li,
                     attempt,
-                };
-                lv.on_write(&mac);
-                store_via(
-                    &mut instruments.injector,
-                    &mut durable.dram,
-                    base_addr + i as u64 * 64,
-                    ct,
-                    &ctx,
-                );
+                    action: RecoveryAction::Refetch,
+                    cause: SecurityError::LayerIntegrity { layer_id: li },
+                });
+                continue;
             }
+            break None;
+        };
 
-            if let Some(inj) = instruments.injector.as_deref_mut() {
-                inj.tamper_stored(&mut durable.dram, li, attempt, base_addr, nblocks, &mut lv);
-            }
-
-            let mut refetches_this_attempt = 0u32;
-            let consumed = loop {
-                lv.reset_first_reads();
-                let mut cts = Vec::with_capacity(fblocks.len());
-                for i in 0..fblocks.len() {
-                    tick(&mut instruments.clock, li, CrashPhase::Consume)
-                        .map_err(JournaledError::Crashed)?;
-                    let ctx = AccessCtx {
-                        layer: li,
-                        block: i as u64,
-                        blocks: nblocks,
-                        base: base_addr,
-                        final_version: true,
-                        attempt,
-                    };
-                    cts.push(load_via(
-                        &mut instruments.injector,
-                        &durable.dram,
-                        base_addr + i as u64 * 64,
-                        &ctx,
-                    ));
+        match consumed {
+            Some(rd) => {
+                // Commit point: seal the boundary state into the
+                // journal *before* the next layer starts consuming
+                // this output. A crash during this append leaves a
+                // torn tail and costs one layer of re-execution.
+                let (mac_w, mac_r, mac_fr) = lv.registers();
+                let mut mac_ir = [0u8; 32];
+                for i in 0..32 {
+                    mac_ir[i] = mac_w[i] ^ mac_r[i] ^ mac_fr[i];
                 }
-                let opened = {
-                    let _stage = telemetry::stage_span("open", u64::from(li));
-                    datapath.open_blocks(&fcoords, &cts)
+                let record = JournalRecord {
+                    kind: JournalRecordKind::LayerCommit,
+                    seq: cursor.seq,
+                    layer_id: li,
+                    epoch: cursor.epoch,
+                    final_vn: v_full,
+                    base_addr: cursor.base_addr,
+                    blocks: nblocks,
+                    k: k as u32,
+                    h: h as u32,
+                    w: w as u32,
+                    mac_w,
+                    mac_r,
+                    mac_fr,
+                    mac_ir,
+                    vn_eta: nblocks.max(1),
+                    vn_kappa: v_full,
+                    vn_rho: 1,
+                    vn_emitted: nblocks.max(1) * u64::from(v_full),
                 };
-                let mut rd = Vec::with_capacity(fblocks.len());
                 {
-                    let _stage = telemetry::stage_span("mac_fold", u64::from(li));
-                    let _span = telemetry::span(telemetry::Hist::MacFoldNs);
-                    for (pt, mac) in opened {
-                        lv.on_first_read(&mac);
-                        rd.push(pt);
-                    }
+                    let _stage = telemetry::stage_span("journal", u64::from(li));
+                    durable
+                        .journal
+                        .append(
+                            &record,
+                            &session.secret,
+                            session.nonce,
+                            &mut instruments.clock,
+                        )
+                        .map_err(JournaledError::Crashed)?;
                 }
-                if lv.check().is_verified() {
-                    break Some(rd);
-                }
-                if refetches_this_attempt < session.policy.max_refetches {
-                    refetches_this_attempt += 1;
-                    layer_refetches += 1;
-                    incidents.push(IncidentRecord {
-                        layer_id: li,
-                        attempt,
-                        action: RecoveryAction::Refetch,
-                        cause: SecurityError::LayerIntegrity { layer_id: li },
-                    });
-                    continue;
-                }
-                break None;
-            };
-
-            match consumed {
-                Some(rd) => {
-                    // Commit point: seal the boundary state into the
-                    // journal *before* the next layer starts consuming
-                    // this output. A crash during this append leaves a
-                    // torn tail and costs one layer of re-execution.
-                    let (mac_w, mac_r, mac_fr) = lv.registers();
-                    let mut mac_ir = [0u8; 32];
-                    for i in 0..32 {
-                        mac_ir[i] = mac_w[i] ^ mac_r[i] ^ mac_fr[i];
-                    }
-                    let record = JournalRecord {
-                        kind: JournalRecordKind::LayerCommit,
-                        seq,
-                        layer_id: li,
-                        epoch: p.epoch,
-                        final_vn: v_full,
-                        base_addr,
-                        blocks: nblocks,
-                        k: k as u32,
-                        h: h as u32,
-                        w: w as u32,
-                        mac_w,
-                        mac_r,
-                        mac_fr,
-                        mac_ir,
-                        vn_eta: nblocks.max(1),
-                        vn_kappa: v_full,
-                        vn_rho: 1,
-                        vn_emitted: nblocks.max(1) * u64::from(v_full),
-                    };
-                    {
-                        let _stage = telemetry::stage_span("journal", u64::from(li));
-                        durable
-                            .journal
-                            .append(
-                                &record,
-                                &session.secret,
-                                session.nonce,
-                                &mut instruments.clock,
-                            )
-                            .map_err(JournaledError::Crashed)?;
-                    }
-                    seq += 1;
-                    commits += 1;
-                    activ = requantize_shift(&blocks_to_accum(&rd, k, h, w), session.shift);
-                    max_layer_blocks = max_layer_blocks.max(nblocks);
-                    base_addr += nblocks * 64;
-                    break;
-                }
-                None if attempt < session.policy.max_reexecutions => {
-                    incidents.push(IncidentRecord {
-                        layer_id: li,
-                        attempt,
-                        action: RecoveryAction::ReExecute,
-                        cause: SecurityError::LayerIntegrity { layer_id: li },
-                    });
-                    attempt += 1;
-                }
-                None => {
-                    let error = SecurityError::RecoveryExhausted {
-                        layer_id: li,
-                        refetches: layer_refetches,
-                        reexecutions: attempt,
-                    };
-                    incidents.push(IncidentRecord {
-                        layer_id: li,
-                        attempt,
-                        action: RecoveryAction::Abort,
-                        cause: error.clone(),
-                    });
-                    return Err(JournaledError::Aborted(Box::new(AbortReport {
-                        error,
-                        incidents,
-                        max_layer_blocks: max_layer_blocks.max(nblocks),
-                    })));
-                }
+                cursor.seq += 1;
+                cursor.commits += 1;
+                cursor.activ = requantize_shift(&blocks_to_accum(&rd, k, h, w), session.shift);
+                cursor.max_layer_blocks = cursor.max_layer_blocks.max(nblocks);
+                cursor.base_addr += nblocks * 64;
+                cursor.next_layer = li + 1;
+                return Ok(());
+            }
+            None if attempt < session.policy.max_reexecutions => {
+                cursor.incidents.push(IncidentRecord {
+                    layer_id: li,
+                    attempt,
+                    action: RecoveryAction::ReExecute,
+                    cause: SecurityError::LayerIntegrity { layer_id: li },
+                });
+                attempt += 1;
+            }
+            None => {
+                let error = SecurityError::RecoveryExhausted {
+                    layer_id: li,
+                    refetches: layer_refetches,
+                    reexecutions: attempt,
+                };
+                cursor.incidents.push(IncidentRecord {
+                    layer_id: li,
+                    attempt,
+                    action: RecoveryAction::Abort,
+                    cause: error.clone(),
+                });
+                let incidents = std::mem::replace(&mut cursor.incidents, IncidentLog::new());
+                return Err(JournaledError::Aborted(Box::new(AbortReport {
+                    error,
+                    incidents,
+                    max_layer_blocks: cursor.max_layer_blocks.max(nblocks),
+                })));
             }
         }
     }
-
-    Ok(JournaledRun {
-        output: activ,
-        incidents,
-        max_layer_blocks,
-        epoch: p.epoch,
-        first_executed_layer: p.start_layer,
-        commits,
-    })
 }
 
 /// Crash-consistent protected inference from the beginning of the
@@ -1135,38 +1229,11 @@ pub fn infer_journaled(
     durable: &mut DurableState,
     instruments: &mut Instruments<'_>,
 ) -> Result<JournaledRun, JournaledError> {
-    let replayed = durable
-        .journal
-        .repair(&session.secret, session.nonce)
-        .map_err(JournaledError::Security)?;
-    let epoch = replayed.next_epoch();
-    let seq = replayed.records.len() as u32;
-    // Write-ahead: the epoch is declared durable before any pad of it is
-    // consumed, so a torn open record ⇒ the epoch number is still fresh.
-    durable
-        .journal
-        .append(
-            &JournalRecord::epoch_open(seq, 0, epoch),
-            &session.secret,
-            session.nonce,
-            &mut instruments.clock,
-        )
-        .map_err(JournaledError::Crashed)?;
-    telemetry::incr(telemetry::Counter::EpochBumps);
-    run_journaled_core(
-        CoreParams {
-            layers,
-            session,
-            epoch,
-            seq: seq + 1,
-            start_layer: 0,
-            base_addr: 0x1_0000,
-            activ: input.clone(),
-            incidents: IncidentLog::new(),
-        },
-        durable,
-        instruments,
-    )
+    let mut cursor = open_journaled_cursor(input, session, durable, &mut instruments.clock)?;
+    while !cursor.done(layers) {
+        step_journaled_layer(layers, session, &mut cursor, durable, instruments)?;
+    }
+    Ok(cursor.finish())
 }
 
 /// Re-verifies one journaled layer commit against the (persistent,
@@ -1311,20 +1378,19 @@ pub fn infer_resume(
     telemetry::incr(telemetry::Counter::EpochBumps);
     seq += 1;
 
-    run_journaled_core(
-        CoreParams {
-            layers,
-            session,
-            epoch,
-            seq,
-            start_layer,
-            base_addr,
-            activ,
-            incidents,
-        },
-        durable,
-        instruments,
-    )
+    let mut cursor = JournaledCursor::new(
+        session,
+        epoch,
+        seq,
+        start_layer,
+        base_addr,
+        activ,
+        incidents,
+    );
+    while !cursor.done(layers) {
+        step_journaled_layer(layers, session, &mut cursor, durable, instruments)?;
+    }
+    Ok(cursor.finish())
 }
 
 #[cfg(test)]

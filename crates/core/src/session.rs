@@ -1,0 +1,1010 @@
+//! Multi-session secure inference: N isolated tenant sessions scheduled
+//! round-robin over one secure datapath.
+//!
+//! Seculator's per-tenant security state is tiny by construction — a MAC
+//! register file, a `⟨η, κ, ρ⟩` VN counter, and a nonce epoch — which is
+//! exactly what makes cheap multi-session multiplexing possible on one
+//! NPU (unlike host-managed VN stores, whose per-tenant metadata would
+//! have to be swapped wholesale). This module turns that observation
+//! into machinery:
+//!
+//! - [`SessionManager`] holds N tenant sessions, each with a **derived
+//!   key** (`DeviceSecret::derive_tenant`), an independent nonce epoch,
+//!   its own [`PadTracker`], MAC register file and VN state (inside its
+//!   journaled cursor), and a private journal namespace (its own
+//!   [`DurableState`]).
+//! - The batch scheduler interleaves **per-layer work items** from
+//!   concurrent sessions over the existing `DatapathMode::Parallel`
+//!   seal/open datapath: every scheduler round gives each running
+//!   session exactly one layer step, in fixed tenant order — round-robin
+//!   fairness by construction.
+//! - **Backpressure**: at most `max_inflight` sessions run concurrently;
+//!   arrivals beyond that queue until a slot frees.
+//! - **Fail-closed isolation**: a tamper or crash verdict in one session
+//!   aborts *only* that session ([`SessionVerdict::Aborted`]); every
+//!   other session runs to completion with output bit-identical to its
+//!   single-session run (the scheduler only ever calls the same
+//!   `step_journaled_layer` the single-tenant drivers use).
+//!
+//! The deterministic [`run_serve_campaign`] drives a seeded synthetic
+//! arrival trace over the model zoo, plants one tampered tenant, and
+//! verifies all of the above, including a **cross-session pad ledger**
+//! ([`PadLedger`]): no CTR pad — identified by its `(derived key, epoch,
+//! counter)` triple — is ever issued twice across any pair of sessions.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crate::audit::{IncidentLog, LadderSummary};
+use crate::detection::RecoveryCost;
+use crate::error::SecurityError;
+use crate::fault::{splitmix, FaultInjector, FaultKind, FaultSpec, Persistence};
+use crate::journal::{campaign_models, DurableState, PadTracker};
+use crate::secure_infer::{
+    infer_journaled, infer_plain, open_journaled_cursor, step_journaled_layer, Instruments,
+    JournaledCursor, JournaledError, JournaledRun, QConvLayer, RecoveryPolicy, SecureSession,
+};
+use crate::secure_memory::BlockCoords;
+use crate::telemetry::{self, Counter, LayerRow};
+use seculator_compute::quant::QTensor3;
+use seculator_crypto::keys::DeviceSecret;
+use std::sync::Arc;
+
+/// One tenant's admission request.
+#[derive(Debug)]
+pub struct AdmitSpec {
+    /// Tenant id — unique within one manager (it selects the derived
+    /// key, so a duplicate would alias another tenant's pads).
+    pub tenant: u32,
+    /// Workload label for reports.
+    pub name: String,
+    /// The tenant's network. Weights are public in the threat model
+    /// (only activations are confidential), so same-model tenants share
+    /// one immutable copy — the classic multi-tenant serving
+    /// amortization; per-session state is what stays duplicated.
+    pub layers: Arc<Vec<QConvLayer>>,
+    /// The tenant's input activations.
+    pub input: QTensor3,
+    /// First scheduler round this tenant may start (arrival trace).
+    pub arrival_round: u64,
+    /// Optional seeded DRAM adversary scoped to this tenant's memory.
+    pub injector: Option<FaultInjector>,
+}
+
+/// Lifecycle of one admitted tenant.
+#[derive(Debug)]
+enum TenantState {
+    /// Not yet arrived per the arrival trace.
+    Waiting,
+    /// Arrived, but held back by the admission cap (backpressure).
+    Queued,
+    /// Actively stepped by the scheduler.
+    Running(Box<JournaledCursor>),
+    /// Every layer committed and verified.
+    Completed(Box<JournaledRun>),
+    /// Fail-closed terminal state (tamper/crash verdict).
+    Aborted(Box<JournaledError>),
+}
+
+#[derive(Debug)]
+struct Tenant {
+    id: u32,
+    name: String,
+    layers: Arc<Vec<QConvLayer>>,
+    input: QTensor3,
+    session: SecureSession,
+    arrival_round: u64,
+    durable: DurableState,
+    tracker: PadTracker,
+    injector: Option<FaultInjector>,
+    state: TenantState,
+    started_round: u64,
+    rounds_serviced: u64,
+    commits: u32,
+    started_at: Option<Instant>,
+    latency_ns: u64,
+    row: LayerRow,
+    /// Half-open `[start, end)` telemetry-event windows this tenant
+    /// exclusively owned (stepping is single-threaded, so windows never
+    /// overlap). Resolved into `row` with one ring scan at report time.
+    windows: Vec<(u64, u64)>,
+}
+
+impl Tenant {
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self.state,
+            TenantState::Completed(_) | TenantState::Aborted(_)
+        )
+    }
+}
+
+/// Terminal verdict of one tenant session.
+#[derive(Debug)]
+pub enum SessionVerdict {
+    /// Verified completion; the run report carries the output.
+    Completed(Box<JournaledRun>),
+    /// Fail-closed abort; no output was released.
+    Aborted(Box<JournaledError>),
+}
+
+/// One tenant's final outcome.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Workload label from the admission spec.
+    pub name: String,
+    /// Round the arrival trace released this tenant.
+    pub arrival_round: u64,
+    /// Round the scheduler actually promoted it (≥ arrival under
+    /// backpressure).
+    pub started_round: u64,
+    /// Layer steps the scheduler granted this tenant.
+    pub rounds_serviced: u64,
+    /// Layer-commit records the tenant journaled.
+    pub commits: u32,
+    /// Wall time from promotion to the terminal state, in nanoseconds.
+    pub latency_ns: u64,
+    /// How the session ended.
+    pub verdict: SessionVerdict,
+}
+
+impl SessionOutcome {
+    /// The verified output, when the session completed.
+    #[must_use]
+    pub fn output(&self) -> Option<&QTensor3> {
+        match &self.verdict {
+            SessionVerdict::Completed(run) => Some(&run.output),
+            SessionVerdict::Aborted(_) => None,
+        }
+    }
+}
+
+/// Cross-session pad-uniqueness ledger: a pad is identified by the
+/// `(derived key identity, epoch, counter)` triple that generated it,
+/// where the key identity is the `(secret, nonce)` pair fed to the KDF.
+/// Within one session the [`PadTracker`] already fails closed on reuse;
+/// this ledger extends the assertion *across* sessions, where distinct
+/// derived keys are what keeps equal counters harmless.
+#[derive(Debug, Default)]
+pub struct PadLedger {
+    seen: HashSet<(DeviceSecret, u64, u32, BlockCoords)>,
+    collisions: u64,
+}
+
+impl PadLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one issued pad; returns `false` (and counts a collision)
+    /// when the same key identity already generated it.
+    pub fn insert(
+        &mut self,
+        secret: DeviceSecret,
+        nonce: u64,
+        epoch: u32,
+        coords: BlockCoords,
+    ) -> bool {
+        if self.seen.insert((secret, nonce, epoch, coords)) {
+            true
+        } else {
+            self.collisions += 1;
+            false
+        }
+    }
+
+    /// Distinct pads recorded.
+    #[must_use]
+    pub fn pads(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Collisions observed (must be 0 for isolated sessions).
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Absorbs every pad a session's tracker issued under its key.
+    pub fn absorb(&mut self, session: &SecureSession, tracker: &PadTracker) {
+        for &(epoch, coords) in tracker.issued() {
+            self.insert(session.secret, session.nonce, epoch, coords);
+        }
+    }
+}
+
+/// Everything one [`SessionManager::run`] produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Per-tenant outcomes, in admission order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Distinct pads in the cross-session ledger.
+    pub pads_issued: u64,
+    /// Cross-session pad collisions (must be 0).
+    pub pad_collisions: u64,
+    /// Incident records merged across every tenant, in tenant order.
+    pub incidents: IncidentLog,
+    /// Largest per-layer tensor in blocks across tenants.
+    pub max_blocks: u64,
+    /// Per-session stage-time rows — [`LayerRow`] reused with the
+    /// `layer` field carrying the *tenant id* (seal/open/mac_fold/
+    /// journal nanoseconds attributed per session). Empty when the
+    /// `telemetry` feature is off.
+    pub session_rows: Vec<LayerRow>,
+}
+
+impl ServeReport {
+    /// The recovery-ladder summary over every tenant's incidents.
+    #[must_use]
+    pub fn ladder(&self) -> LadderSummary {
+        self.incidents
+            .ladder_summary(&RecoveryCost::default(), self.max_blocks)
+    }
+}
+
+/// N isolated tenant sessions plus the round-robin batch scheduler that
+/// interleaves their per-layer work items (see the module docs).
+#[derive(Debug)]
+pub struct SessionManager {
+    root: DeviceSecret,
+    base_nonce: u64,
+    shift: u32,
+    policy: RecoveryPolicy,
+    max_inflight: usize,
+    tenants: Vec<Tenant>,
+    round: u64,
+}
+
+impl SessionManager {
+    /// Creates a manager. `root`/`base_nonce` seed the per-tenant key
+    /// derivation; `shift`/`policy` apply to every admitted session;
+    /// `max_inflight` caps concurrently-running sessions (backpressure —
+    /// clamped to ≥ 1).
+    #[must_use]
+    pub fn new(
+        root: DeviceSecret,
+        base_nonce: u64,
+        shift: u32,
+        policy: RecoveryPolicy,
+        max_inflight: usize,
+    ) -> Self {
+        Self {
+            root,
+            base_nonce,
+            shift,
+            policy,
+            max_inflight: max_inflight.max(1),
+            tenants: Vec::new(),
+            round: 0,
+        }
+    }
+
+    /// The isolated session a tenant id maps to: a tenant-derived
+    /// sub-secret and a tenant-mixed nonce, so no two tenants (and no
+    /// tenant and the root) ever share a `(key, counter)` pair. Public
+    /// so single-session reference runs can use the *same* keys the
+    /// scheduler will.
+    #[must_use]
+    pub fn derived_session(&self, tenant_id: u32) -> SecureSession {
+        let mut mix = self.base_nonce ^ u64::from(tenant_id);
+        SecureSession {
+            secret: self.root.derive_tenant(tenant_id),
+            nonce: splitmix(&mut mix),
+            shift: self.shift,
+            policy: self.policy,
+        }
+    }
+
+    /// Admits one tenant (state: waiting on its arrival round).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spec.tenant` duplicates an admitted tenant id — a
+    /// duplicate would alias another tenant's derived key, which is
+    /// exactly what session isolation forbids.
+    pub fn admit(&mut self, spec: AdmitSpec) {
+        assert!(
+            self.tenants.iter().all(|t| t.id != spec.tenant),
+            "tenant id {} already admitted",
+            spec.tenant
+        );
+        let session = self.derived_session(spec.tenant);
+        self.tenants.push(Tenant {
+            id: spec.tenant,
+            name: spec.name,
+            layers: spec.layers,
+            input: spec.input,
+            session,
+            arrival_round: spec.arrival_round,
+            durable: DurableState::default(),
+            tracker: PadTracker::new(),
+            injector: spec.injector,
+            state: TenantState::Waiting,
+            started_round: 0,
+            rounds_serviced: 0,
+            commits: 0,
+            started_at: None,
+            latency_ns: 0,
+            row: LayerRow {
+                layer: u64::from(spec.tenant),
+                ..LayerRow::default()
+            },
+            windows: Vec::new(),
+        });
+    }
+
+    /// Number of admitted tenants.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Drives every admitted session to a terminal state and reports.
+    pub fn run(&mut self) -> ServeReport {
+        while self.service_round() {}
+        self.report()
+    }
+
+    /// One scheduler round: release arrivals, fill free slots from the
+    /// queue (admission order), then grant every running session exactly
+    /// one layer step, in fixed tenant order — round-robin fairness.
+    /// Returns `false` once every tenant is terminal.
+    fn service_round(&mut self) -> bool {
+        if self.tenants.iter().all(Tenant::is_terminal) {
+            return false;
+        }
+        self.round += 1;
+
+        // Arrivals: the trace releases tenants into the admission queue.
+        for t in &mut self.tenants {
+            if matches!(t.state, TenantState::Waiting) && t.arrival_round <= self.round {
+                t.state = TenantState::Queued;
+            }
+        }
+
+        // Admission under backpressure: promote queued tenants while
+        // slots are free.
+        let mut running = self
+            .tenants
+            .iter()
+            .filter(|t| matches!(t.state, TenantState::Running(_)))
+            .count();
+        let round = self.round;
+        for t in &mut self.tenants {
+            if running >= self.max_inflight {
+                break;
+            }
+            if matches!(t.state, TenantState::Queued) {
+                Self::promote(t, round);
+                if matches!(t.state, TenantState::Running(_)) {
+                    running += 1;
+                }
+            }
+        }
+
+        // Service: one layer step per running session per round.
+        for t in &mut self.tenants {
+            Self::step_tenant(t);
+        }
+        true
+    }
+
+    /// Queued → Running: open the tenant's journaled cursor (epoch
+    /// write-ahead + repair on its private journal namespace).
+    fn promote(t: &mut Tenant, round: u64) {
+        telemetry::incr(Counter::SessionsActive);
+        t.started_round = round;
+        t.started_at = Some(Instant::now());
+        let w0 = telemetry::event_cursor();
+        match open_journaled_cursor(&t.input, &t.session, &mut t.durable, &mut None) {
+            Ok(cursor) => t.state = TenantState::Running(Box::new(cursor)),
+            Err(e) => Self::abort(t, e, 0),
+        }
+        t.windows.push((w0, telemetry::event_cursor()));
+    }
+
+    /// Grants one layer step to a running tenant; the step's event
+    /// window is recorded for report-time stage attribution.
+    fn step_tenant(t: &mut Tenant) {
+        let mut cursor = match std::mem::replace(&mut t.state, TenantState::Queued) {
+            TenantState::Running(c) => c,
+            other => {
+                t.state = other;
+                return;
+            }
+        };
+        let w0 = telemetry::event_cursor();
+        let result = {
+            let mut instruments = Instruments {
+                tracker: &mut t.tracker,
+                injector: t.injector.as_mut(),
+                clock: None,
+            };
+            step_journaled_layer(
+                &t.layers,
+                &t.session,
+                &mut cursor,
+                &mut t.durable,
+                &mut instruments,
+            )
+        };
+        t.rounds_serviced += 1;
+        t.windows.push((w0, telemetry::event_cursor()));
+        match result {
+            Ok(()) if cursor.done(&t.layers) => {
+                t.commits = cursor.commits();
+                t.latency_ns = t.started_at.map_or(0, |s| {
+                    u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                telemetry::incr(Counter::SessionsCompleted);
+                t.state = TenantState::Completed(Box::new(cursor.finish()));
+            }
+            Ok(()) => t.state = TenantState::Running(cursor),
+            Err(e) => Self::abort(t, e, cursor.commits()),
+        }
+    }
+
+    /// The fail-closed per-session abort path: *this* tenant is
+    /// terminal; no other tenant's state is touched.
+    fn abort(t: &mut Tenant, error: JournaledError, commits: u32) {
+        t.commits = commits;
+        t.latency_ns = t.started_at.map_or(0, |s| {
+            u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
+        telemetry::incr(Counter::SessionAborts);
+        t.state = TenantState::Aborted(Box::new(error));
+    }
+
+    /// Folds every recorded event window's stage spans into its owning
+    /// tenant's row with a *single* ring scan. Scanning per step instead
+    /// would re-walk the whole event ring once per layer step — a cost
+    /// that grows with session count; here it is a fixed cost the
+    /// sessions amortize. Caveat: the ring keeps the most recent 4096
+    /// events, so on runs that overflow it the oldest windows lose their
+    /// spans (attribution is best-effort observability, never an oracle).
+    fn attribute_stage_spans(&mut self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let mut ranges: Vec<(u64, u64, usize)> = Vec::new();
+        for (i, t) in self.tenants.iter().enumerate() {
+            for &(a, b) in &t.windows {
+                if b > a {
+                    ranges.push((a, b, i));
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return;
+        }
+        ranges.sort_unstable_by_key(|r| r.0);
+        for e in telemetry::events_since(ranges[0].0) {
+            let p = ranges.partition_point(|r| r.0 <= e.seq);
+            let Some(&(_, end, i)) = p.checked_sub(1).and_then(|p| ranges.get(p)) else {
+                continue;
+            };
+            if e.seq >= end {
+                continue;
+            }
+            let row = &mut self.tenants[i].row;
+            match e.stage {
+                "seal" => row.seal_ns += e.ns,
+                "open" => row.open_ns += e.ns,
+                "mac_fold" => row.mac_fold_ns += e.ns,
+                "journal" => row.journal_ns += e.ns,
+                _ => {}
+            }
+        }
+        for t in &mut self.tenants {
+            t.windows.clear();
+        }
+    }
+
+    /// Collapses terminal tenants into the report: outcomes, merged
+    /// incidents, per-session rows, and the cross-session pad ledger.
+    fn report(&mut self) -> ServeReport {
+        self.attribute_stage_spans();
+        let mut ledger = PadLedger::new();
+        let mut incidents = IncidentLog::new();
+        let mut max_blocks = 0u64;
+        let mut outcomes = Vec::with_capacity(self.tenants.len());
+        let mut session_rows = Vec::new();
+        for t in self.tenants.drain(..) {
+            ledger.absorb(&t.session, &t.tracker);
+            if telemetry::enabled() {
+                session_rows.push(t.row.clone());
+            }
+            let verdict = match t.state {
+                TenantState::Completed(run) => {
+                    // Merge without re-counting: every record already
+                    // went through the `IncidentLog::push` telemetry
+                    // funnel inside the layer steps.
+                    incidents
+                        .records
+                        .extend(run.incidents.records.iter().cloned());
+                    max_blocks = max_blocks.max(run.max_layer_blocks);
+                    SessionVerdict::Completed(run)
+                }
+                TenantState::Aborted(err) => {
+                    if let JournaledError::Aborted(report) = err.as_ref() {
+                        incidents
+                            .records
+                            .extend(report.incidents.records.iter().cloned());
+                        max_blocks = max_blocks.max(report.max_layer_blocks);
+                    }
+                    SessionVerdict::Aborted(err)
+                }
+                // `run()` drains the scheduler, so non-terminal states
+                // cannot reach here; report them as aborted-by-shutdown
+                // rather than panicking in a security path.
+                TenantState::Waiting | TenantState::Queued | TenantState::Running(_) => {
+                    SessionVerdict::Aborted(Box::new(JournaledError::Security(
+                        SecurityError::PowerInterrupted { layer_id: 0 },
+                    )))
+                }
+            };
+            outcomes.push(SessionOutcome {
+                tenant: t.id,
+                name: t.name,
+                arrival_round: t.arrival_round,
+                started_round: t.started_round,
+                rounds_serviced: t.rounds_serviced,
+                commits: t.commits,
+                latency_ns: t.latency_ns,
+                verdict,
+            });
+        }
+        ServeReport {
+            rounds: self.round,
+            outcomes,
+            pads_issued: ledger.pads(),
+            pad_collisions: ledger.collisions(),
+            incidents,
+            max_blocks,
+            session_rows,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serve campaign: seeded arrival trace + planted tamper + isolation oracle
+// ---------------------------------------------------------------------------
+
+/// Configuration of one serve campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeCampaignConfig {
+    /// Root seed — everything (keys, arrivals, model picks, the tampered
+    /// tenant) derives from it.
+    pub seed: u64,
+    /// Number of tenant sessions (clamped to ≥ 1).
+    pub sessions: u32,
+}
+
+/// Per-tenant campaign verdict.
+#[derive(Debug, Clone)]
+pub struct ServeTrial {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Model-zoo workload the tenant ran.
+    pub model: &'static str,
+    /// Whether this was the planted tampered tenant.
+    pub tampered: bool,
+    /// Whether the tenant met its oracle (clean: bit-identical to the
+    /// single-session run; tampered: aborted fail-closed).
+    pub ok: bool,
+    /// Deterministic one-line explanation.
+    pub detail: String,
+}
+
+/// Deterministic outcome of one serve campaign.
+#[derive(Debug)]
+pub struct ServeCampaignReport {
+    /// Root seed.
+    pub seed: u64,
+    /// Tenant sessions scheduled.
+    pub sessions: u32,
+    /// The cross-session ledger fired on a deliberate same-key duplicate
+    /// and stayed quiet across distinct keys (the detector detects).
+    pub detector_ok: bool,
+    /// Per-tenant verdicts, in tenant order.
+    pub trials: Vec<ServeTrial>,
+    /// Distinct pads across every session.
+    pub pads_issued: u64,
+    /// Cross-session pad collisions (must be 0).
+    pub pad_collisions: u64,
+    /// Scheduler rounds the manager ran.
+    pub rounds: u64,
+    /// Recovery-ladder summary over every tenant's incidents.
+    pub ladder: LadderSummary,
+    /// Per-session stage-time rows for `--metrics` (never printed in the
+    /// deterministic summary — wall times are not byte-stable).
+    pub session_rows: Vec<LayerRow>,
+}
+
+impl ServeCampaignReport {
+    /// Did every oracle hold?
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.detector_ok && self.pad_collisions == 0 && self.trials.iter().all(|t| t.ok)
+    }
+
+    /// Deterministic multi-line summary (byte-identical for one seed).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve campaign seed={}: {} sessions, {} scheduler rounds\n",
+            self.seed, self.sessions, self.rounds
+        ));
+        out.push_str(&format!(
+            "cross-session ledger self-test: {}\n",
+            if self.detector_ok { "ok" } else { "FAILED" }
+        ));
+        for t in &self.trials {
+            out.push_str(&format!(
+                "tenant {}: {}{} → {}\n",
+                t.tenant,
+                t.model,
+                if t.tampered { " [tampered]" } else { "" },
+                t.detail
+            ));
+        }
+        out.push_str(&format!(
+            "pads issued: {}; cross-session collisions: {}\n",
+            self.pads_issued, self.pad_collisions
+        ));
+        out.push_str(&format!("ladder: {}\n", self.ladder.to_json()));
+        out.push_str(if self.passed() {
+            "verdict: PASS"
+        } else {
+            "verdict: FAIL"
+        });
+        out
+    }
+}
+
+/// The ledger must detect: a deliberate same-key duplicate collides, a
+/// distinct derived key with the same counter does not (that is the
+/// whole point of per-tenant key derivation).
+fn ledger_selftest() -> bool {
+    let mut ledger = PadLedger::new();
+    let root = DeviceSecret::from_seed(0xD1CE);
+    let c = BlockCoords {
+        fmap_id: 0,
+        layer_id: 0,
+        version: 1,
+        block_index: 0,
+    };
+    ledger.insert(root.derive_tenant(0), 7, 0, c)
+        && !ledger.insert(root.derive_tenant(0), 7, 0, c)
+        && ledger.insert(root.derive_tenant(1), 7, 0, c)
+        && ledger.collisions() == 1
+}
+
+/// Runs the deterministic multi-session campaign: a seeded synthetic
+/// arrival trace assigns each of `sessions` tenants a model-zoo workload
+/// and an arrival round; one seeded tenant (when `sessions ≥ 2`) gets a
+/// relentless DRAM adversary that defeats the recovery ladder. The
+/// oracle: the tampered tenant exits through the per-session abort path,
+/// every clean tenant's output is bit-identical to its single-session
+/// `infer_journaled` run (same derived keys) *and* to the plaintext
+/// reference, and the cross-session pad ledger records zero collisions.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_serve_campaign(config: &ServeCampaignConfig) -> ServeCampaignReport {
+    let sessions = config.sessions.max(1);
+    let mut rng = config.seed;
+    let models = campaign_models();
+    let root = DeviceSecret::from_seed(splitmix(&mut rng));
+    let base_nonce = splitmix(&mut rng);
+    let tampered_tenant = if sessions >= 2 {
+        Some((splitmix(&mut rng) % u64::from(sessions)) as u32)
+    } else {
+        None
+    };
+
+    // Admission cap below the session count (when possible) so the
+    // backpressure path is part of every multi-session campaign.
+    let max_inflight = usize::max(2, sessions as usize / 2 + 1);
+    let shift = models[0].session.shift;
+    let mut mgr = SessionManager::new(
+        root,
+        base_nonce,
+        shift,
+        RecoveryPolicy::default(),
+        max_inflight,
+    );
+
+    struct Plan {
+        tenant: u32,
+        model: usize,
+        tampered: bool,
+    }
+    // One shared weight copy per zoo model: tenants serving the same
+    // model reference it instead of cloning it.
+    let shared: Vec<Arc<Vec<QConvLayer>>> =
+        models.iter().map(|m| Arc::new(m.layers.clone())).collect();
+    let mut plans = Vec::with_capacity(sessions as usize);
+    for tenant in 0..sessions {
+        let model = (splitmix(&mut rng) % models.len() as u64) as usize;
+        let arrival = splitmix(&mut rng) % u64::from(sessions);
+        let tampered = tampered_tenant == Some(tenant);
+        let injector = if tampered {
+            let layer = (splitmix(&mut rng) % models[model].layers.len() as u64) as u32;
+            let block = splitmix(&mut rng);
+            Some(FaultInjector::new(
+                splitmix(&mut rng),
+                vec![FaultSpec {
+                    kind: FaultKind::BitFlip,
+                    persistence: Persistence::Relentless,
+                    layer,
+                    block,
+                }],
+            ))
+        } else {
+            None
+        };
+        mgr.admit(AdmitSpec {
+            tenant,
+            name: models[model].name.to_string(),
+            layers: Arc::clone(&shared[model]),
+            input: models[model].input.clone(),
+            arrival_round: arrival,
+            injector,
+        });
+        plans.push(Plan {
+            tenant,
+            model,
+            tampered,
+        });
+    }
+
+    // Single-session references under the *same derived keys*, each in
+    // its own fresh durable state — the bit-identity oracle.
+    let mut references = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        if plan.tampered {
+            references.push(None);
+            continue;
+        }
+        let m = &models[plan.model];
+        let session = mgr.derived_session(plan.tenant);
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut instruments = Instruments {
+            tracker: &mut tracker,
+            injector: None,
+            clock: None,
+        };
+        let run = infer_journaled(
+            &m.layers,
+            &m.input,
+            &session,
+            &mut durable,
+            &mut instruments,
+        );
+        references.push(run.ok().map(|r| r.output));
+    }
+
+    let report = mgr.run();
+
+    let mut trials = Vec::with_capacity(plans.len());
+    for (plan, reference) in plans.iter().zip(&references) {
+        let m = &models[plan.model];
+        let outcome = report.outcomes.iter().find(|o| o.tenant == plan.tenant);
+        let (ok, detail) = match (outcome, plan.tampered) {
+            (Some(o), false) => match (&o.verdict, reference) {
+                (SessionVerdict::Completed(run), Some(expected)) => {
+                    let plain = infer_plain(&m.layers, &m.input, shift);
+                    if run.output == *expected && run.output == plain {
+                        (
+                            true,
+                            format!(
+                                "completed; output bit-identical to single-session run \
+                                 (arrival={} start={} served={} commits={})",
+                                o.arrival_round, o.started_round, o.rounds_serviced, o.commits
+                            ),
+                        )
+                    } else {
+                        (false, "completed but output DIVERGED".to_string())
+                    }
+                }
+                (SessionVerdict::Completed(_), None) => (false, "reference run failed".to_string()),
+                (SessionVerdict::Aborted(e), _) => (false, format!("clean session ABORTED: {e}")),
+            },
+            (Some(o), true) => match &o.verdict {
+                SessionVerdict::Aborted(e) if matches!(e.as_ref(), JournaledError::Aborted(_)) => (
+                    true,
+                    format!(
+                        "aborted fail-closed after exhausting the ladder \
+                             (arrival={} start={} served={} commits={})",
+                        o.arrival_round, o.started_round, o.rounds_serviced, o.commits
+                    ),
+                ),
+                SessionVerdict::Aborted(e) => {
+                    (false, format!("aborted through the wrong path: {e}"))
+                }
+                SessionVerdict::Completed(_) => (false, "tampered session COMPLETED".to_string()),
+            },
+            (None, _) => (false, "tenant missing from report".to_string()),
+        };
+        trials.push(ServeTrial {
+            tenant: plan.tenant,
+            model: models[plan.model].name,
+            tampered: plan.tampered,
+            ok,
+            detail,
+        });
+    }
+
+    ServeCampaignReport {
+        seed: config.seed,
+        sessions,
+        detector_ok: ledger_selftest(),
+        trials,
+        pads_issued: report.pads_issued,
+        pad_collisions: report.pad_collisions,
+        rounds: report.rounds,
+        ladder: report.ladder(),
+        session_rows: report.session_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_manager(seed: u64, n: u32, max_inflight: usize) -> SessionManager {
+        let models = campaign_models();
+        let mut mgr = SessionManager::new(
+            DeviceSecret::from_seed(seed),
+            seed ^ 0xA5A5,
+            models[0].session.shift,
+            RecoveryPolicy::default(),
+            max_inflight,
+        );
+        for t in 0..n {
+            let m = &models[t as usize % models.len()];
+            mgr.admit(AdmitSpec {
+                tenant: t,
+                name: m.name.to_string(),
+                layers: Arc::new(m.layers.clone()),
+                input: m.input.clone(),
+                arrival_round: u64::from(t % 3),
+                injector: None,
+            });
+        }
+        mgr
+    }
+
+    #[test]
+    fn scheduled_sessions_match_their_single_session_runs() {
+        let mut mgr = clean_manager(77, 4, 2);
+        let sessions: Vec<SecureSession> = (0..4).map(|t| mgr.derived_session(t)).collect();
+        let report = mgr.run();
+        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(report.pad_collisions, 0);
+        let models = campaign_models();
+        for (t, o) in report.outcomes.iter().enumerate() {
+            let m = &models[t % models.len()];
+            let mut durable = DurableState::default();
+            let mut tracker = PadTracker::new();
+            let mut instruments = Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            };
+            let single = infer_journaled(
+                &m.layers,
+                &m.input,
+                &sessions[t],
+                &mut durable,
+                &mut instruments,
+            )
+            .expect("clean single-session run completes");
+            assert_eq!(
+                o.output().expect("clean scheduled session completes"),
+                &single.output,
+                "tenant {t} diverged from its single-session run"
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure_defers_starts_beyond_the_admission_cap() {
+        let mut mgr = clean_manager(78, 4, 1);
+        let report = mgr.run();
+        let mut starts: Vec<u64> = report.outcomes.iter().map(|o| o.started_round).collect();
+        starts.sort_unstable();
+        // With one slot, sessions start strictly one-after-another.
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "starts must be serialized under a 1-slot cap: {starts:?}"
+        );
+    }
+
+    #[test]
+    fn round_robin_grants_equal_service_to_concurrent_sessions() {
+        // Same model for every tenant, simultaneous arrival, no cap:
+        // each session needs the same number of layer steps, so service
+        // counts must come out exactly equal.
+        let models = campaign_models();
+        let m = &models[0];
+        let mut mgr = SessionManager::new(
+            DeviceSecret::from_seed(79),
+            1,
+            m.session.shift,
+            RecoveryPolicy::default(),
+            8,
+        );
+        for t in 0..3 {
+            mgr.admit(AdmitSpec {
+                tenant: t,
+                name: m.name.to_string(),
+                layers: Arc::new(m.layers.clone()),
+                input: m.input.clone(),
+                arrival_round: 0,
+                injector: None,
+            });
+        }
+        let report = mgr.run();
+        let served: Vec<u64> = report.outcomes.iter().map(|o| o.rounds_serviced).collect();
+        assert!(
+            served.windows(2).all(|w| w[0] == w[1]),
+            "equal workloads must get equal service: {served:?}"
+        );
+    }
+
+    #[test]
+    fn serve_campaign_passes_and_is_deterministic() {
+        let config = ServeCampaignConfig {
+            seed: 7,
+            sessions: 4,
+        };
+        let a = run_serve_campaign(&config);
+        assert!(a.passed(), "{}", a.summary());
+        let b = run_serve_campaign(&config);
+        assert_eq!(a.summary(), b.summary(), "summary must be byte-identical");
+        assert_eq!(
+            a.trials.iter().filter(|t| t.tampered).count(),
+            1,
+            "exactly one planted tampered tenant"
+        );
+    }
+
+    #[test]
+    fn single_session_campaign_has_no_tampered_tenant() {
+        let report = run_serve_campaign(&ServeCampaignConfig {
+            seed: 3,
+            sessions: 1,
+        });
+        assert!(report.passed(), "{}", report.summary());
+        assert!(report.trials.iter().all(|t| !t.tampered));
+    }
+
+    #[test]
+    fn ledger_selftest_detects() {
+        assert!(ledger_selftest());
+    }
+
+    #[test]
+    #[should_panic(expected = "already admitted")]
+    fn duplicate_tenant_ids_are_rejected() {
+        let mut mgr = clean_manager(80, 1, 2);
+        let models = campaign_models();
+        mgr.admit(AdmitSpec {
+            tenant: 0,
+            name: "dup".to_string(),
+            layers: Arc::new(models[0].layers.clone()),
+            input: models[0].input.clone(),
+            arrival_round: 0,
+            injector: None,
+        });
+    }
+}

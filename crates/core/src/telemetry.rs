@@ -86,11 +86,18 @@ pub enum Counter {
     Rollbacks,
     /// Abort recovery actions.
     Aborts,
+    /// Tenant sessions promoted to running by the `SessionManager`.
+    SessionsActive,
+    /// Tenant sessions that ran to verified completion.
+    SessionsCompleted,
+    /// Tenant sessions terminated through the fail-closed per-session
+    /// abort path (tamper/crash verdicts isolated to one tenant).
+    SessionAborts,
 }
 
 impl Counter {
     /// Every counter, in registry (and serialization) order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::SealBatches,
         Counter::SealBlocks,
         Counter::OpenBatches,
@@ -111,6 +118,9 @@ impl Counter {
         Counter::Resumes,
         Counter::Rollbacks,
         Counter::Aborts,
+        Counter::SessionsActive,
+        Counter::SessionsCompleted,
+        Counter::SessionAborts,
     ];
 
     /// Stable snake_case name used in every sink format.
@@ -137,6 +147,9 @@ impl Counter {
             Counter::Resumes => "resumes",
             Counter::Rollbacks => "rollbacks",
             Counter::Aborts => "aborts",
+            Counter::SessionsActive => "sessions_active",
+            Counter::SessionsCompleted => "sessions_completed",
+            Counter::SessionAborts => "session_aborts",
         }
     }
 }

@@ -29,6 +29,23 @@ impl DeviceSecret {
         out.copy_from_slice(&digest[..16]);
         Self(out)
     }
+
+    /// Derives an isolated per-tenant sub-secret for multi-session
+    /// serving: `trunc128(SHA256(secret ‖ "tenant" ‖ id))`. Each tenant
+    /// session keys its AES engines and seals its journal under its own
+    /// sub-secret, so no two tenants ever share a (key, counter) pair —
+    /// the root secret never encrypts tenant data directly.
+    #[must_use]
+    pub fn derive_tenant(&self, tenant_id: u32) -> Self {
+        let mut h = Sha256::new();
+        h.update(&self.0);
+        h.update(b"tenant");
+        h.update(&tenant_id.to_le_bytes());
+        let digest = h.finalize();
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&digest[..16]);
+        Self(out)
+    }
 }
 
 /// A per-execution session key for the AES engines.
@@ -129,6 +146,28 @@ mod tests {
         assert_ne!(
             SessionKey::derive_epoch(&s, 11, 1),
             SessionKey::derive_epoch(&s, 12, 1)
+        );
+    }
+
+    #[test]
+    fn tenant_secrets_are_pairwise_distinct_and_deterministic() {
+        let root = DeviceSecret::from_seed(5);
+        let tenants: Vec<DeviceSecret> = (0..8).map(|t| root.derive_tenant(t)).collect();
+        for i in 0..tenants.len() {
+            assert_ne!(tenants[i], root, "tenant {i} must not equal the root");
+            for j in 0..i {
+                assert_ne!(
+                    tenants[i], tenants[j],
+                    "tenants {i} and {j} must not collide"
+                );
+            }
+        }
+        assert_eq!(root.derive_tenant(3), root.derive_tenant(3));
+        // Tenant derivation is root-specific: two devices never share a
+        // tenant sub-secret.
+        assert_ne!(
+            DeviceSecret::from_seed(6).derive_tenant(3),
+            root.derive_tenant(3)
         );
     }
 

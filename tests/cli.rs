@@ -116,7 +116,7 @@ fn crash_campaign_subcommand_passes_and_is_deterministic() {
 /// passing (exit 0) run.
 #[test]
 fn campaigns_share_the_exit_code_contract() {
-    for campaign in ["fault-campaign", "crash-campaign"] {
+    for campaign in ["fault-campaign", "crash-campaign", "serve-campaign"] {
         let (code, _, stderr) = run_code(&[campaign, "--seed", "not-a-number"]);
         assert_eq!(code, Some(2), "{campaign}: bad --seed is a usage error");
         assert!(stderr.contains("invalid value for --seed"), "{stderr}");
@@ -127,6 +127,9 @@ fn campaigns_share_the_exit_code_contract() {
     assert!(stderr.contains("invalid value for --faults"), "{stderr}");
     let (code, _, stderr) = run_code(&["crash-campaign", "--cuts", "many"]);
     assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = run_code(&["serve-campaign", "--sessions", "several"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("invalid value for --sessions"), "{stderr}");
     // Unknown commands are usage errors too (exit 2, not 1).
     let (code, _, _) = run_code(&["frobnicate"]);
     assert_eq!(code, Some(2));
@@ -334,12 +337,115 @@ fn threads_flag_beats_the_environment() {
 }
 
 /// An unwritable `--metrics` path is a usage error (exit 2), reported on
-/// stderr — never a silently dropped snapshot.
+/// stderr — never a silently dropped snapshot. Every subcommand that
+/// accepts `--metrics` shares the diagnostic, campaigns included.
 #[test]
 fn unwritable_metrics_path_is_a_usage_error() {
-    let (code, _, stderr) = run_code(&["stats", "--metrics", "/nonexistent-dir/metrics.json"]);
-    assert_eq!(code, Some(2), "{stderr}");
-    assert!(stderr.contains("cannot write --metrics file"), "{stderr}");
+    let cases: [&[&str]; 4] = [
+        &["stats"],
+        &["fault-campaign", "--seed", "3", "--faults", "2"],
+        &["crash-campaign", "--seed", "5", "--cuts", "2"],
+        &["serve-campaign", "--seed", "7", "--sessions", "2"],
+    ];
+    for case in cases {
+        let mut args = case.to_vec();
+        args.extend_from_slice(&["--metrics", "/nonexistent-dir/metrics.json"]);
+        let (code, _, stderr) = run_code(&args);
+        assert_eq!(code, Some(2), "{case:?}: {stderr}");
+        assert!(
+            stderr.contains("cannot write --metrics file"),
+            "{case:?}: {stderr}"
+        );
+    }
+}
+
+/// The multi-session campaign is deterministic: same seed, byte-identical
+/// report (the acceptance bar for reproducing an isolation incident);
+/// different seed, different trace. One tenant is always planted tampered
+/// at ≥2 sessions and must abort without failing the campaign.
+#[test]
+fn serve_campaign_subcommand_passes_and_is_deterministic() {
+    let args = ["serve-campaign", "--seed", "7", "--sessions", "4"];
+    let (code, stdout, _) = run_code(&args);
+    assert_eq!(
+        code,
+        Some(0),
+        "serve campaign must exit 0 on PASS: {stdout}"
+    );
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    assert!(
+        stdout.contains("cross-session ledger self-test: ok"),
+        "{stdout}"
+    );
+    assert_eq!(
+        stdout.matches(" [tampered]").count(),
+        1,
+        "exactly one planted adversary: {stdout}"
+    );
+    assert!(
+        stdout.contains("cross-session collisions: 0"),
+        "no pad is ever issued twice across sessions: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"aborted\":true"),
+        "the tampered tenant fails closed through the ladder: {stdout}"
+    );
+    let (_, again, _) = run_code(&args);
+    assert_eq!(stdout, again, "same seed must be byte-identical");
+    let (_, other, _) = run_code(&["serve-campaign", "--seed", "8", "--sessions", "4"]);
+    assert_ne!(stdout, other, "different seed, different trace");
+}
+
+/// The serve campaign's `--metrics` snapshot must agree with its printed
+/// report: the session counter family reflects the planted abort, and
+/// the ladder counters match the printed ladder JSON (same
+/// `IncidentLog::push` funnel as the other campaigns).
+#[test]
+fn serve_campaign_metrics_counters_match_the_printed_report() {
+    let path = scratch("serve.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (code, stdout, _) = run_code(&[
+        "serve-campaign",
+        "--seed",
+        "7",
+        "--sessions",
+        "4",
+        "--metrics",
+        path_s,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        metrics.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{metrics}"
+    );
+    if !cfg!(feature = "telemetry") {
+        assert!(metrics.contains("\"enabled\": false"), "{metrics}");
+        return;
+    }
+    assert_eq!(json_u64(&metrics, "sessions_active"), 4, "{metrics}");
+    assert_eq!(json_u64(&metrics, "sessions_completed"), 3, "{metrics}");
+    assert_eq!(json_u64(&metrics, "session_aborts"), 1, "{metrics}");
+    let ladder_at = stdout
+        .find("ladder: ")
+        .expect("ladder line in campaign output");
+    let ladder = &stdout[ladder_at..];
+    for counter in ["refetches", "reexecutions"] {
+        assert_eq!(
+            json_u64(&metrics, counter),
+            json_u64(ladder, counter),
+            "telemetry `{counter}` diverged from the campaign ladder\n{metrics}\n{ladder}"
+        );
+    }
+    // Per-session rows ride in the snapshot's layer table, keyed by
+    // tenant id.
+    for tenant in 0..4 {
+        assert!(
+            metrics.contains(&format!("\"layer\": {tenant}")),
+            "missing tenant {tenant} row: {metrics}"
+        );
+    }
 }
 
 /// `--threads` joins the shared exit-code contract: zero or a non-number

@@ -1,0 +1,189 @@
+//! Differential conformance suite: every secure datapath the repo ships
+//! must agree bit-for-bit with the plaintext reference on every zoo
+//! model, and the generated-VN hardware FSM must agree with the traced
+//! tile-version sequences the timing model observes — including when
+//! rebuilt mid-pattern, the crash-recovery path.
+
+use seculator::core::journal::{campaign_models, DurableState, PadTracker};
+use seculator::core::secure_infer::{infer_resilient, Instruments};
+use seculator::core::TimingNpu;
+use seculator::core::{
+    infer_journaled, infer_plain, infer_protected_mode, infer_resume, CrashClock, DatapathMode,
+    JournaledError, PatternCounter,
+};
+use seculator::models::zoo;
+
+/// Every zoo model, five datapaths, one answer: plaintext reference,
+/// protected inference over the serial and parallel crypto datapaths,
+/// the detect-and-recover resilient driver, and the journaled driver.
+#[test]
+fn every_zoo_model_is_bit_identical_across_all_datapaths() {
+    for m in campaign_models() {
+        let expected = infer_plain(&m.layers, &m.input, m.session.shift);
+
+        for mode in [DatapathMode::Serial, DatapathMode::Parallel] {
+            let out = infer_protected_mode(
+                &m.layers,
+                &m.input,
+                m.session.shift,
+                m.session.secret,
+                m.session.nonce,
+                None,
+                mode,
+            )
+            .unwrap_or_else(|e| panic!("{}: protected ({mode:?}) failed: {e}", m.name));
+            assert_eq!(out, expected, "{}: protected {mode:?} diverged", m.name);
+        }
+
+        let resilient = infer_resilient(
+            &m.layers,
+            &m.input,
+            m.session.shift,
+            m.session.secret,
+            m.session.nonce,
+            &m.session.policy,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{}: resilient run aborted: {e:?}", m.name));
+        assert_eq!(resilient.output, expected, "{}: resilient diverged", m.name);
+
+        let journaled = infer_journaled(
+            &m.layers,
+            &m.input,
+            &m.session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: journaled run failed: {e}", m.name));
+        assert_eq!(journaled.output, expected, "{}: journaled diverged", m.name);
+    }
+}
+
+/// The fifth datapath: journaled inference cut by a power loss halfway
+/// through its instant space, then resumed. The stitched run must still
+/// be bit-identical to the plaintext reference on every model.
+#[test]
+fn every_zoo_model_survives_a_mid_run_cut_bit_identically() {
+    for m in campaign_models() {
+        let expected = infer_plain(&m.layers, &m.input, m.session.shift);
+
+        // Calibrate the interruptible-instant space, then cut at its
+        // midpoint — deep enough that committed layers must be trusted
+        // from the journal, not recomputed.
+        let mut counting = CrashClock::counting();
+        infer_journaled(
+            &m.layers,
+            &m.input,
+            &m.session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: Some(&mut counting),
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: calibration run failed: {e}", m.name));
+        let steps = counting.steps();
+        assert!(steps > 10, "{}: implausibly small instant space", m.name);
+        let cut = steps / 2;
+
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut clock = CrashClock::armed(cut);
+        let err = infer_journaled(
+            &m.layers,
+            &m.input,
+            &m.session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: Some(&mut clock),
+            },
+        )
+        .expect_err("a mid-range cut must crash the run");
+        let JournaledError::Crashed(loss) = err else {
+            panic!("{}: expected a crash at step {cut}, got {err}", m.name);
+        };
+
+        let resumed = infer_resume(
+            &m.layers,
+            &m.input,
+            &m.session,
+            &mut durable,
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+            Some(loss),
+        )
+        .unwrap_or_else(|e| panic!("{}: resume failed: {e}", m.name));
+        assert_eq!(resumed.output, expected, "{}: resume diverged", m.name);
+        assert_eq!(resumed.incidents.resumes(), 1, "{}: audit stitched", m.name);
+    }
+}
+
+/// Master-equation conformance: for a real mapped network, the
+/// tile-version sequence the trace observes at every layer equals the
+/// ⟨η, κ, ρ⟩ expansion produced by the hardware [`PatternCounter`] FSM —
+/// the paper's claim that three registers generate every VN on the fly.
+#[test]
+fn traced_write_vns_match_the_pattern_counter_expansion() {
+    let npu = TimingNpu::default();
+    let mut layers_checked = 0usize;
+    for net in [zoo::tiny_cnn(), zoo::resnet18()] {
+        let schedules = npu.map(&net).expect("zoo network maps");
+        for s in &schedules {
+            let observed = s.observed_write_vns();
+            let spec = s.write_pattern();
+            assert_eq!(
+                spec.len(),
+                observed.len() as u64,
+                "{}: pattern length disagrees with the trace",
+                net.name
+            );
+            let mut ctr = PatternCounter::new(spec);
+            let generated: Vec<u32> = std::iter::from_fn(|| ctr.next_vn()).collect();
+            assert_eq!(
+                generated, observed,
+                "{}: generated VNs diverge from the trace",
+                net.name
+            );
+            layers_checked += 1;
+        }
+    }
+    assert!(layers_checked > 10, "the sweep must cover a real network");
+}
+
+/// The same conformance must hold for a counter rebuilt mid-pattern from
+/// only `(⟨η, κ, ρ⟩, emitted)` — the exact state a layer-commit journal
+/// record persists, so this is the resume path's correctness argument.
+#[test]
+fn resumed_pattern_counters_continue_the_traced_sequence() {
+    let npu = TimingNpu::default();
+    let net = zoo::tiny_cnn();
+    let schedules = npu.map(&net).expect("zoo network maps");
+    for s in &schedules {
+        let observed = s.observed_write_vns();
+        let spec = s.write_pattern();
+        for frac in [1u64, 2, 3] {
+            let mid = spec.len() * frac / 4;
+            let mut ctr =
+                PatternCounter::resume(spec, mid).expect("in-range position must rebuild");
+            let tail: Vec<u32> = std::iter::from_fn(|| ctr.next_vn()).collect();
+            assert_eq!(
+                tail,
+                observed[usize::try_from(mid).expect("fits")..],
+                "resume at {mid}/{} diverges from the trace",
+                spec.len()
+            );
+        }
+        // A position past the end is a corruption signal, never a clamp.
+        assert!(PatternCounter::resume(spec, spec.len() + 1).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Cross-session isolation properties of the multi-session scheduler:
+//! no CTR pad is ever issued twice across tenant sessions, scheduled
+//! outputs are bit-identical to their single-session references, and a
+//! DRAM adversary in one tenant's memory never perturbs any other
+//! tenant — the fail-closed blast radius is exactly one session.
+
+use proptest::prelude::*;
+use seculator::core::journal::{campaign_models, DurableState, PadTracker};
+use seculator::core::secure_infer::Instruments;
+use seculator::core::{
+    infer_journaled, AdmitSpec, FaultInjector, FaultKind, FaultSpec, JournaledError, Persistence,
+    SessionManager, SessionVerdict,
+};
+use seculator::crypto::DeviceSecret;
+use std::sync::Arc;
+
+/// Builds a manager over the model zoo with a seeded arrival trace and
+/// returns it along with each tenant's zoo-model index.
+fn zoo_manager(
+    seed: u64,
+    sessions: u32,
+    max_inflight: usize,
+    arrivals: &[u64],
+) -> (SessionManager, Vec<usize>) {
+    let models = campaign_models();
+    let mut mgr = SessionManager::new(
+        DeviceSecret::from_seed(seed),
+        seed ^ 0x5eed,
+        models[0].session.shift,
+        models[0].session.policy,
+        max_inflight,
+    );
+    let shared: Vec<Arc<_>> = models.iter().map(|m| Arc::new(m.layers.clone())).collect();
+    let mut picks = Vec::new();
+    for t in 0..sessions {
+        let pick = (seed as usize + t as usize) % models.len();
+        mgr.admit(AdmitSpec {
+            tenant: t,
+            name: models[pick].name.to_string(),
+            layers: Arc::clone(&shared[pick]),
+            input: models[pick].input.clone(),
+            arrival_round: arrivals[t as usize % arrivals.len()],
+            injector: None,
+        });
+        picks.push(pick);
+    }
+    (mgr, picks)
+}
+
+/// One tenant's single-session reference: same derived session, fresh
+/// private journal — what the tenant would have computed alone.
+fn reference(
+    mgr: &SessionManager,
+    tenant: u32,
+    pick: usize,
+) -> (seculator::compute::quant::QTensor3, usize) {
+    let models = campaign_models();
+    let m = &models[pick];
+    let session = mgr.derived_session(tenant);
+    let mut tracker = PadTracker::new();
+    let run = infer_journaled(
+        &m.layers,
+        &m.input,
+        &session,
+        &mut DurableState::default(),
+        &mut Instruments {
+            tracker: &mut tracker,
+            injector: None,
+            clock: None,
+        },
+    )
+    .expect("clean single-session run completes");
+    (run.output, tracker.issued().count())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Clean runs: zero cross-session pad collisions, the ledger's pad
+    /// count is exactly the sum of the per-session pad sets, and every
+    /// tenant's output is bit-identical to its single-session run.
+    #[test]
+    fn clean_schedules_are_isolated_and_bit_identical(
+        seed in 0u64..1_000_000,
+        sessions in 1u32..=5,
+        max_inflight in 1usize..=5,
+        arrivals in proptest::collection::vec(0u64..4, 5..6),
+    ) {
+        let (mgr, picks) = zoo_manager(seed, sessions, max_inflight, &arrivals);
+        let refs: Vec<_> = (0..sessions)
+            .map(|t| reference(&mgr, t, picks[t as usize]))
+            .collect();
+        let mut mgr = mgr;
+        let report = mgr.run();
+
+        prop_assert_eq!(report.pad_collisions, 0, "a pad was issued twice across sessions");
+        let expected_pads: usize = refs.iter().map(|(_, pads)| pads).sum();
+        prop_assert_eq!(
+            report.pads_issued,
+            expected_pads as u64,
+            "ledger disagrees with the per-session pad sets"
+        );
+        prop_assert_eq!(report.outcomes.len(), sessions as usize);
+        for o in &report.outcomes {
+            let out = o.output().expect("clean tenants complete");
+            prop_assert_eq!(
+                out,
+                &refs[o.tenant as usize].0,
+                "tenant {} diverged from its single-session run",
+                o.tenant
+            );
+        }
+    }
+
+    /// Tamper isolation: a relentless DRAM bit-flipper scoped to one
+    /// tenant's memory forces *that* session through the fail-closed
+    /// abort path; every other session still completes bit-identically
+    /// to its single-session reference, and no pad is ever reissued.
+    #[test]
+    fn a_tampered_session_never_perturbs_its_neighbours(
+        seed in 0u64..1_000_000,
+        sessions in 2u32..=5,
+        victim_pick in 0u32..5,
+        layer in 0u32..3,
+        block in 0u64..1_000,
+    ) {
+        let victim = victim_pick % sessions;
+        let models = campaign_models();
+        let arrivals = [0u64, 1, 0, 2, 1];
+        let (mgr, picks) = zoo_manager(seed, sessions, 2, &arrivals);
+        let refs: Vec<_> = (0..sessions)
+            .map(|t| reference(&mgr, t, picks[t as usize]))
+            .collect();
+
+        // Rebuild with the injector planted on the victim only.
+        let mut tampered = SessionManager::new(
+            DeviceSecret::from_seed(seed),
+            seed ^ 0x5eed,
+            models[0].session.shift,
+            models[0].session.policy,
+            2,
+        );
+        let shared: Vec<Arc<_>> =
+            models.iter().map(|m| Arc::new(m.layers.clone())).collect();
+        for t in 0..sessions {
+            let pick = picks[t as usize];
+            let injector = (t == victim).then(|| {
+                FaultInjector::new(
+                    seed ^ 0xbad,
+                    vec![FaultSpec {
+                        kind: FaultKind::BitFlip,
+                        persistence: Persistence::Relentless,
+                        layer: layer % models[pick].layers.len() as u32,
+                        block,
+                    }],
+                )
+            });
+            tampered.admit(AdmitSpec {
+                tenant: t,
+                name: models[pick].name.to_string(),
+                layers: Arc::clone(&shared[pick]),
+                input: models[pick].input.clone(),
+                arrival_round: arrivals[t as usize % arrivals.len()],
+                injector,
+            });
+        }
+        let report = tampered.run();
+
+        prop_assert_eq!(report.pad_collisions, 0, "a pad was issued twice across sessions");
+        for o in &report.outcomes {
+            if o.tenant == victim {
+                match &o.verdict {
+                    SessionVerdict::Aborted(e) => prop_assert!(
+                        matches!(e.as_ref(), JournaledError::Aborted(_)),
+                        "victim must fail closed via the recovery ladder, got {}",
+                        e
+                    ),
+                    SessionVerdict::Completed(_) => prop_assert!(
+                        false,
+                        "a relentless bit-flipper must not verify"
+                    ),
+                }
+            } else {
+                let out = o.output().expect("untampered tenants complete");
+                prop_assert_eq!(
+                    out,
+                    &refs[o.tenant as usize].0,
+                    "tenant {} was perturbed by tenant {}'s adversary",
+                    o.tenant,
+                    victim
+                );
+            }
+        }
+    }
+}
