@@ -1150,6 +1150,8 @@ fn serve_exp(quick: bool) {
                 input: model.input.clone(),
                 arrival_round: 0,
                 injector: None,
+                deadline_rounds: None,
+                crash_cuts: Vec::new(),
             });
         }
         mgr
@@ -1205,6 +1207,9 @@ fn serve_exp(quick: bool) {
                     ),
                     SessionVerdict::Aborted(e) => {
                         panic!("clean tenant {} aborted: {e:?}", o.tenant)
+                    }
+                    SessionVerdict::Quarantined(q) => {
+                        panic!("clean tenant {} quarantined: {:?}", o.tenant, q.cause)
                     }
                 }
                 lat_ms.push(o.latency_ns as f64 / 1e6);

@@ -248,6 +248,11 @@ pub enum RecoveryAction {
     /// (stale or tampered ciphertext); the resume point was rolled back
     /// one committed record.
     Rollback,
+    /// The multi-tenant scheduler sealed the session fail-closed: its
+    /// retry ceiling, deadline budget, or stuck-session watchdog fired.
+    /// The journal is kept for audit but the session is never resumed
+    /// and its pads are never reissued.
+    Quarantine,
 }
 
 impl RecoveryAction {
@@ -260,6 +265,7 @@ impl RecoveryAction {
             Self::Abort => "abort",
             Self::Resume => "resume",
             Self::Rollback => "rollback",
+            Self::Quarantine => "quarantine",
         }
     }
 }
@@ -308,6 +314,7 @@ impl IncidentLog {
             RecoveryAction::Abort => telemetry::Counter::Aborts,
             RecoveryAction::Resume => telemetry::Counter::Resumes,
             RecoveryAction::Rollback => telemetry::Counter::Rollbacks,
+            RecoveryAction::Quarantine => telemetry::Counter::SessionsQuarantined,
         });
         self.records.push(record);
     }

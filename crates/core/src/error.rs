@@ -101,6 +101,35 @@ pub enum SecurityError {
         /// Layer that attempted the reused encryption.
         layer_id: u32,
     },
+    /// A tenant session exceeded its per-tenant deadline budget of
+    /// scheduler rounds and was quarantined fail-closed. Not a breach:
+    /// an availability verdict, recorded so the audit trail explains why
+    /// no output was released.
+    DeadlineExceeded {
+        /// Quarantined tenant id.
+        tenant: u32,
+        /// The tenant's round budget from promotion.
+        budget_rounds: u64,
+        /// Rounds actually consumed when the budget check fired.
+        used_rounds: u64,
+    },
+    /// A tenant session spent its scheduler-level retry ceiling (every
+    /// journal-resume re-admission failed again) and was quarantined
+    /// fail-closed rather than retried forever.
+    RetryCeilingExhausted {
+        /// Quarantined tenant id.
+        tenant: u32,
+        /// Session retries consumed.
+        retries: u32,
+    },
+    /// The stuck-session watchdog fired: a promoted tenant went too many
+    /// scheduler rounds without committing a layer and was quarantined.
+    SessionStalled {
+        /// Quarantined tenant id.
+        tenant: u32,
+        /// Rounds since the tenant's last layer commit.
+        stalled_rounds: u64,
+    },
 }
 
 impl SecurityError {
@@ -184,6 +213,28 @@ impl std::fmt::Display for SecurityError {
                      inference aborted before ciphertext release"
                 )
             }
+            Self::DeadlineExceeded {
+                tenant,
+                budget_rounds,
+                used_rounds,
+            } => write!(
+                f,
+                "tenant {tenant} exceeded its deadline budget \
+                 ({used_rounds} rounds used of {budget_rounds}); session quarantined"
+            ),
+            Self::RetryCeilingExhausted { tenant, retries } => write!(
+                f,
+                "tenant {tenant} exhausted its session-retry ceiling \
+                 after {retries} retries; session quarantined"
+            ),
+            Self::SessionStalled {
+                tenant,
+                stalled_rounds,
+            } => write!(
+                f,
+                "tenant {tenant} made no progress for {stalled_rounds} rounds; \
+                 watchdog quarantined the session"
+            ),
         }
     }
 }
@@ -216,6 +267,24 @@ mod tests {
         }
         .is_breach());
         assert!(!SecurityError::PowerInterrupted { layer_id: 1 }.is_breach());
+        // Quarantine verdicts are availability outcomes, not breaches:
+        // the ladder/journal already classified any underlying tamper.
+        assert!(!SecurityError::DeadlineExceeded {
+            tenant: 3,
+            budget_rounds: 8,
+            used_rounds: 9
+        }
+        .is_breach());
+        assert!(!SecurityError::RetryCeilingExhausted {
+            tenant: 3,
+            retries: 2
+        }
+        .is_breach());
+        assert!(!SecurityError::SessionStalled {
+            tenant: 3,
+            stalled_rounds: 64
+        }
+        .is_breach());
         assert!(!SecurityError::VnExhausted {
             layer_id: 0,
             write: true

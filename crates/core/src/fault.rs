@@ -1013,6 +1013,37 @@ mod tests {
     }
 
     #[test]
+    fn classic_retry_policy_ladder_is_bit_identical_to_the_old_constants() {
+        // The ladder bounds moved from hard-coded constants into
+        // `core::retry`. The extraction must be behavior-preserving: a
+        // campaign under the old literal values and one under
+        // `RetryPolicy::classic().ladder` must produce byte-identical
+        // reports on existing seeds.
+        for seed in [42u64, 13] {
+            let old = run_campaign(&CampaignConfig {
+                seed,
+                faults: 11,
+                clean_trials: 2,
+                policy: RecoveryPolicy {
+                    max_refetches: 2,
+                    max_reexecutions: 2,
+                },
+            });
+            let extracted = run_campaign(&CampaignConfig {
+                seed,
+                faults: 11,
+                clean_trials: 2,
+                policy: crate::retry::RetryPolicy::classic().ladder,
+            });
+            assert_eq!(
+                old, extracted,
+                "seed {seed}: the extracted default ladder diverged from the old constants"
+            );
+            assert_eq!(old.summary(), extracted.summary());
+        }
+    }
+
+    #[test]
     fn campaign_meets_the_acceptance_bar() {
         // One full sweep of every expressible combination.
         let cfg = CampaignConfig {

@@ -24,6 +24,7 @@ pub mod mea;
 pub mod noise;
 pub mod npu;
 pub mod pipeline;
+pub mod retry;
 pub mod secure_infer;
 pub mod secure_memory;
 pub mod session;
@@ -60,6 +61,7 @@ pub use pipeline::{
     amortization_curve, run_batch, run_batch_under_attack, BatchStats, HostileBatchStats,
     PipelineConfig,
 };
+pub use retry::{RetryPolicy, RobustnessPolicy, SheddingPolicy};
 pub use secure_infer::{
     infer_journaled, infer_plain, infer_protected, infer_protected_mode, infer_resilient,
     infer_resume, AbortReport, InferError, Instruments, JournaledError, JournaledRun, QConvLayer,
@@ -67,8 +69,9 @@ pub use secure_infer::{
 };
 pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
 pub use session::{
-    run_serve_campaign, AdmitSpec, PadLedger, ServeCampaignConfig, ServeCampaignReport,
-    ServeReport, ServeTrial, SessionManager, SessionOutcome, SessionVerdict,
+    run_chaos_campaign, run_serve_campaign, AdmitSpec, ChaosCampaignConfig, ChaosCampaignReport,
+    ChaosTrial, PadLedger, QuarantineReport, ServeCampaignConfig, ServeCampaignReport, ServeReport,
+    ServeTrial, SessionManager, SessionOutcome, SessionVerdict,
 };
 pub use sgx_functional::{SgxError, SgxMemory};
 pub use storage::{table7_rows, StorageFootprint};

@@ -356,28 +356,10 @@ pub fn infer_protected_mode(
 // Detect-and-recover inference
 // ---------------------------------------------------------------------------
 
-/// How hard the engine tries to recover from a detected breach before
-/// aborting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RecoveryPolicy {
-    /// Re-fetch attempts per execution attempt: on a failed boundary
-    /// check, re-stream the layer's output from DRAM through the crypto
-    /// pipeline (recovers transient read corruption cheaply).
-    pub max_refetches: u32,
-    /// Layer re-executions: recompute the layer from its (verified)
-    /// input under a fresh VN base (recovers persistent corruption of
-    /// the stored ciphertext or the MAC registers).
-    pub max_reexecutions: u32,
-}
-
-impl Default for RecoveryPolicy {
-    fn default() -> Self {
-        Self {
-            max_refetches: 2,
-            max_reexecutions: 2,
-        }
-    }
-}
+/// The ladder's attempt bounds now live in [`crate::retry`] — the single
+/// home of every retry constant — and are re-exported here so existing
+/// `secure_infer::RecoveryPolicy` paths keep working.
+pub use crate::retry::RecoveryPolicy;
 
 /// A completed resilient inference: the verified output plus the audit
 /// trail of every recovery action taken along the way.
@@ -853,6 +835,14 @@ impl JournaledCursor {
         self.commits
     }
 
+    /// Moves the accumulated incident log out of a cursor that is about
+    /// to be dropped (scheduler retry after a power cut): the records
+    /// already went through the telemetry funnel once, so the caller
+    /// must splice them without re-pushing.
+    pub(crate) fn take_incidents(&mut self) -> IncidentLog {
+        std::mem::take(&mut self.incidents)
+    }
+
     /// Consumes a finished cursor into its run report.
     pub(crate) fn finish(self) -> JournaledRun {
         JournaledRun {
@@ -1318,6 +1308,27 @@ pub fn infer_resume(
     instruments: &mut Instruments<'_>,
     interrupted: Option<PowerLoss>,
 ) -> Result<JournaledRun, JournaledError> {
+    let mut cursor = open_resume_cursor(input, session, durable, instruments, interrupted)?;
+    while !cursor.done(layers) {
+        step_journaled_layer(layers, session, &mut cursor, durable, instruments)?;
+    }
+    Ok(cursor.finish())
+}
+
+/// The resume half of [`infer_resume`] without the layer loop: repairs
+/// the journal, rolls unverifiable commits back, opens a fresh nonce
+/// epoch with a write-ahead record, and returns a cursor positioned at
+/// the first layer that must re-execute. Shared with the multi-session
+/// scheduler, whose session-retry path re-admits a failed tenant from
+/// its journal — the epoch bump here is what guarantees a retried layer
+/// never reuses a CTR pad.
+pub(crate) fn open_resume_cursor(
+    input: &QTensor3,
+    session: &SecureSession,
+    durable: &mut DurableState,
+    instruments: &mut Instruments<'_>,
+    interrupted: Option<PowerLoss>,
+) -> Result<JournaledCursor, JournaledError> {
     let replayed = durable
         .journal
         .repair(&session.secret, session.nonce)
@@ -1378,7 +1389,7 @@ pub fn infer_resume(
     telemetry::incr(telemetry::Counter::EpochBumps);
     seq += 1;
 
-    let mut cursor = JournaledCursor::new(
+    Ok(JournaledCursor::new(
         session,
         epoch,
         seq,
@@ -1386,11 +1397,7 @@ pub fn infer_resume(
         base_addr,
         activ,
         incidents,
-    );
-    while !cursor.done(layers) {
-        step_journaled_layer(layers, session, &mut cursor, durable, instruments)?;
-    }
-    Ok(cursor.finish())
+    ))
 }
 
 #[cfg(test)]

@@ -31,18 +31,47 @@
 //! verifies all of the above, including a **cross-session pad ledger**
 //! ([`PadLedger`]): no CTR pad — identified by its `(derived key, epoch,
 //! counter)` triple — is ever issued twice across any pair of sessions.
+//!
+//! On top of the classic scheduler sits an opt-in **fleet robustness
+//! layer** ([`SessionManager::harden`], configured by a
+//! [`RobustnessPolicy`] from [`crate::retry`]):
+//!
+//! - **Session retries with backoff**: a failed attempt (recovery ladder
+//!   exhausted, or a power cut) parks the tenant in a backoff state and
+//!   later re-admits it *from its own journal* under a fresh nonce epoch
+//!   — the same resume path `infer_resume` uses — at most
+//!   `max_session_retries` times.
+//! - **Quarantine (fail-closed)**: a tenant that trips the retry
+//!   ceiling, exceeds its per-tenant deadline budget
+//!   ([`AdmitSpec::deadline_rounds`]), or stalls past the watchdog is
+//!   sealed: journal kept for audit, pads never reissued, no output
+//!   released — while healthy tenants keep committing layers.
+//! - **Load shedding**: sustained fault pressure lowers the *effective*
+//!   `max_inflight` one slot at a time (never below a floor) and clean
+//!   rounds restore it, so the fleet degrades instead of collapsing.
+//!
+//! [`run_chaos_campaign`] composes the fault-campaign's five fault kinds
+//! with the crash-campaign's power cuts *concurrently across sessions*
+//! (independent per-tenant RNG streams) and checks the chaos oracles:
+//! healthy tenants finish bit-identical to their solo runs with zero
+//! deadline misses, every faulted tenant ends recovered-or-quarantined
+//! (never wedged), and the pad ledger stays collision-free throughout.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
-use crate::audit::{IncidentLog, LadderSummary};
+use crate::audit::{IncidentLog, IncidentRecord, LadderSummary, RecoveryAction};
 use crate::detection::RecoveryCost;
 use crate::error::SecurityError;
-use crate::fault::{splitmix, FaultInjector, FaultKind, FaultSpec, Persistence};
+use crate::fault::{
+    splitmix, CrashClock, FaultInjector, FaultKind, FaultSpec, Persistence, PowerLoss,
+};
 use crate::journal::{campaign_models, DurableState, PadTracker};
+use crate::retry::{RobustnessPolicy, SheddingPolicy};
 use crate::secure_infer::{
-    infer_journaled, infer_plain, open_journaled_cursor, step_journaled_layer, Instruments,
-    JournaledCursor, JournaledError, JournaledRun, QConvLayer, RecoveryPolicy, SecureSession,
+    infer_journaled, infer_plain, open_journaled_cursor, open_resume_cursor, step_journaled_layer,
+    Instruments, JournaledCursor, JournaledError, JournaledRun, QConvLayer, RecoveryPolicy,
+    SecureSession,
 };
 use crate::secure_memory::BlockCoords;
 use crate::telemetry::{self, Counter, LayerRow};
@@ -69,6 +98,33 @@ pub struct AdmitSpec {
     pub arrival_round: u64,
     /// Optional seeded DRAM adversary scoped to this tenant's memory.
     pub injector: Option<FaultInjector>,
+    /// Per-tenant deadline budget, in scheduler rounds counted from
+    /// promotion (`None` = no deadline). A tenant that exceeds it is
+    /// quarantined fail-closed.
+    pub deadline_rounds: Option<u64>,
+    /// Scripted power cuts, one per execution attempt: attempt `k` arms
+    /// a [`CrashClock`] at `crash_cuts[k]` datapath steps (counted from
+    /// that attempt's start). Empty = never cut.
+    pub crash_cuts: Vec<u64>,
+}
+
+/// Why and when the scheduler sealed one tenant fail-closed.
+#[derive(Debug)]
+pub struct QuarantineReport {
+    /// Quarantined tenant id.
+    pub tenant: u32,
+    /// The availability verdict that sealed the session (one of
+    /// [`SecurityError::RetryCeilingExhausted`],
+    /// [`SecurityError::DeadlineExceeded`],
+    /// [`SecurityError::SessionStalled`]).
+    pub cause: SecurityError,
+    /// Session retries consumed before the seal.
+    pub retries: u32,
+    /// Layer commits the sealed journal holds (kept for audit, never
+    /// resumed).
+    pub commits: u32,
+    /// Scheduler round of the seal.
+    pub round: u64,
 }
 
 /// Lifecycle of one admitted tenant.
@@ -80,10 +136,22 @@ enum TenantState {
     Queued,
     /// Actively stepped by the scheduler.
     Running(Box<JournaledCursor>),
+    /// Parked after a failed attempt; re-admitted from its journal once
+    /// `resume_at` arrives (`loss` carries the power-cut record to
+    /// stitch into the resumed audit trail).
+    Backoff {
+        /// First round the scheduler may resume this tenant.
+        resume_at: u64,
+        /// The crash that ended the attempt, when it was a power cut.
+        loss: Option<PowerLoss>,
+    },
     /// Every layer committed and verified.
     Completed(Box<JournaledRun>),
     /// Fail-closed terminal state (tamper/crash verdict).
     Aborted(Box<JournaledError>),
+    /// Sealed by the robustness layer: journal kept for audit, pads
+    /// never reissued, no output released.
+    Quarantined(Box<QuarantineReport>),
 }
 
 #[derive(Debug)]
@@ -103,6 +171,25 @@ struct Tenant {
     commits: u32,
     started_at: Option<Instant>,
     latency_ns: u64,
+    /// Per-tenant deadline budget from the admission spec.
+    deadline_rounds: Option<u64>,
+    /// Scripted power cuts not yet armed (front = next attempt's cut).
+    cut_queue: VecDeque<u64>,
+    /// The current attempt's armed crash clock (persists across the
+    /// attempt's scheduler steps; re-armed per attempt).
+    clock: Option<CrashClock>,
+    /// Session retries consumed (journal re-admissions).
+    retries: u32,
+    /// Per-tenant splitmix stream for backoff jitter.
+    backoff_rng: u64,
+    /// Audit records salvaged from failed attempts, merged ahead of the
+    /// terminal attempt's records at report time. Every record already
+    /// went through the `IncidentLog::push` telemetry funnel once.
+    incidents: IncidentLog,
+    /// Last round this tenant was promoted or committed a layer.
+    last_progress_round: u64,
+    /// The deadline budget was exceeded at least once.
+    deadline_missed: bool,
     row: LayerRow,
     /// Half-open `[start, end)` telemetry-event windows this tenant
     /// exclusively owned (stepping is single-threaded, so windows never
@@ -114,7 +201,16 @@ impl Tenant {
     fn is_terminal(&self) -> bool {
         matches!(
             self.state,
-            TenantState::Completed(_) | TenantState::Aborted(_)
+            TenantState::Completed(_) | TenantState::Aborted(_) | TenantState::Quarantined(_)
+        )
+    }
+
+    /// Running and backed-off sessions both hold an admission slot —
+    /// a parked tenant's journal and pads are live.
+    fn holds_slot(&self) -> bool {
+        matches!(
+            self.state,
+            TenantState::Running(_) | TenantState::Backoff { .. }
         )
     }
 }
@@ -126,6 +222,9 @@ pub enum SessionVerdict {
     Completed(Box<JournaledRun>),
     /// Fail-closed abort; no output was released.
     Aborted(Box<JournaledError>),
+    /// Sealed by the robustness layer (retry ceiling, deadline budget,
+    /// or watchdog); no output was released.
+    Quarantined(Box<QuarantineReport>),
 }
 
 /// One tenant's final outcome.
@@ -146,6 +245,11 @@ pub struct SessionOutcome {
     pub commits: u32,
     /// Wall time from promotion to the terminal state, in nanoseconds.
     pub latency_ns: u64,
+    /// Scheduler-level session retries this tenant consumed (journal
+    /// re-admissions after a failed attempt).
+    pub retries: u32,
+    /// The tenant exceeded its deadline budget.
+    pub deadline_missed: bool,
     /// How the session ended.
     pub verdict: SessionVerdict,
 }
@@ -156,7 +260,7 @@ impl SessionOutcome {
     pub fn output(&self) -> Option<&QTensor3> {
         match &self.verdict {
             SessionVerdict::Completed(run) => Some(&run.output),
-            SessionVerdict::Aborted(_) => None,
+            SessionVerdict::Aborted(_) | SessionVerdict::Quarantined(_) => None,
         }
     }
 }
@@ -232,6 +336,16 @@ pub struct ServeReport {
     pub incidents: IncidentLog,
     /// Largest per-layer tensor in blocks across tenants.
     pub max_blocks: u64,
+    /// Scheduler-level session retries granted (journal re-admissions
+    /// after failed attempts), summed over tenants.
+    pub session_retries: u64,
+    /// Per-tenant deadline budgets exceeded.
+    pub deadline_misses: u64,
+    /// Tenants sealed fail-closed by the retry ceiling, a deadline
+    /// budget, or the stuck-session watchdog.
+    pub sessions_quarantined: u64,
+    /// Admission slots shed under sustained fault pressure.
+    pub inflight_shed: u64,
     /// Per-session stage-time rows — [`LayerRow`] reused with the
     /// `layer` field carrying the *tenant id* (seal/open/mac_fold/
     /// journal nanoseconds attributed per session). Empty when the
@@ -259,6 +373,26 @@ pub struct SessionManager {
     max_inflight: usize,
     tenants: Vec<Tenant>,
     round: u64,
+    robustness: RobustnessPolicy,
+    backoff_seed: u64,
+    stats: RobustStats,
+    /// The degraded admission cap (== `max_inflight` until shedding).
+    effective_inflight: usize,
+    /// Faulty rounds accumulated toward the next shed.
+    pressure: u32,
+    /// Clean rounds accumulated toward the next restore.
+    clean_rounds: u64,
+}
+
+/// Robustness counters mirrored into [`ServeReport`] — kept separate
+/// from the process-global telemetry so the report stays exact even when
+/// the `telemetry` feature is off.
+#[derive(Debug, Default, Clone, Copy)]
+struct RobustStats {
+    session_retries: u64,
+    deadline_misses: u64,
+    sessions_quarantined: u64,
+    inflight_shed: u64,
 }
 
 impl SessionManager {
@@ -282,7 +416,40 @@ impl SessionManager {
             max_inflight: max_inflight.max(1),
             tenants: Vec::new(),
             round: 0,
+            robustness: RobustnessPolicy::classic(),
+            backoff_seed: base_nonce ^ 0xB0FF_5EED,
+            stats: RobustStats::default(),
+            effective_inflight: max_inflight.max(1),
+            pressure: 0,
+            clean_rounds: 0,
         }
+    }
+
+    /// Installs a fleet robustness policy (session retries, watchdog,
+    /// load shedding) and re-seeds every tenant's backoff-jitter stream
+    /// from `backoff_seed`. [`RobustnessPolicy::classic`] — the
+    /// constructor default — is bit-identical to the pre-robustness
+    /// scheduler. The retry policy's ladder also becomes the recovery
+    /// policy of every *subsequently derived* session, keeping the
+    /// ladder bounds in one place.
+    pub fn harden(&mut self, policy: RobustnessPolicy, backoff_seed: u64) {
+        self.robustness = policy;
+        self.backoff_seed = backoff_seed;
+        self.policy = policy.retry.ladder;
+        for t in &mut self.tenants {
+            t.backoff_rng = Self::backoff_stream(backoff_seed, t.id);
+            t.session.policy = policy.retry.ladder;
+        }
+    }
+
+    /// The per-tenant jitter stream: deterministic per seed, distinct
+    /// per tenant.
+    fn backoff_stream(seed: u64, tenant: u32) -> u64 {
+        let mut s = seed
+            ^ u64::from(tenant)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x6A09_E667);
+        splitmix(&mut s)
     }
 
     /// The isolated session a tenant id maps to: a tenant-derived
@@ -331,6 +498,14 @@ impl SessionManager {
             commits: 0,
             started_at: None,
             latency_ns: 0,
+            deadline_rounds: spec.deadline_rounds,
+            cut_queue: spec.crash_cuts.into(),
+            clock: None,
+            retries: 0,
+            backoff_rng: Self::backoff_stream(self.backoff_seed, spec.tenant),
+            incidents: IncidentLog::new(),
+            last_progress_round: 0,
+            deadline_missed: false,
             row: LayerRow {
                 layer: u64::from(spec.tenant),
                 ..LayerRow::default()
@@ -351,8 +526,10 @@ impl SessionManager {
         self.report()
     }
 
-    /// One scheduler round: release arrivals, fill free slots from the
-    /// queue (admission order), then grant every running session exactly
+    /// One scheduler round: release arrivals, enforce deadline budgets
+    /// and the watchdog, wake expired backoffs (journal re-admission),
+    /// fill free slots from the queue (admission order, under the
+    /// possibly degraded cap), then grant every running session exactly
     /// one layer step, in fixed tenant order — round-robin fairness.
     /// Returns `false` once every tenant is terminal.
     fn service_round(&mut self) -> bool {
@@ -360,58 +537,175 @@ impl SessionManager {
             return false;
         }
         self.round += 1;
+        let round = self.round;
+        let policy = self.robustness;
+        let stats = &mut self.stats;
+        let mut faulty = false;
 
         // Arrivals: the trace releases tenants into the admission queue.
         for t in &mut self.tenants {
-            if matches!(t.state, TenantState::Waiting) && t.arrival_round <= self.round {
+            if matches!(t.state, TenantState::Waiting) && t.arrival_round <= round {
                 t.state = TenantState::Queued;
             }
         }
 
-        // Admission under backpressure: promote queued tenants while
-        // slots are free.
-        let mut running = self
-            .tenants
-            .iter()
-            .filter(|t| matches!(t.state, TenantState::Running(_)))
-            .count();
-        let round = self.round;
+        // Robustness sweep: deadline budgets, then the stuck-session
+        // watchdog. Both no-ops under the classic policy.
         for t in &mut self.tenants {
-            if running >= self.max_inflight {
+            Self::sweep_budgets(t, &policy, stats, round);
+        }
+
+        // Backoff wake: re-admit parked tenants from their journals
+        // under a fresh nonce epoch (the `infer_resume` path).
+        for t in &mut self.tenants {
+            Self::wake_backoff(t, &policy, stats, round, &mut faulty);
+        }
+
+        // Admission under backpressure: promote queued tenants while
+        // slots are free under the effective (possibly shed) cap.
+        let mut inflight = self.tenants.iter().filter(|t| t.holds_slot()).count();
+        for t in &mut self.tenants {
+            if inflight >= self.effective_inflight {
                 break;
             }
             if matches!(t.state, TenantState::Queued) {
-                Self::promote(t, round);
-                if matches!(t.state, TenantState::Running(_)) {
-                    running += 1;
+                Self::promote(t, &policy, stats, round, &mut faulty);
+                if t.holds_slot() {
+                    inflight += 1;
                 }
             }
         }
 
         // Service: one layer step per running session per round.
         for t in &mut self.tenants {
-            Self::step_tenant(t);
+            Self::step_tenant(t, &policy, stats, round, &mut faulty);
+        }
+
+        if let Some(shed) = policy.shedding {
+            self.update_shedding(shed, faulty);
         }
         true
     }
 
+    /// Deadline budget and watchdog checks for one promoted tenant —
+    /// either trip quarantines fail-closed.
+    fn sweep_budgets(
+        t: &mut Tenant,
+        policy: &RobustnessPolicy,
+        stats: &mut RobustStats,
+        round: u64,
+    ) {
+        if !t.holds_slot() {
+            return;
+        }
+        if let Some(budget) = t.deadline_rounds {
+            let used = round.saturating_sub(t.started_round);
+            if used > budget {
+                telemetry::incr(Counter::DeadlineMisses);
+                stats.deadline_misses += 1;
+                t.deadline_missed = true;
+                let cause = SecurityError::DeadlineExceeded {
+                    tenant: t.id,
+                    budget_rounds: budget,
+                    used_rounds: used,
+                };
+                Self::quarantine(t, cause, round, stats);
+                return;
+            }
+        }
+        if let Some(limit) = policy.watchdog_rounds {
+            let stalled = round.saturating_sub(t.last_progress_round);
+            if stalled > limit {
+                let cause = SecurityError::SessionStalled {
+                    tenant: t.id,
+                    stalled_rounds: stalled,
+                };
+                Self::quarantine(t, cause, round, stats);
+            }
+        }
+    }
+
+    /// Backoff → Running once the backoff expires: resume from the
+    /// tenant's own journal (repair, rollback walk, fresh epoch) with
+    /// the next scripted cut armed.
+    fn wake_backoff(
+        t: &mut Tenant,
+        policy: &RobustnessPolicy,
+        stats: &mut RobustStats,
+        round: u64,
+        faulty: &mut bool,
+    ) {
+        let (resume_at, loss) = match &t.state {
+            TenantState::Backoff { resume_at, loss } => (*resume_at, *loss),
+            _ => return,
+        };
+        if resume_at > round {
+            return;
+        }
+        Self::arm_next_cut(t);
+        let w0 = telemetry::event_cursor();
+        let result = {
+            let mut instruments = Instruments {
+                tracker: &mut t.tracker,
+                injector: t.injector.as_mut(),
+                clock: t.clock.as_mut(),
+            };
+            open_resume_cursor(&t.input, &t.session, &mut t.durable, &mut instruments, loss)
+        };
+        t.windows.push((w0, telemetry::event_cursor()));
+        match result {
+            Ok(cursor) => t.state = TenantState::Running(Box::new(cursor)),
+            Err(e) => {
+                *faulty = true;
+                let commits = t.commits;
+                Self::handle_failure(t, e, commits, round, policy, stats);
+            }
+        }
+    }
+
+    /// Pops the next scripted power cut into a freshly armed clock (or
+    /// disarms the clock when the script is exhausted).
+    fn arm_next_cut(t: &mut Tenant) {
+        t.clock = t.cut_queue.pop_front().map(CrashClock::armed);
+    }
+
     /// Queued → Running: open the tenant's journaled cursor (epoch
     /// write-ahead + repair on its private journal namespace).
-    fn promote(t: &mut Tenant, round: u64) {
+    fn promote(
+        t: &mut Tenant,
+        policy: &RobustnessPolicy,
+        stats: &mut RobustStats,
+        round: u64,
+        faulty: &mut bool,
+    ) {
         telemetry::incr(Counter::SessionsActive);
         t.started_round = round;
         t.started_at = Some(Instant::now());
+        t.last_progress_round = round;
+        Self::arm_next_cut(t);
         let w0 = telemetry::event_cursor();
-        match open_journaled_cursor(&t.input, &t.session, &mut t.durable, &mut None) {
+        let mut clock = t.clock.as_mut();
+        match open_journaled_cursor(&t.input, &t.session, &mut t.durable, &mut clock) {
             Ok(cursor) => t.state = TenantState::Running(Box::new(cursor)),
-            Err(e) => Self::abort(t, e, 0),
+            Err(e) => {
+                if !matches!(e, JournaledError::Security(_)) {
+                    *faulty = true;
+                }
+                Self::handle_failure(t, e, 0, round, policy, stats);
+            }
         }
         t.windows.push((w0, telemetry::event_cursor()));
     }
 
     /// Grants one layer step to a running tenant; the step's event
     /// window is recorded for report-time stage attribution.
-    fn step_tenant(t: &mut Tenant) {
+    fn step_tenant(
+        t: &mut Tenant,
+        policy: &RobustnessPolicy,
+        stats: &mut RobustStats,
+        round: u64,
+        faulty: &mut bool,
+    ) {
         let mut cursor = match std::mem::replace(&mut t.state, TenantState::Queued) {
             TenantState::Running(c) => c,
             other => {
@@ -424,7 +718,7 @@ impl SessionManager {
             let mut instruments = Instruments {
                 tracker: &mut t.tracker,
                 injector: t.injector.as_mut(),
-                clock: None,
+                clock: t.clock.as_mut(),
             };
             step_journaled_layer(
                 &t.layers,
@@ -445,8 +739,124 @@ impl SessionManager {
                 telemetry::incr(Counter::SessionsCompleted);
                 t.state = TenantState::Completed(Box::new(cursor.finish()));
             }
-            Ok(()) => t.state = TenantState::Running(cursor),
-            Err(e) => Self::abort(t, e, cursor.commits()),
+            Ok(()) => {
+                t.last_progress_round = round;
+                t.state = TenantState::Running(cursor);
+            }
+            Err(e) => {
+                *faulty = true;
+                // A crash verdict carries no report — salvage this
+                // attempt's in-cursor audit trail before the cursor is
+                // dropped.
+                if matches!(e, JournaledError::Crashed(_)) {
+                    t.incidents.records.extend(cursor.take_incidents().records);
+                }
+                let commits = cursor.commits();
+                Self::handle_failure(t, e, commits, round, policy, stats);
+            }
+        }
+    }
+
+    /// Classifies one failed attempt: security verdicts abort
+    /// immediately (a tampered journal or counter reuse is never
+    /// retried); ladder exhaustions and power cuts are retryable — the
+    /// tenant parks in backoff until its retry ceiling quarantines it.
+    /// Under the classic policy (zero session retries) every failure
+    /// aborts, bit-identical to the pre-robustness scheduler.
+    fn handle_failure(
+        t: &mut Tenant,
+        error: JournaledError,
+        commits: u32,
+        round: u64,
+        policy: &RobustnessPolicy,
+        stats: &mut RobustStats,
+    ) {
+        let retryable = !matches!(error, JournaledError::Security(_));
+        if !retryable || policy.retry.max_session_retries == 0 {
+            Self::abort(t, error, commits);
+            return;
+        }
+        t.commits = commits;
+        if t.retries >= policy.retry.max_session_retries {
+            if let JournaledError::Aborted(report) = error {
+                t.incidents.records.extend(report.incidents.records);
+            }
+            let cause = SecurityError::RetryCeilingExhausted {
+                tenant: t.id,
+                retries: t.retries,
+            };
+            Self::quarantine(t, cause, round, stats);
+            return;
+        }
+        let loss = match error {
+            JournaledError::Crashed(loss) => Some(loss),
+            JournaledError::Aborted(report) => {
+                t.incidents.records.extend(report.incidents.records);
+                None
+            }
+            // Unreachable: filtered by `retryable` above.
+            JournaledError::Security(_) => None,
+        };
+        telemetry::incr(Counter::SessionRetries);
+        stats.session_retries += 1;
+        let wait = policy.retry.backoff_rounds(t.retries, &mut t.backoff_rng);
+        t.retries += 1;
+        t.state = TenantState::Backoff {
+            resume_at: round + wait,
+            loss,
+        };
+    }
+
+    /// Seals one tenant fail-closed: the quarantine record goes through
+    /// the single `IncidentLog::push` telemetry funnel, the cut script
+    /// is dropped, and the journal is never resumed — pads are never
+    /// reissued.
+    fn quarantine(t: &mut Tenant, cause: SecurityError, round: u64, stats: &mut RobustStats) {
+        stats.sessions_quarantined += 1;
+        t.latency_ns = t.started_at.map_or(0, |s| {
+            u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
+        t.incidents.push(IncidentRecord {
+            layer_id: t.commits,
+            attempt: t.retries,
+            action: RecoveryAction::Quarantine,
+            cause: cause.clone(),
+        });
+        t.cut_queue.clear();
+        t.clock = None;
+        t.state = TenantState::Quarantined(Box::new(QuarantineReport {
+            tenant: t.id,
+            cause,
+            retries: t.retries,
+            commits: t.commits,
+            round,
+        }));
+    }
+
+    /// Admission-control degradation: a faulty round (≥ 1 failed
+    /// session step) builds pressure; enough pressure sheds one slot
+    /// (never below the floor); a clean streak restores one.
+    fn update_shedding(&mut self, policy: SheddingPolicy, faulty: bool) {
+        if faulty {
+            self.clean_rounds = 0;
+            self.pressure += 1;
+            if self.pressure >= policy.pressure_threshold.max(1)
+                && self.effective_inflight > policy.min_inflight.max(1)
+            {
+                self.effective_inflight -= 1;
+                self.pressure = 0;
+                self.stats.inflight_shed += 1;
+                telemetry::incr(Counter::InflightShed);
+            }
+        } else {
+            self.clean_rounds += 1;
+            if self.clean_rounds >= policy.restore_after.max(1)
+                && self.effective_inflight < self.max_inflight
+            {
+                self.effective_inflight += 1;
+                self.clean_rounds = 0;
+                self.pressure = 0;
+            }
         }
     }
 
@@ -520,15 +930,17 @@ impl SessionManager {
             if telemetry::enabled() {
                 session_rows.push(t.row.clone());
             }
+            // Cross-attempt salvage first (failed attempts + the
+            // quarantine seal), then the terminal attempt's records.
+            // Merge without re-counting: every record already went
+            // through the `IncidentLog::push` telemetry funnel once.
+            incidents.records.extend(t.incidents.records);
             let verdict = match t.state {
                 TenantState::Completed(run) => {
-                    // Merge without re-counting: every record already
-                    // went through the `IncidentLog::push` telemetry
-                    // funnel inside the layer steps.
+                    max_blocks = max_blocks.max(run.max_layer_blocks);
                     incidents
                         .records
                         .extend(run.incidents.records.iter().cloned());
-                    max_blocks = max_blocks.max(run.max_layer_blocks);
                     SessionVerdict::Completed(run)
                 }
                 TenantState::Aborted(err) => {
@@ -540,14 +952,16 @@ impl SessionManager {
                     }
                     SessionVerdict::Aborted(err)
                 }
+                TenantState::Quarantined(report) => SessionVerdict::Quarantined(report),
                 // `run()` drains the scheduler, so non-terminal states
                 // cannot reach here; report them as aborted-by-shutdown
                 // rather than panicking in a security path.
-                TenantState::Waiting | TenantState::Queued | TenantState::Running(_) => {
-                    SessionVerdict::Aborted(Box::new(JournaledError::Security(
-                        SecurityError::PowerInterrupted { layer_id: 0 },
-                    )))
-                }
+                TenantState::Waiting
+                | TenantState::Queued
+                | TenantState::Running(_)
+                | TenantState::Backoff { .. } => SessionVerdict::Aborted(Box::new(
+                    JournaledError::Security(SecurityError::PowerInterrupted { layer_id: 0 }),
+                )),
             };
             outcomes.push(SessionOutcome {
                 tenant: t.id,
@@ -557,6 +971,8 @@ impl SessionManager {
                 rounds_serviced: t.rounds_serviced,
                 commits: t.commits,
                 latency_ns: t.latency_ns,
+                retries: t.retries,
+                deadline_missed: t.deadline_missed,
                 verdict,
             });
         }
@@ -567,6 +983,10 @@ impl SessionManager {
             pad_collisions: ledger.collisions(),
             incidents,
             max_blocks,
+            session_retries: self.stats.session_retries,
+            deadline_misses: self.stats.deadline_misses,
+            sessions_quarantined: self.stats.sessions_quarantined,
+            inflight_shed: self.stats.inflight_shed,
             session_rows,
         }
     }
@@ -757,6 +1177,8 @@ pub fn run_serve_campaign(config: &ServeCampaignConfig) -> ServeCampaignReport {
             input: models[model].input.clone(),
             arrival_round: arrival,
             injector,
+            deadline_rounds: None,
+            crash_cuts: Vec::new(),
         });
         plans.push(Plan {
             tenant,
@@ -817,6 +1239,13 @@ pub fn run_serve_campaign(config: &ServeCampaignConfig) -> ServeCampaignReport {
                 }
                 (SessionVerdict::Completed(_), None) => (false, "reference run failed".to_string()),
                 (SessionVerdict::Aborted(e), _) => (false, format!("clean session ABORTED: {e}")),
+                (SessionVerdict::Quarantined(q), _) => (
+                    false,
+                    format!(
+                        "clean session QUARANTINED under classic policy: {}",
+                        q.cause
+                    ),
+                ),
             },
             (Some(o), true) => match &o.verdict {
                 SessionVerdict::Aborted(e) if matches!(e.as_ref(), JournaledError::Aborted(_)) => (
@@ -831,6 +1260,10 @@ pub fn run_serve_campaign(config: &ServeCampaignConfig) -> ServeCampaignReport {
                     (false, format!("aborted through the wrong path: {e}"))
                 }
                 SessionVerdict::Completed(_) => (false, "tampered session COMPLETED".to_string()),
+                SessionVerdict::Quarantined(q) => (
+                    false,
+                    format!("quarantined under classic policy: {}", q.cause),
+                ),
             },
             (None, _) => (false, "tenant missing from report".to_string()),
         };
@@ -851,6 +1284,373 @@ pub fn run_serve_campaign(config: &ServeCampaignConfig) -> ServeCampaignReport {
         pads_issued: report.pads_issued,
         pad_collisions: report.pad_collisions,
         rounds: report.rounds,
+        ladder: report.ladder(),
+        session_rows: report.session_rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos campaign: faults × power cuts composed concurrently across tenants
+// ---------------------------------------------------------------------------
+
+/// Configuration of one chaos campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCampaignConfig {
+    /// Root seed — keys, arrivals, model picks, the faulted-tenant set,
+    /// every fault spec, every cut, and every backoff jitter derive
+    /// from it.
+    pub seed: u64,
+    /// Number of tenant sessions (clamped to ≥ 1); `⌊sessions/2⌋` of
+    /// them are targeted by chaos.
+    pub sessions: u32,
+}
+
+/// Per-tenant chaos verdict.
+#[derive(Debug, Clone)]
+pub struct ChaosTrial {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Model-zoo workload the tenant ran.
+    pub model: &'static str,
+    /// Whether chaos targeted this tenant.
+    pub faulted: bool,
+    /// DRAM fault specs armed against it.
+    pub faults: u32,
+    /// Scripted power cuts armed against it.
+    pub cuts: u32,
+    /// Whether the tenant met its oracle (healthy: bit-identical to its
+    /// solo run; faulted: recovered bit-identical or quarantined).
+    pub ok: bool,
+    /// Deterministic one-line explanation.
+    pub detail: String,
+}
+
+/// Deterministic outcome of one chaos campaign.
+#[derive(Debug)]
+pub struct ChaosCampaignReport {
+    /// Root seed.
+    pub seed: u64,
+    /// Tenant sessions scheduled.
+    pub sessions: u32,
+    /// Per-tenant verdicts, in tenant order.
+    pub trials: Vec<ChaosTrial>,
+    /// Scheduler rounds the manager ran.
+    pub rounds: u64,
+    /// Distinct pads across every session and every retry.
+    pub pads_issued: u64,
+    /// Cross-session pad collisions (must be 0).
+    pub pad_collisions: u64,
+    /// Scheduler-level session retries granted.
+    pub session_retries: u64,
+    /// Deadline budgets exceeded (any tenant).
+    pub deadline_misses: u64,
+    /// Tenants sealed fail-closed.
+    pub sessions_quarantined: u64,
+    /// Admission slots shed under fault pressure.
+    pub inflight_shed: u64,
+    /// Deadline misses charged to *healthy* tenants (must be 0: chaos
+    /// against the faulted set must not starve the rest).
+    pub healthy_deadline_misses: u64,
+    /// Recovery-ladder summary over every tenant's incidents.
+    pub ladder: LadderSummary,
+    /// Per-session stage-time rows for `--metrics` (never printed in the
+    /// deterministic summary — wall times are not byte-stable).
+    pub session_rows: Vec<LayerRow>,
+}
+
+impl ChaosCampaignReport {
+    /// Did every oracle hold?
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.pad_collisions == 0
+            && self.healthy_deadline_misses == 0
+            && self.trials.iter().all(|t| t.ok)
+    }
+
+    /// Deterministic multi-line summary (byte-identical for one seed).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos campaign seed={}: {} sessions ({} faulted), {} scheduler rounds\n",
+            self.seed,
+            self.sessions,
+            self.trials.iter().filter(|t| t.faulted).count(),
+            self.rounds
+        ));
+        for t in &self.trials {
+            let chaos = if t.faulted {
+                format!(" [chaos: {} faults, {} cuts]", t.faults, t.cuts)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "tenant {}: {}{} → {}\n",
+                t.tenant, t.model, chaos, t.detail
+            ));
+        }
+        out.push_str(&format!(
+            "pads issued: {}; cross-session collisions: {}\n",
+            self.pads_issued, self.pad_collisions
+        ));
+        out.push_str(&format!(
+            "robustness: {{\"session_retries\":{},\"deadline_misses\":{},\
+             \"sessions_quarantined\":{},\"inflight_shed\":{}}}\n",
+            self.session_retries,
+            self.deadline_misses,
+            self.sessions_quarantined,
+            self.inflight_shed
+        ));
+        out.push_str(&format!("ladder: {}\n", self.ladder.to_json()));
+        out.push_str(if self.passed() {
+            "verdict: PASS"
+        } else {
+            "verdict: FAIL"
+        });
+        out
+    }
+}
+
+/// Calibrates one model's total datapath step count with a counting
+/// clock, so scripted cuts land mid-run.
+fn calibrate_steps(layers: &[QConvLayer], input: &QTensor3, session: &SecureSession) -> u64 {
+    let mut durable = DurableState::default();
+    let mut tracker = PadTracker::new();
+    let mut clock = CrashClock::counting();
+    let mut instruments = Instruments {
+        tracker: &mut tracker,
+        injector: None,
+        clock: Some(&mut clock),
+    };
+    let _ = infer_journaled(layers, input, session, &mut durable, &mut instruments);
+    clock.steps()
+}
+
+/// Runs the deterministic chaos campaign: a hardened scheduler serves
+/// `sessions` tenants while `⌊sessions/2⌋` seeded victims are hit by a
+/// per-tenant composition of the fault campaign's five fault kinds and
+/// the crash campaign's scripted power cuts — concurrently, from
+/// independent per-tenant splitmix streams. Oracles: every healthy
+/// tenant completes bit-identical to its solo `infer_journaled` run with
+/// zero deadline misses; every faulted tenant ends *recovered* (output
+/// bit-identical to its clean solo run) or *quarantined* (fail-closed) —
+/// never wedged in a classic abort; and the cross-session pad ledger
+/// stays collision-free across all retries, crashes, and quarantines.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_chaos_campaign(config: &ChaosCampaignConfig) -> ChaosCampaignReport {
+    let sessions = config.sessions.max(1);
+    let mut rng = config.seed;
+    let models = campaign_models();
+    let root = DeviceSecret::from_seed(splitmix(&mut rng));
+    let base_nonce = splitmix(&mut rng);
+    let backoff_seed = splitmix(&mut rng);
+    let fault_pick = splitmix(&mut rng);
+
+    let steps: Vec<u64> = models
+        .iter()
+        .map(|m| calibrate_steps(&m.layers, &m.input, &m.session))
+        .collect();
+
+    let max_inflight = usize::max(2, sessions as usize / 2 + 1);
+    let shift = models[0].session.shift;
+    let mut mgr = SessionManager::new(
+        root,
+        base_nonce,
+        shift,
+        RecoveryPolicy::default(),
+        max_inflight,
+    );
+    mgr.harden(RobustnessPolicy::hardened(), backoff_seed);
+
+    // Seeded choice of k < N chaos victims.
+    let k = (sessions / 2) as usize;
+    let mut victim = vec![false; sessions as usize];
+    let mut pick = fault_pick;
+    let mut chosen = 0;
+    while chosen < k {
+        let i = (splitmix(&mut pick) % u64::from(sessions)) as usize;
+        if !victim[i] {
+            victim[i] = true;
+            chosen += 1;
+        }
+    }
+
+    struct Plan {
+        tenant: u32,
+        model: usize,
+        faulted: bool,
+        faults: u32,
+        cuts: u32,
+    }
+    let shared: Vec<Arc<Vec<QConvLayer>>> =
+        models.iter().map(|m| Arc::new(m.layers.clone())).collect();
+    let mut plans = Vec::with_capacity(sessions as usize);
+    for tenant in 0..sessions {
+        // Independent per-tenant stream: tenants decorrelate while the
+        // campaign stays byte-identical per root seed.
+        let mut ts = {
+            let mut s = config.seed
+                ^ u64::from(tenant)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x0DDB_1A5E);
+            splitmix(&mut s)
+        };
+        let model = (splitmix(&mut ts) % models.len() as u64) as usize;
+        let arrival = splitmix(&mut ts) % u64::from(sessions);
+        let mut injector = None;
+        let mut crash_cuts = Vec::new();
+        let (mut faults, mut cuts) = (0u32, 0u32);
+        if victim[tenant as usize] {
+            // Compose the chaos mix: faults only, cuts only, or both.
+            let mode = splitmix(&mut ts) % 3;
+            if mode != 1 {
+                let n = 1 + (splitmix(&mut ts) % 2) as usize;
+                let mut specs = Vec::new();
+                while specs.len() < n {
+                    let kind =
+                        FaultKind::ALL[(splitmix(&mut ts) % FaultKind::ALL.len() as u64) as usize];
+                    let persistence = Persistence::ALL
+                        [(splitmix(&mut ts) % Persistence::ALL.len() as u64) as usize];
+                    let spec = FaultSpec {
+                        kind,
+                        persistence,
+                        layer: (splitmix(&mut ts) % models[model].layers.len() as u64) as u32,
+                        block: splitmix(&mut ts),
+                    };
+                    if spec.is_expressible() {
+                        specs.push(spec);
+                    }
+                }
+                faults = specs.len() as u32;
+                injector = Some(FaultInjector::new(splitmix(&mut ts), specs));
+            }
+            if mode != 0 {
+                let n = 1 + splitmix(&mut ts) % 2;
+                let total = steps[model].max(4);
+                for _ in 0..n {
+                    crash_cuts.push(1 + splitmix(&mut ts) % (total - 1));
+                    cuts += 1;
+                }
+            }
+        }
+        mgr.admit(AdmitSpec {
+            tenant,
+            name: models[model].name.to_string(),
+            layers: Arc::clone(&shared[model]),
+            input: models[model].input.clone(),
+            arrival_round: arrival,
+            injector,
+            // Generous fleet-wide budget: exercises the deadline
+            // bookkeeping without starving anyone — healthy tenants
+            // missing it is an oracle failure, not an expectation.
+            deadline_rounds: Some(4096),
+            crash_cuts,
+        });
+        plans.push(Plan {
+            tenant,
+            model,
+            faulted: victim[tenant as usize],
+            faults,
+            cuts,
+        });
+    }
+
+    // Clean solo references under the *same derived keys* — the
+    // bit-identity oracle for healthy and recovered tenants alike.
+    let mut references = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        let m = &models[plan.model];
+        let session = mgr.derived_session(plan.tenant);
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut instruments = Instruments {
+            tracker: &mut tracker,
+            injector: None,
+            clock: None,
+        };
+        let run = infer_journaled(
+            &m.layers,
+            &m.input,
+            &session,
+            &mut durable,
+            &mut instruments,
+        );
+        references.push(run.ok().map(|r| r.output));
+    }
+
+    let report = mgr.run();
+
+    let mut healthy_deadline_misses = 0u64;
+    let mut trials = Vec::with_capacity(plans.len());
+    for (plan, reference) in plans.iter().zip(&references) {
+        let outcome = report.outcomes.iter().find(|o| o.tenant == plan.tenant);
+        let (ok, detail) = match outcome {
+            None => (false, "tenant missing from report".to_string()),
+            Some(o) => {
+                if !plan.faulted && o.deadline_missed {
+                    healthy_deadline_misses += 1;
+                }
+                match (&o.verdict, plan.faulted) {
+                    // Completion — healthy or recovered — must be
+                    // bit-identical to the clean solo run.
+                    (SessionVerdict::Completed(run), _) => match reference {
+                        Some(expected) if run.output == *expected => (
+                            true,
+                            format!(
+                                "completed bit-identical to solo run \
+                                 (retries={} commits={})",
+                                o.retries, o.commits
+                            ),
+                        ),
+                        Some(_) => (
+                            false,
+                            "completed but output DIVERGED from solo run".to_string(),
+                        ),
+                        None => (false, "solo reference run failed".to_string()),
+                    },
+                    (SessionVerdict::Quarantined(q), true) => (
+                        true,
+                        format!(
+                            "quarantined fail-closed after {} retries: {}",
+                            q.retries, q.cause
+                        ),
+                    ),
+                    (SessionVerdict::Quarantined(q), false) => {
+                        (false, format!("healthy tenant QUARANTINED: {}", q.cause))
+                    }
+                    (SessionVerdict::Aborted(e), true) => {
+                        (false, format!("wedged in a classic abort: {e}"))
+                    }
+                    (SessionVerdict::Aborted(e), false) => {
+                        (false, format!("healthy session ABORTED: {e}"))
+                    }
+                }
+            }
+        };
+        trials.push(ChaosTrial {
+            tenant: plan.tenant,
+            model: models[plan.model].name,
+            faulted: plan.faulted,
+            faults: plan.faults,
+            cuts: plan.cuts,
+            ok,
+            detail,
+        });
+    }
+
+    ChaosCampaignReport {
+        seed: config.seed,
+        sessions,
+        trials,
+        rounds: report.rounds,
+        pads_issued: report.pads_issued,
+        pad_collisions: report.pad_collisions,
+        session_retries: report.session_retries,
+        deadline_misses: report.deadline_misses,
+        sessions_quarantined: report.sessions_quarantined,
+        inflight_shed: report.inflight_shed,
+        healthy_deadline_misses,
         ladder: report.ladder(),
         session_rows: report.session_rows,
     }
@@ -878,9 +1678,32 @@ mod tests {
                 input: m.input.clone(),
                 arrival_round: u64::from(t % 3),
                 injector: None,
+                deadline_rounds: None,
+                crash_cuts: Vec::new(),
             });
         }
         mgr
+    }
+
+    /// Admits one tenant with the robustness knobs defaulted off.
+    fn admit_plain(
+        mgr: &mut SessionManager,
+        tenant: u32,
+        model: &crate::journal::CampaignModel,
+        injector: Option<FaultInjector>,
+        deadline_rounds: Option<u64>,
+        crash_cuts: Vec<u64>,
+    ) {
+        mgr.admit(AdmitSpec {
+            tenant,
+            name: model.name.to_string(),
+            layers: Arc::new(model.layers.clone()),
+            input: model.input.clone(),
+            arrival_round: 0,
+            injector,
+            deadline_rounds,
+            crash_cuts,
+        });
     }
 
     #[test]
@@ -951,6 +1774,8 @@ mod tests {
                 input: m.input.clone(),
                 arrival_round: 0,
                 injector: None,
+                deadline_rounds: None,
+                crash_cuts: Vec::new(),
             });
         }
         let report = mgr.run();
@@ -1005,6 +1830,274 @@ mod tests {
             input: models[0].input.clone(),
             arrival_round: 0,
             injector: None,
+            deadline_rounds: None,
+            crash_cuts: Vec::new(),
         });
+    }
+
+    // -- robustness layer ---------------------------------------------------
+
+    use crate::retry::RetryPolicy;
+
+    fn hardened_manager(seed: u64, max_inflight: usize) -> SessionManager {
+        let models = campaign_models();
+        let mut mgr = SessionManager::new(
+            DeviceSecret::from_seed(seed),
+            seed ^ 0x5A5A,
+            models[0].session.shift,
+            RecoveryPolicy::default(),
+            max_inflight,
+        );
+        mgr.harden(RobustnessPolicy::hardened(), seed ^ 0xBAC0);
+        mgr
+    }
+
+    fn relentless(seed: u64) -> Option<FaultInjector> {
+        Some(FaultInjector::new(
+            seed,
+            vec![FaultSpec {
+                kind: FaultKind::BitFlip,
+                persistence: Persistence::Relentless,
+                layer: 0,
+                block: 0,
+            }],
+        ))
+    }
+
+    #[test]
+    fn retry_ceiling_quarantines_a_relentless_tenant() {
+        let models = campaign_models();
+        let mut mgr = hardened_manager(90, 4);
+        let healthy_session = mgr.derived_session(0);
+        admit_plain(&mut mgr, 0, &models[0], None, None, Vec::new());
+        admit_plain(&mut mgr, 1, &models[0], relentless(9), None, Vec::new());
+        let report = mgr.run();
+
+        assert_eq!(report.sessions_quarantined, 1);
+        let ceiling = RetryPolicy::hardened().max_session_retries;
+        assert_eq!(report.session_retries, u64::from(ceiling));
+        let faulted = report.outcomes.iter().find(|o| o.tenant == 1).unwrap();
+        match &faulted.verdict {
+            SessionVerdict::Quarantined(q) => {
+                assert!(
+                    matches!(q.cause, SecurityError::RetryCeilingExhausted { .. }),
+                    "wrong cause: {}",
+                    q.cause
+                );
+                assert_eq!(q.retries, ceiling);
+                assert!(
+                    !q.cause.is_breach(),
+                    "quarantine is an availability verdict"
+                );
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(
+            faulted.output().is_none(),
+            "no output after fail-closed seal"
+        );
+
+        // The co-resident healthy tenant is untouched: bit-identical to
+        // its solo run under the same derived keys.
+        let m = &models[0];
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut instruments = Instruments {
+            tracker: &mut tracker,
+            injector: None,
+            clock: None,
+        };
+        let solo = infer_journaled(
+            &m.layers,
+            &m.input,
+            &healthy_session,
+            &mut durable,
+            &mut instruments,
+        )
+        .expect("solo run completes");
+        let healthy = report.outcomes.iter().find(|o| o.tenant == 0).unwrap();
+        assert_eq!(healthy.output().expect("healthy completes"), &solo.output);
+        assert_eq!(report.pad_collisions, 0);
+    }
+
+    #[test]
+    fn a_crash_cut_session_retries_and_completes_bit_identical() {
+        let models = campaign_models();
+        let m = &models[0];
+        let cut = calibrate_steps(&m.layers, &m.input, &m.session) / 2;
+        let mut mgr = hardened_manager(91, 2);
+        let session = mgr.derived_session(0);
+        admit_plain(&mut mgr, 0, m, None, None, vec![cut]);
+        let report = mgr.run();
+
+        let o = &report.outcomes[0];
+        assert_eq!(o.retries, 1, "one journal re-admission after the cut");
+        assert_eq!(report.session_retries, 1);
+        assert_eq!(report.sessions_quarantined, 0);
+        let mut durable = DurableState::default();
+        let mut tracker = PadTracker::new();
+        let mut instruments = Instruments {
+            tracker: &mut tracker,
+            injector: None,
+            clock: None,
+        };
+        let solo = infer_journaled(
+            &m.layers,
+            &m.input,
+            &session,
+            &mut durable,
+            &mut instruments,
+        )
+        .expect("solo run completes");
+        assert_eq!(
+            o.output().expect("recovered session completes"),
+            &solo.output,
+            "recovered output must be bit-identical to the solo run"
+        );
+        // The retry resumed under a fresh epoch; the ledger saw every
+        // pad from both attempts and stayed collision-free.
+        assert_eq!(report.pad_collisions, 0);
+        assert!(
+            report.incidents.resumes() >= 1,
+            "the resume must be stitched into the audit trail"
+        );
+    }
+
+    #[test]
+    fn an_exceeded_deadline_budget_quarantines_fail_closed() {
+        let models = campaign_models();
+        let mut mgr = hardened_manager(92, 2);
+        admit_plain(&mut mgr, 0, &models[0], None, Some(0), Vec::new());
+        let report = mgr.run();
+
+        assert_eq!(report.deadline_misses, 1);
+        assert_eq!(report.sessions_quarantined, 1);
+        let o = &report.outcomes[0];
+        assert!(o.deadline_missed);
+        assert!(o.output().is_none());
+        assert!(
+            matches!(
+                &o.verdict,
+                SessionVerdict::Quarantined(q)
+                    if matches!(q.cause, SecurityError::DeadlineExceeded { .. })
+            ),
+            "expected a deadline quarantine, got {:?}",
+            o.verdict
+        );
+    }
+
+    #[test]
+    fn the_watchdog_quarantines_a_stalled_backoff_session() {
+        let models = campaign_models();
+        let m = &models[0];
+        let cut = calibrate_steps(&m.layers, &m.input, &m.session) / 2;
+        let mut mgr = SessionManager::new(
+            DeviceSecret::from_seed(94),
+            94 ^ 0x5A5A,
+            m.session.shift,
+            RecoveryPolicy::default(),
+            2,
+        );
+        // A backoff two orders of magnitude past the watchdog: the
+        // watchdog must quarantine long before the backoff expires.
+        mgr.harden(
+            RobustnessPolicy {
+                retry: RetryPolicy {
+                    base_backoff_rounds: 500,
+                    backoff_multiplier: 1,
+                    max_backoff_rounds: 1000,
+                    ..RetryPolicy::hardened()
+                },
+                watchdog_rounds: Some(5),
+                shedding: None,
+            },
+            7,
+        );
+        admit_plain(&mut mgr, 0, m, None, None, vec![cut]);
+        let report = mgr.run();
+
+        assert!(
+            report.rounds < 500,
+            "watchdog must fire before the backoff expires (ran {} rounds)",
+            report.rounds
+        );
+        assert!(
+            matches!(
+                &report.outcomes[0].verdict,
+                SessionVerdict::Quarantined(q)
+                    if matches!(q.cause, SecurityError::SessionStalled { .. })
+            ),
+            "expected a watchdog quarantine, got {:?}",
+            report.outcomes[0].verdict
+        );
+    }
+
+    #[test]
+    fn sustained_faults_shed_the_effective_admission_cap() {
+        let models = campaign_models();
+        let mut mgr = hardened_manager(93, 3);
+        mgr.harden(
+            RobustnessPolicy {
+                shedding: Some(SheddingPolicy {
+                    pressure_threshold: 2,
+                    min_inflight: 1,
+                    restore_after: 2,
+                }),
+                ..RobustnessPolicy::hardened()
+            },
+            93,
+        );
+        admit_plain(&mut mgr, 0, &models[0], relentless(5), None, Vec::new());
+        admit_plain(&mut mgr, 1, &models[0], None, None, Vec::new());
+        admit_plain(&mut mgr, 2, &models[1], None, None, Vec::new());
+        let report = mgr.run();
+
+        assert!(
+            report.inflight_shed >= 1,
+            "three failed attempts must shed at least one slot: {report:?}"
+        );
+        for t in [1u32, 2] {
+            let o = report.outcomes.iter().find(|o| o.tenant == t).unwrap();
+            assert!(
+                o.output().is_some(),
+                "healthy tenant {t} must complete despite shedding"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_campaign_passes_and_is_deterministic() {
+        let config = ChaosCampaignConfig {
+            seed: 11,
+            sessions: 4,
+        };
+        let a = run_chaos_campaign(&config);
+        assert!(a.passed(), "{}", a.summary());
+        let b = run_chaos_campaign(&config);
+        assert_eq!(
+            a.summary(),
+            b.summary(),
+            "chaos summary must be byte-identical per seed"
+        );
+        assert_eq!(
+            a.trials.iter().filter(|t| t.faulted).count(),
+            2,
+            "⌊4/2⌋ seeded victims"
+        );
+        assert!(
+            a.trials.iter().any(|t| !t.faulted),
+            "healthy tenants must co-exist with the chaos set"
+        );
+    }
+
+    #[test]
+    fn single_session_chaos_campaign_is_fault_free() {
+        let report = run_chaos_campaign(&ChaosCampaignConfig {
+            seed: 5,
+            sessions: 1,
+        });
+        assert!(report.passed(), "{}", report.summary());
+        assert!(report.trials.iter().all(|t| !t.faulted));
+        assert_eq!(report.sessions_quarantined, 0);
     }
 }

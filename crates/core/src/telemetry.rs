@@ -93,11 +93,23 @@ pub enum Counter {
     /// Tenant sessions terminated through the fail-closed per-session
     /// abort path (tamper/crash verdicts isolated to one tenant).
     SessionAborts,
+    /// Scheduler-level session retries: a failed layer step (ladder
+    /// exhaustion or power cut) re-admitted from the journal under a
+    /// fresh nonce epoch after a backoff.
+    SessionRetries,
+    /// Tenants that exceeded their per-tenant round budget.
+    DeadlineMisses,
+    /// Tenants quarantined fail-closed (retry ceiling, deadline, or
+    /// watchdog) — journal sealed, pads never reissued.
+    SessionsQuarantined,
+    /// Admission slots shed by the scheduler's degradation rule under
+    /// sustained fault pressure.
+    InflightShed,
 }
 
 impl Counter {
     /// Every counter, in registry (and serialization) order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 27] = [
         Counter::SealBatches,
         Counter::SealBlocks,
         Counter::OpenBatches,
@@ -121,6 +133,10 @@ impl Counter {
         Counter::SessionsActive,
         Counter::SessionsCompleted,
         Counter::SessionAborts,
+        Counter::SessionRetries,
+        Counter::DeadlineMisses,
+        Counter::SessionsQuarantined,
+        Counter::InflightShed,
     ];
 
     /// Stable snake_case name used in every sink format.
@@ -150,6 +166,10 @@ impl Counter {
             Counter::SessionsActive => "sessions_active",
             Counter::SessionsCompleted => "sessions_completed",
             Counter::SessionAborts => "session_aborts",
+            Counter::SessionRetries => "session_retries",
+            Counter::DeadlineMisses => "deadline_misses",
+            Counter::SessionsQuarantined => "sessions_quarantined",
+            Counter::InflightShed => "inflight_shed",
         }
     }
 }

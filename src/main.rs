@@ -17,9 +17,9 @@ use seculator::core::secure_infer::Instruments;
 use seculator::core::storage::table7_rows;
 use seculator::core::telemetry;
 use seculator::core::{
-    campaign_models, infer_journaled, run_campaign, run_crash_campaign, run_serve_campaign, Attack,
-    CampaignConfig, CrashCampaignConfig, DurableState, FunctionalNpu, PadTracker, SchemeKind,
-    ServeCampaignConfig, TimingNpu,
+    campaign_models, infer_journaled, run_campaign, run_chaos_campaign, run_crash_campaign,
+    run_serve_campaign, Attack, CampaignConfig, ChaosCampaignConfig, CrashCampaignConfig,
+    DurableState, FunctionalNpu, PadTracker, SchemeKind, ServeCampaignConfig, TimingNpu,
 };
 use seculator::crypto::DeviceSecret;
 use seculator::models::{zoo, Network};
@@ -36,6 +36,7 @@ fn usage() -> ! {
            fault-campaign [--seed N --faults K]        seeded fault-injection sweep\n\
            crash-campaign [--seed N --cuts K]          seeded power-loss + resume sweep\n\
            serve-campaign [--seed N --sessions K]      multi-session scheduler + isolation sweep\n\
+           chaos-campaign [--seed N --sessions K]      faults × power cuts across concurrent tenants\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
            describe --network <name>                   per-layer mapped loop nests\n\
            stats    [--format json|prom]               telemetry snapshot of a fixed workload\n\n\
@@ -367,6 +368,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cfg.seed, cfg.sessions
             );
             let report = run_serve_campaign(&cfg);
+            println!("{}", report.summary());
+            if let Some(path) = metrics_path.as_deref() {
+                // Per-session seal/open/mac_fold/journal rows ride along
+                // in the snapshot's `layers` array, keyed by tenant id.
+                let mut snap = telemetry::snapshot();
+                snap.layers = report.session_rows.clone();
+                if let Err(e) = std::fs::write(path, snap.to_json()) {
+                    eprintln!("cannot write --metrics file `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+            if !report.passed() {
+                std::process::exit(1);
+            }
+            return Ok(());
+        }
+        "chaos-campaign" => {
+            let cfg = ChaosCampaignConfig {
+                seed: num_opt(&args, "--seed", 42),
+                sessions: num_opt(&args, "--sessions", 8) as u32,
+            };
+            println!(
+                "chaos campaign: seed {} / {} sessions\n",
+                cfg.seed, cfg.sessions
+            );
+            let report = run_chaos_campaign(&cfg);
             println!("{}", report.summary());
             if let Some(path) = metrics_path.as_deref() {
                 // Per-session seal/open/mac_fold/journal rows ride along

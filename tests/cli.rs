@@ -116,7 +116,12 @@ fn crash_campaign_subcommand_passes_and_is_deterministic() {
 /// passing (exit 0) run.
 #[test]
 fn campaigns_share_the_exit_code_contract() {
-    for campaign in ["fault-campaign", "crash-campaign", "serve-campaign"] {
+    for campaign in [
+        "fault-campaign",
+        "crash-campaign",
+        "serve-campaign",
+        "chaos-campaign",
+    ] {
         let (code, _, stderr) = run_code(&[campaign, "--seed", "not-a-number"]);
         assert_eq!(code, Some(2), "{campaign}: bad --seed is a usage error");
         assert!(stderr.contains("invalid value for --seed"), "{stderr}");
@@ -341,11 +346,12 @@ fn threads_flag_beats_the_environment() {
 /// accepts `--metrics` shares the diagnostic, campaigns included.
 #[test]
 fn unwritable_metrics_path_is_a_usage_error() {
-    let cases: [&[&str]; 4] = [
+    let cases: [&[&str]; 5] = [
         &["stats"],
         &["fault-campaign", "--seed", "3", "--faults", "2"],
         &["crash-campaign", "--seed", "5", "--cuts", "2"],
         &["serve-campaign", "--seed", "7", "--sessions", "2"],
+        &["chaos-campaign", "--seed", "3", "--sessions", "2"],
     ];
     for case in cases {
         let mut args = case.to_vec();
@@ -444,6 +450,104 @@ fn serve_campaign_metrics_counters_match_the_printed_report() {
         assert!(
             metrics.contains(&format!("\"layer\": {tenant}")),
             "missing tenant {tenant} row: {metrics}"
+        );
+    }
+}
+
+/// The chaos campaign composes DRAM faults and scripted power cuts
+/// across concurrent tenants and must stay byte-identical per seed —
+/// retry backoff, load shedding, and quarantine decisions included. A
+/// faulted tenant is either recovered (bit-identical) or quarantined,
+/// never wedged, so the verdict is PASS.
+#[test]
+fn chaos_campaign_subcommand_passes_and_is_deterministic() {
+    let args = ["chaos-campaign", "--seed", "42", "--sessions", "6"];
+    let (code, stdout, _) = run_code(&args);
+    assert_eq!(
+        code,
+        Some(0),
+        "chaos campaign must exit 0 on PASS: {stdout}"
+    );
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    assert!(
+        stdout.contains("cross-session collisions: 0"),
+        "no pad is ever reused across retries or sessions: {stdout}"
+    );
+    assert!(
+        stdout.contains("[chaos:"),
+        "chaos must actually target tenants: {stdout}"
+    );
+    assert!(
+        stdout.contains("robustness: {"),
+        "machine-readable robustness summary present: {stdout}"
+    );
+    let (_, again, _) = run_code(&args);
+    assert_eq!(stdout, again, "same seed must be byte-identical");
+    let (_, other, _) = run_code(&["chaos-campaign", "--seed", "43", "--sessions", "6"]);
+    assert_ne!(stdout, other, "different seed, different storm");
+}
+
+/// The chaos campaign's `--metrics` snapshot must agree *exactly* with
+/// the robustness line it prints: the four fleet-robustness counters
+/// (`session_retries`, `deadline_misses`, `sessions_quarantined`,
+/// `inflight_shed`) are fed by the same scheduler paths that build the
+/// report, so any divergence means a retry, miss, quarantine, or shed
+/// slot was double- or under-counted.
+#[test]
+fn chaos_campaign_metrics_counters_match_the_robustness_line() {
+    let path = scratch("chaos.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (code, stdout, _) = run_code(&[
+        "chaos-campaign",
+        "--seed",
+        "42",
+        "--sessions",
+        "8",
+        "--metrics",
+        path_s,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        metrics.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{metrics}"
+    );
+    if !cfg!(feature = "telemetry") {
+        assert!(metrics.contains("\"enabled\": false"), "{metrics}");
+        return;
+    }
+    let robustness_at = stdout
+        .find("robustness: ")
+        .expect("robustness line in campaign output");
+    let robustness = &stdout[robustness_at..];
+    for counter in [
+        "session_retries",
+        "deadline_misses",
+        "sessions_quarantined",
+        "inflight_shed",
+    ] {
+        assert_eq!(
+            json_u64(&metrics, counter),
+            json_u64(robustness, counter),
+            "telemetry `{counter}` diverged from the campaign report\n{metrics}\n{robustness}"
+        );
+    }
+    // This seed's storm must actually exercise the robustness layer.
+    assert!(
+        json_u64(&metrics, "session_retries") > 0,
+        "campaign must grant session retries: {stdout}"
+    );
+    // The in-layer ladder still flows through the shared incident funnel.
+    let ladder_at = stdout
+        .find("ladder: ")
+        .expect("ladder line in campaign output");
+    let ladder = &stdout[ladder_at..];
+    for counter in ["refetches", "reexecutions", "resumes"] {
+        assert_eq!(
+            json_u64(&metrics, counter),
+            json_u64(ladder, counter),
+            "telemetry `{counter}` diverged from the campaign ladder\n{metrics}\n{ladder}"
         );
     }
 }

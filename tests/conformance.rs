@@ -128,6 +128,136 @@ fn every_zoo_model_survives_a_mid_run_cut_bit_identically() {
     }
 }
 
+/// The sixth datapath: inference scheduled by the chaos-hardened
+/// multi-session scheduler. A healthy tenant co-resident with a
+/// relentless DRAM adversary (driven into quarantine) and a crash-cut
+/// tenant (recovered through a session retry) must still be
+/// bit-identical to both its solo journaled run and the plaintext
+/// reference — retry backoff, load shedding, and quarantine must never
+/// perturb a neighbouring session's arithmetic.
+#[test]
+fn chaos_scheduled_healthy_tenants_match_their_solo_runs() {
+    use seculator::core::{
+        AdmitSpec, FaultInjector, FaultKind, FaultSpec, Persistence, RobustnessPolicy,
+        SecurityError, SessionManager, SessionVerdict,
+    };
+    use seculator::crypto::DeviceSecret;
+    use std::sync::Arc;
+
+    let models = campaign_models();
+    for seed in [7u64, 11] {
+        let m = &models[seed as usize % models.len()];
+        let expected = infer_plain(&m.layers, &m.input, m.session.shift);
+
+        // Calibrate a mid-run cut for the crash-cut co-resident.
+        let mut counting = CrashClock::counting();
+        infer_journaled(
+            &m.layers,
+            &m.input,
+            &m.session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: Some(&mut counting),
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: calibration run failed: {e}", m.name));
+        let cut = counting.steps() / 2;
+
+        let mut mgr = SessionManager::new(
+            DeviceSecret::from_seed(seed),
+            seed ^ 0x5eed,
+            m.session.shift,
+            m.session.policy,
+            3,
+        );
+        mgr.harden(RobustnessPolicy::hardened(), seed ^ 0xF00D);
+        let healthy_session = mgr.derived_session(0);
+        let shared = Arc::new(m.layers.clone());
+        let mut admit = |tenant: u32, injector: Option<FaultInjector>, crash_cuts: Vec<u64>| {
+            mgr.admit(AdmitSpec {
+                tenant,
+                name: m.name.to_string(),
+                layers: Arc::clone(&shared),
+                input: m.input.clone(),
+                arrival_round: 0,
+                injector,
+                deadline_rounds: None,
+                crash_cuts,
+            });
+        };
+        admit(0, None, Vec::new());
+        admit(
+            1,
+            Some(FaultInjector::new(
+                seed ^ 0xbad,
+                vec![FaultSpec {
+                    kind: FaultKind::BitFlip,
+                    persistence: Persistence::Relentless,
+                    layer: 0,
+                    block: 0,
+                }],
+            )),
+            Vec::new(),
+        );
+        admit(2, None, vec![cut]);
+        let report = mgr.run();
+
+        assert_eq!(report.pad_collisions, 0, "seed {seed}: pad reuse");
+        let healthy = report.outcomes.iter().find(|o| o.tenant == 0).unwrap();
+        let out = healthy
+            .output()
+            .unwrap_or_else(|| panic!("seed {seed}: healthy tenant must complete"));
+        assert_eq!(
+            out, &expected,
+            "seed {seed}: chaos-scheduled output diverged from the plaintext reference"
+        );
+        let solo = infer_journaled(
+            &m.layers,
+            &m.input,
+            &healthy_session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: solo run failed: {e}"));
+        assert_eq!(
+            out, &solo.output,
+            "seed {seed}: chaos-scheduled output diverged from the solo journaled run"
+        );
+
+        // The co-residents really did take their failure paths.
+        let victim = report.outcomes.iter().find(|o| o.tenant == 1).unwrap();
+        assert!(
+            matches!(
+                &victim.verdict,
+                SessionVerdict::Quarantined(q)
+                    if matches!(q.cause, SecurityError::RetryCeilingExhausted { .. })
+            ),
+            "seed {seed}: relentless co-resident must quarantine, got {:?}",
+            victim.verdict
+        );
+        let cut_tenant = report.outcomes.iter().find(|o| o.tenant == 2).unwrap();
+        assert!(
+            matches!(&cut_tenant.verdict, SessionVerdict::Completed(_)),
+            "seed {seed}: crash-cut co-resident must recover, got {:?}",
+            cut_tenant.verdict
+        );
+        assert!(
+            cut_tenant.retries >= 1,
+            "seed {seed}: recovery must flow through a session retry"
+        );
+        assert_eq!(
+            out, &expected,
+            "seed {seed}: neighbours' chaos leaked into the healthy output"
+        );
+    }
+}
+
 /// Master-equation conformance: for a real mapped network, the
 /// tile-version sequence the trace observes at every layer equals the
 /// ⟨η, κ, ρ⟩ expansion produced by the hardware [`PatternCounter`] FSM —

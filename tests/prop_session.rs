@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use seculator::core::journal::{campaign_models, DurableState, PadTracker};
 use seculator::core::secure_infer::Instruments;
 use seculator::core::{
-    infer_journaled, AdmitSpec, FaultInjector, FaultKind, FaultSpec, JournaledError, Persistence,
-    SessionManager, SessionVerdict,
+    infer_journaled, AdmitSpec, CrashClock, FaultInjector, FaultKind, FaultSpec, JournaledError,
+    Persistence, RobustnessPolicy, SecurityError, SessionManager, SessionVerdict,
 };
 use seculator::crypto::DeviceSecret;
 use std::sync::Arc;
@@ -41,6 +41,8 @@ fn zoo_manager(
             input: models[pick].input.clone(),
             arrival_round: arrivals[t as usize % arrivals.len()],
             injector: None,
+            deadline_rounds: None,
+            crash_cuts: Vec::new(),
         });
         picks.push(pick);
     }
@@ -162,6 +164,8 @@ proptest! {
                 input: models[pick].input.clone(),
                 arrival_round: arrivals[t as usize % arrivals.len()],
                 injector,
+                deadline_rounds: None,
+                crash_cuts: Vec::new(),
             });
         }
         let report = tampered.run();
@@ -179,6 +183,11 @@ proptest! {
                         false,
                         "a relentless bit-flipper must not verify"
                     ),
+                    SessionVerdict::Quarantined(q) => prop_assert!(
+                        false,
+                        "classic policy must abort, not quarantine: {}",
+                        q.cause
+                    ),
                 }
             } else {
                 let out = o.output().expect("untampered tenants complete");
@@ -191,5 +200,150 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// Negative property of the retry path: a session retried after a
+/// mid-run failure resumes under a *bumped nonce epoch* and never reuses
+/// a CTR pad — the cross-session [`seculator::core::PadLedger`] stays
+/// collision-free through a retry storm that mixes a crash-cut tenant, a
+/// relentless-fault tenant driven into quarantine, and a healthy
+/// bystander.
+#[test]
+fn retry_storms_never_reuse_a_ctr_pad() {
+    let models = campaign_models();
+    for seed in [21u64, 22, 23] {
+        let m = &models[seed as usize % models.len()];
+        // Calibrate a mid-run cut for the crash-cut tenant.
+        let steps = {
+            let mut clock = CrashClock::counting();
+            let mut tracker = PadTracker::new();
+            let _ = infer_journaled(
+                &m.layers,
+                &m.input,
+                &m.session,
+                &mut DurableState::default(),
+                &mut Instruments {
+                    tracker: &mut tracker,
+                    injector: None,
+                    clock: Some(&mut clock),
+                },
+            );
+            clock.steps()
+        };
+        let mut mgr = SessionManager::new(
+            DeviceSecret::from_seed(seed),
+            seed ^ 0x5eed,
+            m.session.shift,
+            m.session.policy,
+            3,
+        );
+        mgr.harden(RobustnessPolicy::hardened(), seed ^ 0xF00D);
+        let retried_session = mgr.derived_session(0);
+        let shared = Arc::new(m.layers.clone());
+        let admit = |mgr: &mut SessionManager,
+                     tenant: u32,
+                     injector: Option<FaultInjector>,
+                     crash_cuts: Vec<u64>| {
+            mgr.admit(AdmitSpec {
+                tenant,
+                name: m.name.to_string(),
+                layers: Arc::clone(&shared),
+                input: m.input.clone(),
+                arrival_round: 0,
+                injector,
+                deadline_rounds: None,
+                crash_cuts,
+            });
+        };
+        admit(&mut mgr, 0, None, vec![steps / 2]);
+        admit(
+            &mut mgr,
+            1,
+            Some(FaultInjector::new(
+                seed ^ 0xbad,
+                vec![FaultSpec {
+                    kind: FaultKind::BitFlip,
+                    persistence: Persistence::Relentless,
+                    layer: 0,
+                    block: 0,
+                }],
+            )),
+            Vec::new(),
+        );
+        admit(&mut mgr, 2, None, Vec::new());
+        let healthy_session = mgr.derived_session(2);
+        let report = mgr.run();
+
+        // The storm's core invariant: zero pad reuse across every
+        // attempt of every tenant.
+        assert_eq!(
+            report.pad_collisions, 0,
+            "seed {seed}: a CTR pad was reused under the retry storm"
+        );
+
+        // The crash-cut tenant recovered via a session retry under a
+        // bumped epoch.
+        let retried = report.outcomes.iter().find(|o| o.tenant == 0).unwrap();
+        assert_eq!(retried.retries, 1, "seed {seed}: expected one retry");
+        match &retried.verdict {
+            SessionVerdict::Completed(run) => {
+                assert!(
+                    run.epoch >= 1,
+                    "seed {seed}: the resumed attempt must run under a bumped nonce epoch"
+                );
+                let mut tracker = PadTracker::new();
+                let solo = infer_journaled(
+                    &m.layers,
+                    &m.input,
+                    &retried_session,
+                    &mut DurableState::default(),
+                    &mut Instruments {
+                        tracker: &mut tracker,
+                        injector: None,
+                        clock: None,
+                    },
+                )
+                .expect("solo run completes");
+                assert_eq!(
+                    run.output, solo.output,
+                    "seed {seed}: recovered output must be bit-identical to the solo run"
+                );
+            }
+            other => panic!("seed {seed}: crash-cut tenant must recover, got {other:?}"),
+        }
+
+        // The relentless tenant is driven into quarantine, not wedged.
+        let quarantined = report.outcomes.iter().find(|o| o.tenant == 1).unwrap();
+        assert!(
+            matches!(
+                &quarantined.verdict,
+                SessionVerdict::Quarantined(q)
+                    if matches!(q.cause, SecurityError::RetryCeilingExhausted { .. })
+            ),
+            "seed {seed}: relentless tenant must hit the retry ceiling, got {:?}",
+            quarantined.verdict
+        );
+
+        // The healthy bystander is untouched by either storm.
+        let healthy = report.outcomes.iter().find(|o| o.tenant == 2).unwrap();
+        let mut tracker = PadTracker::new();
+        let solo = infer_journaled(
+            &m.layers,
+            &m.input,
+            &healthy_session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut tracker,
+                injector: None,
+                clock: None,
+            },
+        )
+        .expect("solo run completes");
+        assert_eq!(
+            healthy.output().expect("healthy bystander completes"),
+            &solo.output,
+            "seed {seed}: bystander perturbed by the retry storm"
+        );
     }
 }

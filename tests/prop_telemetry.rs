@@ -4,10 +4,28 @@
 //!
 //! The registry is one process-global; each `#[test]` below therefore
 //! uses a *disjoint* set of counters/histograms so the exact-delta
-//! assertions cannot race each other inside this test binary.
+//! assertions cannot race each other inside this test binary — except
+//! the chaos-conservation test, which drives the full scheduler and
+//! touches nearly every counter, so every exact-delta region also
+//! serializes on one shared lock.
 
 use proptest::prelude::*;
 use seculator::core::telemetry::{self, Counter, Hist};
+use std::sync::Mutex;
+
+/// Serializes every exact-delta region in this binary. Disjoint counter
+/// sets alone stopped being enough once the chaos campaign (which bumps
+/// pads, epochs, detections, AES/MAC and the robustness family all at
+/// once) joined the suite.
+static EXACT_DELTA: Mutex<()> = Mutex::new(());
+
+/// Takes the shared lock, surviving a poisoned mutex (a prior test
+/// panicking while recording must not cascade into every other test).
+fn exact_delta_guard() -> std::sync::MutexGuard<'static, ()> {
+    EXACT_DELTA
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Whether the binary was compiled with recording on. When the feature
 /// is off every `add`/`observe` is a no-op and every read returns 0 —
@@ -28,6 +46,7 @@ proptest! {
         // test below owns the seal/open/MAC counters).
         const MINE: [Counter; 3] =
             [Counter::TornTailRepairs, Counter::EpochBumps, Counter::PadsIssued];
+        let _guard = exact_delta_guard();
         let start: Vec<u64> = MINE.iter().map(|&c| telemetry::get(c)).collect();
         let mut applied = [0u64; 3];
         for &(which, n) in &amounts {
@@ -52,7 +71,9 @@ proptest! {
         ns in prop::collection::vec(0u64..1_000_000_000, 1..40),
     ) {
         // Hist::JournalReplayNs is exercised only by this test in this
-        // binary (the datapath test feeds the seal/open histograms).
+        // binary (the datapath test feeds the seal/open histograms) —
+        // but the chaos test replays journals too, hence the lock.
+        let _guard = exact_delta_guard();
         let before = snapshot_hist("journal_replay_ns");
         for &v in &ns {
             telemetry::observe(Hist::JournalReplayNs, v);
@@ -85,7 +106,9 @@ fn snapshot_hist(name: &str) -> (u64, u64, u64) {
 fn concurrent_increments_lose_nothing() {
     const THREADS: usize = 4;
     const PER_THREAD: u64 = 10_000;
-    // Counter::Detections is exercised only by this test in this binary.
+    // Counter::Detections is otherwise quiescent here, but the chaos
+    // test's ladder and quarantines feed it too.
+    let _guard = exact_delta_guard();
     let before = telemetry::get(Counter::Detections);
     std::thread::scope(|s| {
         for _ in 0..THREADS {
@@ -102,6 +125,58 @@ fn concurrent_increments_lose_nothing() {
         0
     };
     assert_eq!(telemetry::get(Counter::Detections), expect);
+}
+
+/// Fleet-robustness conservation: across one chaos campaign the four
+/// robustness counters grow by *exactly* what the campaign report
+/// claims — every scheduler retry, deadline miss, quarantine, and shed
+/// admission slot is counted once in both places, because the scheduler
+/// bumps the counter at the same point it builds the report. With the
+/// feature off the counters stay 0 while the report still carries the
+/// true tallies.
+#[test]
+fn chaos_robustness_counters_are_conserved() {
+    use seculator::core::{run_chaos_campaign, ChaosCampaignConfig};
+
+    const ROBUST: [Counter; 4] = [
+        Counter::SessionRetries,
+        Counter::DeadlineMisses,
+        Counter::SessionsQuarantined,
+        Counter::InflightShed,
+    ];
+    let _guard = exact_delta_guard();
+    let before: Vec<u64> = ROBUST.iter().map(|&c| telemetry::get(c)).collect();
+    let report = run_chaos_campaign(&ChaosCampaignConfig {
+        seed: 42,
+        sessions: 8,
+    });
+    assert!(
+        report.passed(),
+        "chaos campaign fails:\n{}",
+        report.summary()
+    );
+    let claimed = [
+        report.session_retries,
+        report.deadline_misses,
+        report.sessions_quarantined,
+        report.inflight_shed,
+    ];
+    for (i, &c) in ROBUST.iter().enumerate() {
+        let want = if ENABLED { before[i] + claimed[i] } else { 0 };
+        assert_eq!(
+            telemetry::get(c),
+            want,
+            "`{}` diverged from the campaign report\n{}",
+            c.name(),
+            report.summary()
+        );
+    }
+    // The storm must actually exercise the layer being conserved.
+    assert!(
+        report.session_retries > 0 && report.sessions_quarantined > 0,
+        "seed 42 must drive retries and quarantines:\n{}",
+        report.summary()
+    );
 }
 
 /// End-to-end: the counters the datapath feeds agree exactly with the
@@ -122,8 +197,9 @@ fn datapath_counters_match_the_work_done() {
         .collect();
     let blocks = vec![[0x5Au8; 64]; coords.len()];
 
-    // MacBlocks and the per-mode AES counters are exercised only by this
-    // test in this binary.
+    // MacBlocks and the per-mode AES counters are also fed by the chaos
+    // test's full datapath runs.
+    let _guard = exact_delta_guard();
     let serial_before = telemetry::get(Counter::AesBlocksSerial);
     let parallel_before = telemetry::get(Counter::AesBlocksParallel);
     let mac_before = telemetry::get(Counter::MacBlocks);
