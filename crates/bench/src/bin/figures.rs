@@ -841,11 +841,13 @@ fn best_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
     best
 }
 
-/// Writes a benchmark artifact, exiting with a distinct diagnostic on
-/// failure instead of a panic backtrace (an unwritable path is an
+/// Writes a benchmark artifact atomically (temp + fsync + rename), so a
+/// crash mid-write can never leave a torn half-artifact where CI or a
+/// dashboard expects a complete one. Exits with a distinct diagnostic
+/// on failure instead of a panic backtrace (an unwritable path is an
 /// environment problem, not a bug).
 fn write_or_die(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
+    if let Err(e) = seculator_core::atomic_write(std::path::Path::new(path), contents.as_bytes()) {
         eprintln!("cannot write `{path}`: {e}");
         std::process::exit(2);
     }

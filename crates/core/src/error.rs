@@ -130,6 +130,27 @@ pub enum SecurityError {
         /// Rounds since the tenant's last layer commit.
         stalled_rounds: u64,
     },
+    /// A durable on-disk file violated its CRC'd framing: a complete
+    /// frame whose checksum does not match, a bad file magic, or a
+    /// malformed length prefix. This is the *accidental-corruption*
+    /// class (bit-rot, misdirected write): the integrity tag was never
+    /// even checked, so no tamper verdict is implied — but the file is
+    /// unusable and the open must fail closed rather than guess.
+    DurableCorruption {
+        /// Which durable file failed (`"journal"`, `"ledger"`, ...).
+        file: &'static str,
+        /// Zero-based index of the offending frame within the file.
+        frame: u32,
+    },
+    /// A durable on-disk file passed its CRC framing but failed its
+    /// device-secret-bound integrity tag: the bytes were written
+    /// deliberately (the checksum is consistent) yet were not produced
+    /// under this session's key — the attacker-owned-storage tamper
+    /// class. Must never be repaired or skipped.
+    DurableTamper {
+        /// Which durable file failed (`"manifest"`, `"ledger"`, ...).
+        file: &'static str,
+    },
 }
 
 impl SecurityError {
@@ -147,6 +168,7 @@ impl SecurityError {
                 | Self::JournalIntegrity { .. }
                 | Self::PatternResumeOutOfRange { .. }
                 | Self::CounterReuse { .. }
+                | Self::DurableTamper { .. }
         )
     }
 }
@@ -235,6 +257,16 @@ impl std::fmt::Display for SecurityError {
                 "tenant {tenant} made no progress for {stalled_rounds} rounds; \
                  watchdog quarantined the session"
             ),
+            Self::DurableCorruption { file, frame } => write!(
+                f,
+                "durable {file} file frame {frame} failed its CRC framing \
+                 (accidental corruption); open refused"
+            ),
+            Self::DurableTamper { file } => write!(
+                f,
+                "durable {file} file failed its sealed integrity tag \
+                 (tamper); open refused"
+            ),
         }
     }
 }
@@ -295,6 +327,14 @@ mod tests {
             structure: "mac cache"
         }
         .is_breach());
+        // CRC violations are accidents: fail closed, but no tamper
+        // verdict. Tag violations under a consistent CRC are deliberate.
+        assert!(!SecurityError::DurableCorruption {
+            file: "journal",
+            frame: 4
+        }
+        .is_breach());
+        assert!(SecurityError::DurableTamper { file: "ledger" }.is_breach());
     }
 
     #[test]

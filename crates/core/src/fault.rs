@@ -394,11 +394,15 @@ pub enum CrashPhase {
     /// Re-verifying a journaled commit during crash recovery (a crash
     /// here is a crash *during recovery*).
     ResumeVerify,
+    /// Persisting committed state to durable storage (snapshot write,
+    /// journal-file append, ledger checkpoint). A cut here leaves a torn
+    /// file tail or a stale-but-atomic snapshot on disk.
+    Checkpoint,
 }
 
 impl CrashPhase {
     /// All phases.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 8] = [
         Self::Compute,
         Self::PartialEvict,
         Self::ReadBack,
@@ -406,6 +410,7 @@ impl CrashPhase {
         Self::Consume,
         Self::JournalAppend,
         Self::ResumeVerify,
+        Self::Checkpoint,
     ];
 
     /// Display name.
@@ -419,6 +424,7 @@ impl CrashPhase {
             Self::Consume => "consume",
             Self::JournalAppend => "journal-append",
             Self::ResumeVerify => "resume-verify",
+            Self::Checkpoint => "checkpoint",
         }
     }
 }

@@ -357,6 +357,21 @@ impl JournalStore {
         self.bytes.is_empty()
     }
 
+    /// Raw media bytes (including any torn tail) — the unit the durable
+    /// layer frames and persists.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reconstructs a store from raw media bytes read back off durable
+    /// storage. No authentication happens here; [`JournalStore::replay`]
+    /// and [`JournalStore::repair`] classify the contents.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self { bytes }
+    }
+
     /// Appends one sealed record in [`APPEND_CHUNK`]-byte beats, ticking
     /// `clock` before each beat — an armed clock can therefore cut the
     /// append mid-record, leaving a torn tail exactly as a real power
@@ -506,6 +521,15 @@ impl PadTracker {
     /// session the tracker itself already fails closed on reuse).
     pub fn issued(&self) -> impl Iterator<Item = &(u32, BlockCoords)> {
         self.seen.iter()
+    }
+
+    /// Reseeds the oracle with a pad recorded by an *earlier process
+    /// life* (read back from the persisted ledger checkpoint). Returns
+    /// `false` when the pad was already present — a corrupt ledger
+    /// claiming duplicate pads. No telemetry: these pads were counted
+    /// when first issued.
+    pub fn preload(&mut self, epoch: u32, coords: BlockCoords) -> bool {
+        self.seen.insert((epoch, coords))
     }
 }
 

@@ -13,6 +13,7 @@
 pub mod audit;
 pub mod command;
 pub mod detection;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -41,6 +42,13 @@ pub use audit::{
 };
 pub use command::{AuthenticatedCommand, Command, CommandError, HostChannel, NpuCommandProcessor};
 pub use detection::{detection_latency, DetectionLatency, RecoveryCost, RecoveryModel};
+pub use durable::{
+    assemble_frames, atomic_write, audit_home, crc32, output_digest, run_persistent,
+    run_restart_vfs_campaign, scan_frames, tamper_frame_fix_crc, DurableError, DurableHome,
+    FaultVfs, FrameScan, HomeAudit, OpenedHome, PersistentOutcome, PersistentStats,
+    RestartCampaignConfig, RestartTrial, RestartVariant, RestartVfsReport, StdVfs, Vfs, VfsFault,
+    VfsFaultKind, DRAM_FILE, FILE_MAGIC, JOURNAL_FILE, LEDGER_FILE, MANIFEST_FILE,
+};
 pub use engine::{make_engine, SchemeKind, SchemeTiming, TileSecurityCost};
 pub use error::SecurityError;
 pub use fault::{
@@ -61,7 +69,7 @@ pub use pipeline::{
     amortization_curve, run_batch, run_batch_under_attack, BatchStats, HostileBatchStats,
     PipelineConfig,
 };
-pub use retry::{RetryPolicy, RobustnessPolicy, SheddingPolicy};
+pub use retry::{RestartPolicy, RetryPolicy, RobustnessPolicy, SheddingPolicy};
 pub use secure_infer::{
     infer_journaled, infer_plain, infer_protected, infer_protected_mode, infer_resilient,
     infer_resume, AbortReport, InferError, Instruments, JournaledError, JournaledRun, QConvLayer,

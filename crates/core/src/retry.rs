@@ -151,6 +151,25 @@ impl Default for SheddingPolicy {
     }
 }
 
+/// Process-level restart bounds for the durable persistence layer: how
+/// many times a driver may reopen a [`crate::durable::DurableHome`] and
+/// resume after a process death or an injected storage fault before it
+/// declares the home wedged. Security verdicts are *never* retried —
+/// this bounds only the availability loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Maximum reopen-and-resume attempts per inference.
+    pub max_process_resumes: u32,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            max_process_resumes: 8,
+        }
+    }
+}
+
 /// The fleet-level robustness configuration of one
 /// [`crate::session::SessionManager`]: the shared retry policy, the
 /// stuck-session watchdog, and the load-shedding rule. Per-tenant

@@ -835,6 +835,16 @@ impl JournaledCursor {
         self.commits
     }
 
+    /// Nonce epoch this cursor encrypts under.
+    pub(crate) fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Next layer to execute (the durable layer's checkpoint hint).
+    pub(crate) fn next_layer(&self) -> u32 {
+        self.next_layer
+    }
+
     /// Moves the accumulated incident log out of a cursor that is about
     /// to be dropped (scheduler retry after a power cut): the records
     /// already went through the telemetry funnel once, so the caller

@@ -49,6 +49,25 @@ impl UntrustedDram {
         self.blocks.len()
     }
 
+    /// Every stored `(addr, block)` pair in ascending address order —
+    /// the canonical serialization order for durable snapshots.
+    #[must_use]
+    pub fn sorted_blocks(&self) -> Vec<(u64, Block)> {
+        let mut out: Vec<(u64, Block)> = self.blocks.iter().map(|(&a, &b)| (a, b)).collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// Rebuilds DRAM from a serialized snapshot. The image is untrusted
+    /// (the adversary owns this memory), so no authentication happens
+    /// here — tamper is caught later by the MAC machinery.
+    #[must_use]
+    pub fn from_blocks(blocks: impl IntoIterator<Item = (u64, Block)>) -> Self {
+        Self {
+            blocks: blocks.into_iter().collect(),
+        }
+    }
+
     // ---- Adversary API (the attacker owns this memory) ----
 
     /// Flips one bit of a stored block (integrity attack).

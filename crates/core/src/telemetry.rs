@@ -105,11 +105,22 @@ pub enum Counter {
     /// Admission slots shed by the scheduler's degradation rule under
     /// sustained fault pressure.
     InflightShed,
+    /// `fsync` barriers issued by the durable persistence layer (journal
+    /// appends, snapshot commits, ledger checkpoints).
+    JournalFsyncs,
+    /// Torn tails truncated from *on-disk* journal files during open
+    /// (distinct from `torn_tail_repairs`, the in-RAM journal counter).
+    TornTailsRepaired,
+    /// Pad-ledger checkpoints compacted and atomically rewritten.
+    SnapshotsCompacted,
+    /// Process-level resumes: a durable home reopened with prior commits
+    /// on disk and execution continued from the persisted journal.
+    RestartResumes,
 }
 
 impl Counter {
     /// Every counter, in registry (and serialization) order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 31] = [
         Counter::SealBatches,
         Counter::SealBlocks,
         Counter::OpenBatches,
@@ -137,6 +148,10 @@ impl Counter {
         Counter::DeadlineMisses,
         Counter::SessionsQuarantined,
         Counter::InflightShed,
+        Counter::JournalFsyncs,
+        Counter::TornTailsRepaired,
+        Counter::SnapshotsCompacted,
+        Counter::RestartResumes,
     ];
 
     /// Stable snake_case name used in every sink format.
@@ -170,6 +185,10 @@ impl Counter {
             Counter::DeadlineMisses => "deadline_misses",
             Counter::SessionsQuarantined => "sessions_quarantined",
             Counter::InflightShed => "inflight_shed",
+            Counter::JournalFsyncs => "journal_fsyncs",
+            Counter::TornTailsRepaired => "torn_tails_repaired",
+            Counter::SnapshotsCompacted => "snapshots_compacted",
+            Counter::RestartResumes => "restart_resumes",
         }
     }
 }

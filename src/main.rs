@@ -17,10 +17,14 @@ use seculator::core::secure_infer::Instruments;
 use seculator::core::storage::table7_rows;
 use seculator::core::telemetry;
 use seculator::core::{
-    campaign_models, infer_journaled, run_campaign, run_chaos_campaign, run_crash_campaign,
+    atomic_write, campaign_models, infer_journaled, output_digest, run_campaign,
+    run_chaos_campaign, run_crash_campaign, run_persistent, run_restart_vfs_campaign,
     run_serve_campaign, Attack, CampaignConfig, ChaosCampaignConfig, CrashCampaignConfig,
-    DurableState, FunctionalNpu, PadTracker, SchemeKind, ServeCampaignConfig, TimingNpu,
+    CrashClock, DurableError, DurableState, FunctionalNpu, PadTracker, PersistentStats, SchemeKind,
+    ServeCampaignConfig, StdVfs, TimingNpu,
 };
+
+mod restart;
 use seculator::crypto::DeviceSecret;
 use seculator::models::{zoo, Network};
 use seculator::sim::config::NpuConfig;
@@ -37,6 +41,9 @@ fn usage() -> ! {
            crash-campaign [--seed N --cuts K]          seeded power-loss + resume sweep\n\
            serve-campaign [--seed N --sessions K]      multi-session scheduler + isolation sweep\n\
            chaos-campaign [--seed N --sessions K]      faults × power cuts across concurrent tenants\n\
+           restart-campaign [--seed N --cuts K --proc-cuts J]\n\
+                                                       on-disk persistence sweep: in-process VFS faults\n\
+                                                       plus real kill -9 process restarts\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
            describe --network <name>                   per-layer mapped loop nests\n\
            stats    [--format json|prom]               telemetry snapshot of a fixed workload\n\n\
@@ -140,7 +147,9 @@ fn configure_threads(args: &[String]) {
 fn write_metrics(path: Option<&str>) {
     let Some(path) = path else { return };
     let json = telemetry::snapshot().to_json();
-    if let Err(e) = std::fs::write(path, json) {
+    // Atomic (temp + fsync + rename): a crash mid-write must never leave
+    // a torn half-JSON where a dashboard expects a snapshot.
+    if let Err(e) = atomic_write(std::path::Path::new(path), json.as_bytes()) {
         eprintln!("cannot write --metrics file `{path}`: {e}");
         std::process::exit(2);
     }
@@ -193,6 +202,105 @@ fn stats_workload() {
     let mut fnpu = FunctionalNpu::new(DeviceSecret::from_seed(1), 1);
     fnpu.run(&schedules)
         .expect("the clean functional run verifies");
+}
+
+/// One process life of the durable engine: open (or resume) the on-disk
+/// home, run to completion or to the armed cut, and report over stdout.
+///
+/// Exit contract (consumed by `restart::run_process_campaign`):
+/// - exit 0 — inference complete; `digest=`/`epoch=`/`resumed=`/... lines
+///   on stdout (plus `steps=` under `--cut count`)
+/// - death by SIGKILL — the armed [`CrashClock`] fired; the worker
+///   delivers the signal to *itself* so no destructor or flush runs,
+///   exactly like a real crash
+/// - exit 3 — typed security refusal; `security=<class>` on stdout
+/// - exit 4 — recovery ladder aborted
+/// - exit 5 — I/O error
+fn restart_worker(args: &[String]) -> ! {
+    let Some(model_name) = opt(args, "--model") else {
+        usage()
+    };
+    let Some(home) = opt(args, "--home") else {
+        usage()
+    };
+    let cut_arg = opt(args, "--cut").unwrap_or_else(|| "none".into());
+    let models = campaign_models();
+    let Some(model) = models.iter().find(|m| m.name == model_name) else {
+        eprintln!("unknown model `{model_name}`");
+        usage()
+    };
+    let mut vfs = match StdVfs::create(&home) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("io: cannot open home `{home}`: {e}");
+            std::process::exit(5);
+        }
+    };
+    let mut clock = match cut_arg.as_str() {
+        "none" => None,
+        "count" => Some(CrashClock::counting()),
+        v => match v.parse() {
+            Ok(n) => Some(CrashClock::armed(n)),
+            Err(_) => {
+                eprintln!("invalid value for --cut: `{v}` (expected a step, `count`, or `none`)");
+                usage()
+            }
+        },
+    };
+    let mut stats = PersistentStats::default();
+    let res = run_persistent(
+        &model.layers,
+        &model.input,
+        &model.session,
+        &mut vfs,
+        clock.as_mut(),
+        &mut stats,
+    );
+    match res {
+        Ok(out) => {
+            println!("digest={:016x}", output_digest(&out.run.output));
+            println!("epoch={}", out.run.epoch);
+            println!("resumed={}", out.resumed);
+            println!("prior_records={}", out.prior_records);
+            println!("commits={}", out.run.commits);
+            println!("torn_tail_repaired={}", out.torn_tail_repaired);
+            println!("dram_discarded={}", out.dram_discarded);
+            println!("fsyncs={}", stats.fsyncs);
+            println!("snapshots_compacted={}", stats.snapshots_compacted);
+            println!("torn_tails_repaired={}", stats.torn_tails_repaired);
+            println!("restart_resumes={}", stats.restart_resumes);
+            if cut_arg == "count" {
+                if let Some(c) = &clock {
+                    println!("steps={}", c.steps());
+                }
+            }
+            std::process::exit(0);
+        }
+        Err(DurableError::Crashed(_)) => {
+            // The seeded instant arrived. Die for real: SIGKILL cannot
+            // be caught, so nothing below this line — no Drop impls, no
+            // buffered-writer flushes — gets to tidy the on-disk state.
+            let pid = std::process::id().to_string();
+            let _ = std::process::Command::new("/bin/kill")
+                .args(["-9", &pid])
+                .status();
+            // If /bin/kill is missing the abort still dies by signal
+            // (SIGABRT), which the parent also counts as a kill.
+            std::process::abort();
+        }
+        Err(e @ DurableError::Security(_)) => {
+            println!("security={}", e.class());
+            std::process::exit(3);
+        }
+        Err(e @ DurableError::Aborted(_)) => {
+            eprintln!("aborted: {e}");
+            std::process::exit(4);
+        }
+        Err(e @ DurableError::Io(_)) => {
+            eprintln!("io: {e}");
+            std::process::exit(5);
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -374,7 +482,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // in the snapshot's `layers` array, keyed by tenant id.
                 let mut snap = telemetry::snapshot();
                 snap.layers = report.session_rows.clone();
-                if let Err(e) = std::fs::write(path, snap.to_json()) {
+                if let Err(e) = atomic_write(std::path::Path::new(path), snap.to_json().as_bytes())
+                {
                     eprintln!("cannot write --metrics file `{path}`: {e}");
                     std::process::exit(2);
                 }
@@ -400,7 +509,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // in the snapshot's `layers` array, keyed by tenant id.
                 let mut snap = telemetry::snapshot();
                 snap.layers = report.session_rows.clone();
-                if let Err(e) = std::fs::write(path, snap.to_json()) {
+                if let Err(e) = atomic_write(std::path::Path::new(path), snap.to_json().as_bytes())
+                {
                     eprintln!("cannot write --metrics file `{path}`: {e}");
                     std::process::exit(2);
                 }
@@ -409,6 +519,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 std::process::exit(1);
             }
             return Ok(());
+        }
+        "restart-campaign" => {
+            let seed = num_opt(&args, "--seed", 42);
+            let cuts = num_opt(&args, "--cuts", 14) as u32;
+            let proc_cuts = num_opt(&args, "--proc-cuts", 4) as u32;
+            println!(
+                "restart campaign: seed {seed} / {cuts} vfs cuts + {proc_cuts} process cuts per model\n"
+            );
+            // Phase A: in-process, behind the fault-injecting VFS — power
+            // cuts that drop the page cache, short writes, torn renames,
+            // bit rot, lost fsyncs. Deterministic per seed.
+            let vfs_report = run_restart_vfs_campaign(seculator::core::RestartCampaignConfig {
+                seed,
+                cuts_per_model: cuts,
+            });
+            println!("{}", vfs_report.to_text());
+            // Phase B: real child processes killed with SIGKILL at seeded
+            // instants, reopened from the actual filesystem. `--proc-cuts 0`
+            // skips it (fast VFS-only sweeps, e.g. CI determinism diffs).
+            let proc_pass = if proc_cuts == 0 {
+                println!("restart campaign (process kill -9): skipped (--proc-cuts 0)");
+                true
+            } else {
+                let proc_report = restart::run_process_campaign(seed, proc_cuts);
+                println!("{}", proc_report.to_text());
+                proc_report.pass()
+            };
+            write_metrics(metrics_path.as_deref());
+            if !vfs_report.pass() || !proc_pass {
+                std::process::exit(1);
+            }
+            return Ok(());
+        }
+        // Internal: one process life of the durable engine. Spawned by
+        // `restart-campaign` phase B; not part of the public surface.
+        "restart-worker" => {
+            restart_worker(&args);
         }
         "stats" => {
             let cursor = telemetry::event_cursor();

@@ -121,6 +121,7 @@ fn campaigns_share_the_exit_code_contract() {
         "crash-campaign",
         "serve-campaign",
         "chaos-campaign",
+        "restart-campaign",
     ] {
         let (code, _, stderr) = run_code(&[campaign, "--seed", "not-a-number"]);
         assert_eq!(code, Some(2), "{campaign}: bad --seed is a usage error");
@@ -346,12 +347,21 @@ fn threads_flag_beats_the_environment() {
 /// accepts `--metrics` shares the diagnostic, campaigns included.
 #[test]
 fn unwritable_metrics_path_is_a_usage_error() {
-    let cases: [&[&str]; 5] = [
+    let cases: [&[&str]; 6] = [
         &["stats"],
         &["fault-campaign", "--seed", "3", "--faults", "2"],
         &["crash-campaign", "--seed", "5", "--cuts", "2"],
         &["serve-campaign", "--seed", "7", "--sessions", "2"],
         &["chaos-campaign", "--seed", "3", "--sessions", "2"],
+        &[
+            "restart-campaign",
+            "--seed",
+            "3",
+            "--cuts",
+            "2",
+            "--proc-cuts",
+            "0",
+        ],
     ];
     for case in cases {
         let mut args = case.to_vec();
@@ -550,6 +560,170 @@ fn chaos_campaign_metrics_counters_match_the_robustness_line() {
             "telemetry `{counter}` diverged from the campaign ladder\n{metrics}\n{ladder}"
         );
     }
+}
+
+/// Pulls a bare-number `key=value` field out of a campaign report line.
+fn kv_u64(doc: &str, key: &str) -> u64 {
+    let pat = format!("{key}=");
+    let at = doc
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {pat} in {doc}"));
+    doc[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {pat} in {doc}"))
+}
+
+/// The restart campaign survives real `kill -9` process deaths: both
+/// phases verdict PASS, the process phase observes actual signal
+/// deaths, resumed outputs are bit-identical to the uninterrupted
+/// reference, and every injected on-disk corruption lands a typed
+/// refusal. Byte-identical per seed — across *separate invocations*,
+/// so no pid, path, or timing may leak into the report.
+#[test]
+fn restart_campaign_subcommand_passes_and_is_deterministic() {
+    let args = [
+        "restart-campaign",
+        "--seed",
+        "42",
+        "--cuts",
+        "7",
+        "--proc-cuts",
+        "2",
+    ];
+    let (code, stdout, _) = run_code(&args);
+    assert_eq!(
+        code,
+        Some(0),
+        "restart campaign must exit 0 on PASS: {stdout}"
+    );
+    assert_eq!(
+        stdout.matches("verdict: PASS").count(),
+        2,
+        "both phases pass: {stdout}"
+    );
+    assert!(
+        kv_u64(&stdout, "signal_deaths") > 0,
+        "the process phase must observe real signal deaths: {stdout}"
+    );
+    assert_eq!(kv_u64(&stdout, "failures"), 0, "{stdout}");
+    assert!(
+        stdout.contains("outcome=refused:journal-integrity"),
+        "CRC-consistent tampering must be refused typed: {stdout}"
+    );
+    assert!(
+        stdout.contains("outcome=refused:durable-corruption"),
+        "bit rot must be refused typed: {stdout}"
+    );
+    assert!(
+        !stdout.contains("WRONG-OUTPUT") && !stdout.contains("wedged"),
+        "{stdout}"
+    );
+    let (_, again, _) = run_code(&args);
+    assert_eq!(stdout, again, "same seed must be byte-identical");
+    let (_, other, _) = run_code(&[
+        "restart-campaign",
+        "--seed",
+        "43",
+        "--cuts",
+        "7",
+        "--proc-cuts",
+        "2",
+    ]);
+    assert_ne!(stdout, other, "different seed, different cuts");
+}
+
+/// The restart campaign's `--metrics` snapshot must agree *exactly*
+/// with the durable line it prints: the four persistence counters
+/// (`journal_fsyncs`, `snapshots_compacted`, `torn_tails_repaired`,
+/// `restart_resumes`) are bumped inside the same `PersistentStats`
+/// methods that build the report, so any divergence means an fsync,
+/// compaction, repair, or resume was double- or under-counted.
+#[test]
+fn restart_campaign_metrics_counters_match_the_durable_line() {
+    let path = scratch("restart.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (code, stdout, _) = run_code(&[
+        "restart-campaign",
+        "--seed",
+        "42",
+        "--cuts",
+        "7",
+        "--proc-cuts",
+        "0",
+        "--metrics",
+        path_s,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        metrics.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{metrics}"
+    );
+    if !cfg!(feature = "telemetry") {
+        assert!(metrics.contains("\"enabled\": false"), "{metrics}");
+        return;
+    }
+    let durable_at = stdout
+        .find("durable: ")
+        .expect("durable line in campaign output");
+    let durable = &stdout[durable_at..];
+    for (counter, field) in [
+        ("journal_fsyncs", "fsyncs"),
+        ("snapshots_compacted", "snapshots_compacted"),
+        ("torn_tails_repaired", "torn_tails_repaired"),
+        ("restart_resumes", "restart_resumes"),
+    ] {
+        assert_eq!(
+            json_u64(&metrics, counter),
+            kv_u64(durable, field),
+            "telemetry `{counter}` diverged from the campaign report\n{metrics}\n{durable}"
+        );
+    }
+    // This seed's sweep must actually exercise the durable layer: kills
+    // force resumed opens, and mid-append cuts leave torn disk tails.
+    assert!(json_u64(&metrics, "restart_resumes") > 0, "{stdout}");
+    assert!(json_u64(&metrics, "torn_tails_repaired") > 0, "{stdout}");
+}
+
+/// `--metrics` artifacts are written atomically: a pre-existing file is
+/// replaced wholesale (never appended to or left half-torn) and no
+/// temp file survives the rename in the target directory.
+#[test]
+fn metrics_writes_are_atomic_and_leave_no_temp_files() {
+    let dir = scratch("atomic-metrics");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("metrics.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    // Plant stale garbage longer than the snapshot, so an in-place
+    // partial overwrite would leave a trailing residue.
+    let garbage = format!("GARBAGE{}", "x".repeat(1 << 20));
+    std::fs::write(&path, &garbage).expect("plant garbage");
+    let (code, _, stderr) = run_code(&["stats", "--metrics", path_s]);
+    assert_eq!(code, Some(0), "{stderr}");
+    let written = std::fs::read_to_string(&path).expect("--metrics file written");
+    assert!(
+        written.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{written}"
+    );
+    assert!(
+        !written.contains("GARBAGE") && written.len() < garbage.len(),
+        "stale bytes must not survive the rename"
+    );
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("scratch dir lists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n != "metrics.json")
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// `--threads` joins the shared exit-code contract: zero or a non-number

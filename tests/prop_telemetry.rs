@@ -179,6 +179,58 @@ fn chaos_robustness_counters_are_conserved() {
     );
 }
 
+/// Durable-layer conservation: across one in-process restart campaign
+/// the four persistence counters grow by *exactly* what the report's
+/// `stats` block claims — every fsync barrier, ledger compaction,
+/// on-disk torn-tail repair, and resumed open is counted once in both
+/// places, because [`seculator::core::PersistentStats`] bumps the
+/// telemetry counter in the same method that builds the report tally.
+#[test]
+fn restart_campaign_durable_counters_are_conserved() {
+    use seculator::core::{run_restart_vfs_campaign, RestartCampaignConfig};
+
+    const DURABLE: [Counter; 4] = [
+        Counter::JournalFsyncs,
+        Counter::SnapshotsCompacted,
+        Counter::TornTailsRepaired,
+        Counter::RestartResumes,
+    ];
+    let _guard = exact_delta_guard();
+    let before: Vec<u64> = DURABLE.iter().map(|&c| telemetry::get(c)).collect();
+    let report = run_restart_vfs_campaign(RestartCampaignConfig {
+        seed: 42,
+        cuts_per_model: 7,
+    });
+    assert!(
+        report.pass(),
+        "restart campaign fails:\n{}",
+        report.to_text()
+    );
+    let claimed = [
+        report.stats.fsyncs,
+        report.stats.snapshots_compacted,
+        report.stats.torn_tails_repaired,
+        report.stats.restart_resumes,
+    ];
+    for (i, &c) in DURABLE.iter().enumerate() {
+        let want = if ENABLED { before[i] + claimed[i] } else { 0 };
+        assert_eq!(
+            telemetry::get(c),
+            want,
+            "`{}` diverged from the restart report\n{}",
+            c.name(),
+            report.to_text()
+        );
+    }
+    // The sweep must actually exercise the layer being conserved: kills
+    // force resumed opens, and mid-append cuts leave torn disk tails.
+    assert!(
+        report.stats.restart_resumes > 0 && report.stats.torn_tails_repaired > 0,
+        "seed 42 must drive resumes and on-disk torn-tail repairs:\n{}",
+        report.to_text()
+    );
+}
+
 /// End-to-end: the counters the datapath feeds agree exactly with the
 /// work a seal/open round performed (block counts are attributed to the
 /// right mode, and the MAC engine saw every block once per direction).
