@@ -790,7 +790,8 @@ fn export_json() {
 
 // ───────────────────────── Throughput ─────────────────────────
 
-/// One serial-vs-parallel measurement pair for a campaign model.
+/// One serial-vs-parallel measurement pair for a campaign model, plus
+/// one parallel-mode measurement per available crypto backend.
 struct ThroughputRow {
     model: &'static str,
     seal_serial: f64,
@@ -799,6 +800,16 @@ struct ThroughputRow {
     open_parallel: f64,
     infer_serial_ms: f64,
     infer_parallel_ms: f64,
+    backends: Vec<BackendThroughput>,
+}
+
+/// Parallel-datapath throughput of one crypto backend, bit-identity
+/// asserted against the serial oracle before any timing ran.
+struct BackendThroughput {
+    backend: &'static str,
+    constant_time: bool,
+    seal: f64,
+    open: f64,
 }
 
 impl ThroughputRow {
@@ -810,6 +821,9 @@ impl ThroughputRow {
     }
     fn infer_speedup(&self) -> f64 {
         self.infer_serial_ms / self.infer_parallel_ms
+    }
+    fn backend(&self, name: &str) -> Option<&BackendThroughput> {
+        self.backends.iter().find(|b| b.backend == name)
     }
 }
 
@@ -861,7 +875,9 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
 
     println!("Crypto-datapath throughput: serial (scalar AES + incremental MAC)");
     println!("vs. parallel (T-table lanes + two-compression MAC engine, rayon");
-    println!("block fan-out). Both datapaths produce bit-identical results.\n");
+    println!("block fan-out), plus one parallel-mode row per crypto backend");
+    println!("this host can execute. Every path is bit-identical by assertion");
+    println!("before any timer starts.\n");
 
     let tile_blocks: usize = if quick { 192 } else { 1536 };
     let seal_reps: u32 = if quick { 2 } else { 6 };
@@ -909,11 +925,16 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
             0,
             DatapathMode::Serial,
         );
-        let parallel = CryptoDatapath::with_epoch_mode(
+        // The historical serial-vs-parallel pair is pinned to the
+        // portable backend so `seal_parallel` keeps meaning what every
+        // committed BENCH_throughput.json meant: the T-table software
+        // path. Hardware backends get their own rows below.
+        let parallel = CryptoDatapath::with_epoch_mode_backend(
             m.session.secret,
             m.session.nonce,
             0,
             DatapathMode::Parallel,
+            seculator_crypto::backend::portable(),
         );
 
         // Warm up table construction, then check bit-identity once before
@@ -943,6 +964,49 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
         let open_parallel = rate_of(seal_reps, tile_blocks, || {
             std::hint::black_box(parallel.open_blocks(&coords, &cts));
         });
+
+        // One parallel-mode row per backend the host can execute, each
+        // proved bit-identical to the serial oracle before its timer
+        // starts (the portable row re-measures the pair above through
+        // the same code path, keeping the comparison apples-to-apples).
+        let mut backends = Vec::new();
+        for b in seculator_crypto::backend::available() {
+            let dp = CryptoDatapath::with_epoch_mode_backend(
+                m.session.secret,
+                m.session.nonce,
+                0,
+                DatapathMode::Parallel,
+                b,
+            );
+            let sealed_b = dp.seal_blocks(&coords, &blocks);
+            assert_eq!(
+                sealed_s,
+                sealed_b,
+                "backend {} diverged from the serial oracle on seal ({})",
+                b.kind().name(),
+                m.name
+            );
+            let opened_b = dp.open_blocks(&coords, &cts);
+            assert_eq!(
+                opened_s,
+                opened_b,
+                "backend {} diverged from the serial oracle on open ({})",
+                b.kind().name(),
+                m.name
+            );
+            let seal = rate_of(seal_reps, tile_blocks, || {
+                std::hint::black_box(dp.seal_blocks(&coords, &blocks));
+            });
+            let open = rate_of(seal_reps, tile_blocks, || {
+                std::hint::black_box(dp.open_blocks(&coords, &cts));
+            });
+            backends.push(BackendThroughput {
+                backend: b.kind().name(),
+                constant_time: b.constant_time(),
+                seal,
+                open,
+            });
+        }
 
         // End-to-end: the exact protected inference the crash campaign
         // runs, in both modes, outputs compared bit-for-bit.
@@ -976,6 +1040,7 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
             open_parallel,
             infer_serial_ms,
             infer_parallel_ms,
+            backends,
         };
         println!(
             "{:<12} {:>14.1} {:>14.1} {:>7.2}x {:>9.2}ms {:>9.2}ms {:>7.2}x",
@@ -987,6 +1052,21 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
             row.infer_parallel_ms,
             row.infer_speedup()
         );
+        for b in &row.backends {
+            println!(
+                "  └ backend {:<10} {:>12.1} MB/s seal {:>12.1} MB/s open \
+{:>6.2}x vs portable-parallel{}",
+                b.backend,
+                b.seal * 64.0 / 1e6,
+                b.open * 64.0 / 1e6,
+                b.seal / row.seal_parallel,
+                if b.constant_time {
+                    "  [constant-time]"
+                } else {
+                    ""
+                }
+            );
+        }
         rows.push(row);
     }
 
@@ -995,12 +1075,23 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
+            let backend_entries: Vec<String> = r
+                .backends
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{{\"backend\":\"{}\",\"constant_time\":{},\
+\"seal_blocks_per_sec\":{:.1},\"open_blocks_per_sec\":{:.1}}}",
+                        b.backend, b.constant_time, b.seal, b.open
+                    )
+                })
+                .collect();
             format!(
                 "    {{\"model\":\"{}\",\"seal_serial_blocks_per_sec\":{:.1},\
 \"seal_parallel_blocks_per_sec\":{:.1},\"seal_speedup\":{:.3},\
 \"open_serial_blocks_per_sec\":{:.1},\"open_parallel_blocks_per_sec\":{:.1},\
 \"open_speedup\":{:.3},\"infer_serial_ms\":{:.3},\"infer_parallel_ms\":{:.3},\
-\"infer_speedup\":{:.3},\"bit_identical\":true}}",
+\"infer_speedup\":{:.3},\"bit_identical\":true,\"backends\":[{}]}}",
                 r.model,
                 r.seal_serial,
                 r.seal_parallel,
@@ -1010,7 +1101,8 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
                 r.open_speedup(),
                 r.infer_serial_ms,
                 r.infer_parallel_ms,
-                r.infer_speedup()
+                r.infer_speedup(),
+                backend_entries.join(",")
             )
         })
         .collect();
@@ -1097,6 +1189,23 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
             "check: parallel ≥ serial on mlp ({:.2}x) — OK",
             mlp.seal_speedup()
         );
+        // When the host has AES-NI + SHA-NI, the hardware backend must
+        // clear the paper's bar: ≥5× the portable parallel datapath.
+        if seculator_crypto::backend::aesni_available() {
+            let hw = mlp
+                .backend("aesni")
+                .expect("aesni row measured on an AES-NI host");
+            let gain = hw.seal / mlp.seal_parallel;
+            if gain < 5.0 {
+                eprintln!(
+                    "FAIL: aesni seal throughput below 5x portable parallel on mlp \
+({:.0} vs {:.0} blocks/s, {:.2}x)",
+                    hw.seal, mlp.seal_parallel, gain
+                );
+                std::process::exit(1);
+            }
+            println!("check: aesni ≥ 5x portable parallel on mlp ({gain:.2}x) — OK");
+        }
     }
 }
 

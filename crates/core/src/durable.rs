@@ -45,7 +45,7 @@ use crate::secure_infer::{
     infer_plain, open_journaled_cursor, open_resume_cursor, step_journaled_layer, AbortReport,
     Instruments, JournaledError, JournaledRun, QConvLayer, SecureSession,
 };
-use crate::secure_memory::{Block, BlockCoords, UntrustedDram};
+use crate::secure_memory::{Block, BlockCoords, DatapathCache, UntrustedDram};
 use crate::telemetry;
 use seculator_compute::quant::QTensor3;
 use seculator_crypto::keys::DeviceSecret;
@@ -1229,15 +1229,18 @@ pub fn run_persistent(
         stats.resumed();
     }
 
+    // Per-run schedule cache: a restart-resume's rollback walk shares
+    // one key expansion per epoch instead of one per verified commit.
+    let mut schedules = DatapathCache::new();
     let mut cursor = if durable.journal.is_empty() {
-        open_journaled_cursor(input, session, &mut durable, &mut clock)?
+        open_journaled_cursor(input, session, &mut durable, &mut clock, &mut schedules)?
     } else {
         let mut ins = Instruments {
             tracker: &mut tracker,
             injector: None,
             clock: clock.as_deref_mut(),
         };
-        open_resume_cursor(input, session, &mut durable, &mut ins, None)?
+        open_resume_cursor(input, session, &mut durable, &mut ins, None, &mut schedules)?
     };
     // Write-ahead: the EpochOpen record must be durable before the first
     // pad of its epoch is consumed.

@@ -75,7 +75,7 @@ pub use secure_infer::{
     infer_resume, AbortReport, InferError, Instruments, JournaledError, JournaledRun, QConvLayer,
     RecoveryPolicy, ResilientRun, SecureSession,
 };
-pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
+pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathCache, DatapathMode, UntrustedDram};
 pub use session::{
     run_chaos_campaign, run_serve_campaign, AdmitSpec, ChaosCampaignConfig, ChaosCampaignReport,
     ChaosTrial, PadLedger, QuarantineReport, ServeCampaignConfig, ServeCampaignReport, ServeReport,

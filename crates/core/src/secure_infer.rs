@@ -17,7 +17,9 @@ use crate::error::SecurityError;
 use crate::fault::{AccessCtx, CrashClock, CrashPhase, FaultInjector, PowerLoss};
 use crate::journal::{DurableState, JournalRecord, JournalRecordKind, PadTracker};
 use crate::mac_verify::{EagerLayerVerifier, LayerMacVerifier};
-use crate::secure_memory::{Block, BlockCoords, CryptoDatapath, DatapathMode, UntrustedDram};
+use crate::secure_memory::{
+    Block, BlockCoords, CryptoDatapath, DatapathCache, DatapathMode, UntrustedDram,
+};
 use crate::telemetry;
 use seculator_compute::quant::{qconv2d, qconv2d_grouped, QTensor3, QTensor4};
 use seculator_crypto::keys::DeviceSecret;
@@ -801,7 +803,10 @@ pub(crate) struct JournaledCursor {
 impl JournaledCursor {
     /// Builds a cursor positioned at `start_layer` with the given
     /// durable-state coordinates (epoch already declared durable, journal
-    /// `seq` pointing past the epoch-open record).
+    /// `seq` pointing past the epoch-open record). The datapath comes
+    /// out of `cache`, so re-opening a cursor never re-expands key
+    /// schedules the session already derived.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         session: &SecureSession,
         epoch: u32,
@@ -810,9 +815,10 @@ impl JournaledCursor {
         base_addr: u64,
         activ: QTensor3,
         incidents: IncidentLog,
+        cache: &mut DatapathCache,
     ) -> Self {
         Self {
-            datapath: CryptoDatapath::with_epoch(session.secret, session.nonce, epoch),
+            datapath: cache.epoch_datapath(session.secret, session.nonce, epoch),
             epoch,
             seq,
             next_layer: start_layer,
@@ -874,6 +880,7 @@ pub(crate) fn open_journaled_cursor(
     session: &SecureSession,
     durable: &mut DurableState,
     clock: &mut Option<&mut CrashClock>,
+    cache: &mut DatapathCache,
 ) -> Result<JournaledCursor, JournaledError> {
     let replayed = durable
         .journal
@@ -901,6 +908,7 @@ pub(crate) fn open_journaled_cursor(
         0x1_0000,
         input.clone(),
         IncidentLog::new(),
+        cache,
     ))
 }
 
@@ -1229,7 +1237,9 @@ pub fn infer_journaled(
     durable: &mut DurableState,
     instruments: &mut Instruments<'_>,
 ) -> Result<JournaledRun, JournaledError> {
-    let mut cursor = open_journaled_cursor(input, session, durable, &mut instruments.clock)?;
+    let mut cache = DatapathCache::new();
+    let mut cursor =
+        open_journaled_cursor(input, session, durable, &mut instruments.clock, &mut cache)?;
     while !cursor.done(layers) {
         step_journaled_layer(layers, session, &mut cursor, durable, instruments)?;
     }
@@ -1247,8 +1257,12 @@ fn verify_commit(
     session: &SecureSession,
     durable: &DurableState,
     instruments: &mut Instruments<'_>,
+    cache: &mut DatapathCache,
 ) -> Result<Option<QTensor3>, JournaledError> {
-    let datapath = CryptoDatapath::with_epoch(session.secret, session.nonce, rec.epoch);
+    // The rollback walk re-verifies one commit per record, and every
+    // record of an attempt shares its epoch — the cache collapses those
+    // datapath constructions to one key expansion per epoch.
+    let datapath = cache.epoch_datapath(session.secret, session.nonce, rec.epoch);
     let mut lv = EagerLayerVerifier::restore(rec.mac_w, rec.mac_r, [0u8; 32]);
     let blocks = rec.blocks as usize;
     let coords = tile_coords(rec.layer_id, rec.layer_id, rec.final_vn, blocks);
@@ -1318,7 +1332,15 @@ pub fn infer_resume(
     instruments: &mut Instruments<'_>,
     interrupted: Option<PowerLoss>,
 ) -> Result<JournaledRun, JournaledError> {
-    let mut cursor = open_resume_cursor(input, session, durable, instruments, interrupted)?;
+    let mut cache = DatapathCache::new();
+    let mut cursor = open_resume_cursor(
+        input,
+        session,
+        durable,
+        instruments,
+        interrupted,
+        &mut cache,
+    )?;
     while !cursor.done(layers) {
         step_journaled_layer(layers, session, &mut cursor, durable, instruments)?;
     }
@@ -1338,6 +1360,7 @@ pub(crate) fn open_resume_cursor(
     durable: &mut DurableState,
     instruments: &mut Instruments<'_>,
     interrupted: Option<PowerLoss>,
+    cache: &mut DatapathCache,
 ) -> Result<JournaledCursor, JournaledError> {
     let replayed = durable
         .journal
@@ -1367,7 +1390,7 @@ pub(crate) fn open_resume_cursor(
     let mut base_addr = 0x1_0000u64;
     let mut activ = input.clone();
     for rec in commits.iter().rev() {
-        match verify_commit(rec, session, durable, instruments)? {
+        match verify_commit(rec, session, durable, instruments, cache)? {
             Some(recovered) => {
                 activ = recovered;
                 start_layer = rec.layer_id + 1;
@@ -1407,6 +1430,7 @@ pub(crate) fn open_resume_cursor(
         base_addr,
         activ,
         incidents,
+        cache,
     ))
 }
 

@@ -10,6 +10,7 @@
 
 use crate::telemetry;
 use rayon::prelude::*;
+use seculator_crypto::backend::{self, Backend, BackendKind};
 use seculator_crypto::ctr::{AesCtr, BlockCounter};
 use seculator_crypto::keys::{DeviceSecret, SessionKey};
 use seculator_crypto::xor_mac::{block_mac, BlockMacEngine, BlockMacInput};
@@ -162,7 +163,9 @@ impl CryptoDatapath {
 
     /// [`Self::with_epoch`] with an explicit [`DatapathMode`] — the
     /// constructor the throughput benchmark uses to pit the two
-    /// implementations against each other on identical inputs.
+    /// implementations against each other on identical inputs. The
+    /// crypto backend is the process default
+    /// ([`seculator_crypto::backend::default_backend`]).
     #[must_use]
     pub fn with_epoch_mode(
         secret: DeviceSecret,
@@ -170,11 +173,36 @@ impl CryptoDatapath {
         epoch: u32,
         mode: DatapathMode,
     ) -> Self {
+        Self::with_epoch_mode_backend(
+            secret,
+            execution_nonce,
+            epoch,
+            mode,
+            backend::default_backend(),
+        )
+    }
+
+    /// [`Self::with_epoch_mode`] with an explicit crypto [`Backend`] —
+    /// the fully-specified constructor behind the `--backend` CLI flag
+    /// and the per-backend throughput benchmark rows.
+    ///
+    /// The backend governs [`DatapathMode::Parallel`] only: serial mode
+    /// stays pinned to the scalar FIPS-197 rounds and the incremental
+    /// SHA-256 hasher so it remains the backend-independent equivalence
+    /// oracle every backend is differenced against.
+    #[must_use]
+    pub fn with_epoch_mode_backend(
+        secret: DeviceSecret,
+        execution_nonce: u64,
+        epoch: u32,
+        mode: DatapathMode,
+        backend: Backend,
+    ) -> Self {
         let key = SessionKey::derive_epoch(&secret, execution_nonce, epoch);
-        let mac_engine = BlockMacEngine::new(&secret.0);
+        let mac_engine = BlockMacEngine::with_backend(&secret.0, backend);
         Self {
             secret,
-            cipher: AesCtr::new(&key.0),
+            cipher: AesCtr::with_backend(&key.0, backend),
             mac_engine,
             mode,
         }
@@ -186,6 +214,12 @@ impl CryptoDatapath {
         self.mode
     }
 
+    /// The crypto backend the parallel-mode primitives execute on.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.cipher.backend()
+    }
+
     fn counter(coords: BlockCoords) -> BlockCounter {
         BlockCounter::from_parts(
             coords.fmap_id,
@@ -193,6 +227,17 @@ impl CryptoDatapath {
             coords.version,
             coords.block_index,
         )
+    }
+
+    /// MAC coordinates in the `[layer, fmap, VN, index]` order
+    /// [`BlockMacEngine::mac2`] takes.
+    fn mac_coords(coords: BlockCoords) -> [u32; 4] {
+        [
+            coords.layer_id,
+            coords.fmap_id,
+            coords.version,
+            coords.block_index,
+        ]
     }
 
     /// Encrypts one plaintext block under its coordinates.
@@ -263,17 +308,117 @@ impl CryptoDatapath {
         // per tile, never per block, so the rayon fan-out stays clean.
         self.note_batch(telemetry::Counter::SealBatches, coords.len());
         let _span = telemetry::span(telemetry::Hist::SealNs);
-        let seal_one =
-            |(i, &c): (usize, &BlockCoords)| (self.encrypt(c, &blocks[i]), self.mac(c, &blocks[i]));
         match self.mode {
-            DatapathMode::Serial => coords.iter().enumerate().map(seal_one).collect(),
-            DatapathMode::Parallel => coords.par_iter().enumerate().map(seal_one).collect(),
+            DatapathMode::Serial => coords
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (self.encrypt(c, &blocks[i]), self.mac(c, &blocks[i])))
+                .collect(),
+            DatapathMode::Parallel => self.batched(coords, blocks, |chunk_coords, chunk_blocks| {
+                self.seal_chunk(chunk_coords, chunk_blocks)
+            }),
+        }
+    }
+
+    /// Chunk width of the batched parallel path: 8 blocks = 32 AES
+    /// lanes, a full batch for the widest backends (bitsliced and the
+    /// 8-wide interleaved `AES-NI` loop) and one [`BlockMacEngine::mac2`]
+    /// pair chain per two blocks.
+    const CHUNK_BLOCKS: usize = 8;
+
+    /// Fans a tile out across rayon workers in [`Self::CHUNK_BLOCKS`]
+    /// chunks, concatenating the per-chunk results in input order (the
+    /// shim's `collect` is order-preserving, so this is bit-identical to
+    /// the serial sweep for any thread count).
+    fn batched<F>(
+        &self,
+        coords: &[BlockCoords],
+        blocks: &[Block],
+        per_chunk: F,
+    ) -> Vec<(Block, [u8; 32])>
+    where
+        F: Fn(&[BlockCoords], &[Block]) -> Vec<(Block, [u8; 32])> + Sync,
+    {
+        let ranges: Vec<(usize, usize)> = (0..coords.len())
+            .step_by(Self::CHUNK_BLOCKS)
+            .map(|lo| (lo, (lo + Self::CHUNK_BLOCKS).min(coords.len())))
+            .collect();
+        let chunks: Vec<Vec<(Block, [u8; 32])>> = ranges
+            .par_iter()
+            .map(|&(lo, hi)| per_chunk(&coords[lo..hi], &blocks[lo..hi]))
+            .collect();
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Seals one chunk through the batched backend primitives: one
+    /// `pads_into` call for every AES lane in the chunk, an XOR sweep,
+    /// then paired `mac2` compressions over the plaintext (odd tail via
+    /// the single-block `mac`).
+    fn seal_chunk(&self, coords: &[BlockCoords], blocks: &[Block]) -> Vec<(Block, [u8; 32])> {
+        let counters: Vec<BlockCounter> = coords.iter().map(|&c| Self::counter(c)).collect();
+        let mut pads = [[0u8; 64]; Self::CHUNK_BLOCKS];
+        self.cipher.pads_into(&counters, &mut pads[..coords.len()]);
+        let mut out: Vec<(Block, [u8; 32])> = Vec::with_capacity(coords.len());
+        for (pad, pt) in pads.iter_mut().zip(blocks.iter()) {
+            for (o, p) in pad.iter_mut().zip(pt.iter()) {
+                *o ^= p;
+            }
+            out.push((*pad, [0u8; 32]));
+        }
+        self.mac_chunk_into(coords, blocks, &mut out);
+        out
+    }
+
+    /// Opens one chunk: pads, XOR back to plaintext, then the same
+    /// paired MAC sweep over the recovered plaintext.
+    fn open_chunk(&self, coords: &[BlockCoords], blocks: &[Block]) -> Vec<(Block, [u8; 32])> {
+        let counters: Vec<BlockCounter> = coords.iter().map(|&c| Self::counter(c)).collect();
+        let mut pads = [[0u8; 64]; Self::CHUNK_BLOCKS];
+        self.cipher.pads_into(&counters, &mut pads[..coords.len()]);
+        let mut out: Vec<(Block, [u8; 32])> = Vec::with_capacity(coords.len());
+        for (pad, ct) in pads.iter_mut().zip(blocks.iter()) {
+            for (o, c) in pad.iter_mut().zip(ct.iter()) {
+                *o ^= c;
+            }
+            out.push((*pad, [0u8; 32]));
+        }
+        let plaintexts: Vec<Block> = out.iter().map(|(pt, _)| *pt).collect();
+        self.mac_chunk_into(coords, &plaintexts, &mut out);
+        out
+    }
+
+    /// Fills the MAC halves of `out` from `plaintexts`, two blocks per
+    /// [`BlockMacEngine::mac2`] call so the interleaved SHA compressions
+    /// stay saturated.
+    fn mac_chunk_into(
+        &self,
+        coords: &[BlockCoords],
+        plaintexts: &[Block],
+        out: &mut [(Block, [u8; 32])],
+    ) {
+        let mut i = 0;
+        while i + 1 < coords.len() {
+            let (m0, m1) = self.mac_engine.mac2(
+                Self::mac_coords(coords[i]),
+                &plaintexts[i],
+                Self::mac_coords(coords[i + 1]),
+                &plaintexts[i + 1],
+            );
+            out[i].1 = m0;
+            out[i + 1].1 = m1;
+            i += 2;
+        }
+        if i < coords.len() {
+            out[i].1 = self.mac(coords[i], &plaintexts[i]);
         }
     }
 
     /// Batch-level telemetry shared by [`Self::seal_blocks`] and
     /// [`Self::open_blocks`]: the batch counter, its per-block twin, the
-    /// AES path split by mode, and the MAC-block total.
+    /// AES path split by mode, the MAC-block total, and the
+    /// `backend_dispatch` family attributing every block to the backend
+    /// that actually executed it (serial mode always runs the scalar
+    /// reference, which is the portable implementation).
     fn note_batch(&self, batch_counter: telemetry::Counter, blocks: usize) {
         let n = blocks as u64;
         telemetry::incr(batch_counter);
@@ -292,6 +437,18 @@ impl CryptoDatapath {
             n,
         );
         telemetry::add(telemetry::Counter::MacBlocks, n);
+        let kind = match self.mode {
+            DatapathMode::Serial => BackendKind::Portable,
+            DatapathMode::Parallel => self.backend().kind(),
+        };
+        telemetry::add(
+            match kind {
+                BackendKind::Portable => telemetry::Counter::BackendPortableBlocks,
+                BackendKind::Bitsliced => telemetry::Counter::BackendBitslicedBlocks,
+                BackendKind::AesNi => telemetry::Counter::BackendAesNiBlocks,
+            },
+            n,
+        );
     }
 
     /// Opens a tile: for each `(coords, ciphertext)` pair computes
@@ -306,14 +463,19 @@ impl CryptoDatapath {
         assert_eq!(coords.len(), blocks.len(), "one coordinate tuple per block");
         self.note_batch(telemetry::Counter::OpenBatches, coords.len());
         let _span = telemetry::span(telemetry::Hist::OpenNs);
-        let open_one = |(i, &c): (usize, &BlockCoords)| {
-            let pt = self.decrypt(c, &blocks[i]);
-            let mac = self.mac(c, &pt);
-            (pt, mac)
-        };
         match self.mode {
-            DatapathMode::Serial => coords.iter().enumerate().map(open_one).collect(),
-            DatapathMode::Parallel => coords.par_iter().enumerate().map(open_one).collect(),
+            DatapathMode::Serial => coords
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    let pt = self.decrypt(c, &blocks[i]);
+                    let mac = self.mac(c, &pt);
+                    (pt, mac)
+                })
+                .collect(),
+            DatapathMode::Parallel => self.batched(coords, blocks, |chunk_coords, chunk_blocks| {
+                self.open_chunk(chunk_coords, chunk_blocks)
+            }),
         }
     }
 
@@ -343,6 +505,82 @@ impl CryptoDatapath {
         let plaintext = self.decrypt(coords, &dram.load(addr));
         let mac = self.mac(coords, &plaintext);
         (plaintext, mac)
+    }
+}
+
+/// Key-schedule cache for repeated datapath construction.
+///
+/// Every [`CryptoDatapath::with_epoch`] call pays three derivations: the
+/// epoch session key (two SHA-256 compressions), the AES round-key
+/// expansion, and the MAC engine's key-prefix schedule. A tenant session
+/// rebuilds its datapath on every cursor open — promotion, every
+/// crash-resume, every scheduler retry — so the scheduler would
+/// otherwise re-expand schedules that cannot have changed:
+///
+/// - The **MAC engine** depends only on the device secret, never on the
+///   nonce or epoch, so one expansion serves every epoch of a tenant
+///   (and this is exactly why a resumed run can verify pre-crash MACs).
+/// - A **repeated epoch** (re-opening a cursor over the same durable
+///   state) reuses the whole datapath; clones share the lazily-expanded
+///   bitsliced AES key schedule through [`seculator_crypto::Aes128`].
+///
+/// Cached and fresh datapaths are bit-identical by construction — the
+/// cache stores *results* of the same pure derivations — and by test.
+/// Entries are keyed by the full `(secret, nonce, epoch)` identity, so a
+/// cache can be shared across tenants without aliasing their keys.
+#[derive(Debug, Default)]
+pub struct DatapathCache {
+    mac_engines: HashMap<DeviceSecret, BlockMacEngine>,
+    datapaths: HashMap<(DeviceSecret, u64, u32), CryptoDatapath>,
+}
+
+impl DatapathCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the datapath for `(secret, nonce, epoch)` in the default
+    /// mode and backend (the combination every journaled cursor runs),
+    /// deriving and caching it on first use. Equivalent to
+    /// [`CryptoDatapath::with_epoch`], minus the repeated key expansion.
+    pub fn epoch_datapath(
+        &mut self,
+        secret: DeviceSecret,
+        nonce: u64,
+        epoch: u32,
+    ) -> CryptoDatapath {
+        if let Some(dp) = self.datapaths.get(&(secret, nonce, epoch)) {
+            return dp.clone();
+        }
+        let mac_engine = self
+            .mac_engines
+            .entry(secret)
+            .or_insert_with(|| BlockMacEngine::new(&secret.0))
+            .clone();
+        let key = SessionKey::derive_epoch(&secret, nonce, epoch);
+        let dp = CryptoDatapath {
+            secret,
+            cipher: AesCtr::with_backend(&key.0, mac_engine.backend()),
+            mac_engine,
+            mode: DatapathMode::default(),
+        };
+        self.datapaths.insert((secret, nonce, epoch), dp.clone());
+        dp
+    }
+
+    /// Number of fully-constructed datapaths held (one per epoch seen).
+    #[must_use]
+    pub fn cached_epochs(&self) -> usize {
+        self.datapaths.len()
+    }
+
+    /// Number of per-secret MAC engines held (one per tenant secret —
+    /// epochs *share* the engine, which is the point of the cache).
+    #[must_use]
+    pub fn cached_mac_engines(&self) -> usize {
+        self.mac_engines.len()
     }
 }
 
@@ -478,6 +716,42 @@ mod tests {
     }
 
     #[test]
+    fn every_available_backend_is_bit_identical_to_the_serial_oracle() {
+        // Ragged lengths exercise the chunked path's partial final chunk
+        // (odd tails hit the single-block MAC fallback).
+        let secret = DeviceSecret::from_seed(7);
+        let serial = CryptoDatapath::with_epoch_mode(secret, 99, 0, DatapathMode::Serial);
+        for n in [1u32, 2, 7, 8, 9, 15, 16, 33, 100] {
+            let (coords, blocks) = tile(n);
+            let want_sealed = serial.seal_blocks(&coords, &blocks);
+            let cts: Vec<Block> = want_sealed.iter().map(|(ct, _)| *ct).collect();
+            let want_opened = serial.open_blocks(&coords, &cts);
+            for b in seculator_crypto::backend::available() {
+                let dp = CryptoDatapath::with_epoch_mode_backend(
+                    secret,
+                    99,
+                    0,
+                    DatapathMode::Parallel,
+                    b,
+                );
+                assert_eq!(dp.backend().kind(), b.kind());
+                assert_eq!(
+                    dp.seal_blocks(&coords, &blocks),
+                    want_sealed,
+                    "seal n={n} backend {:?}",
+                    b.kind()
+                );
+                assert_eq!(
+                    dp.open_blocks(&coords, &cts),
+                    want_opened,
+                    "open n={n} backend {:?}",
+                    b.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_mac_fold_equals_sequential_fold() {
         // The XOR fold of per-block MACs must not depend on how the batch
         // was split across workers: absorb the batched results in input
@@ -507,6 +781,35 @@ mod tests {
         assert_eq!(serial_reg, fwd);
         assert_eq!(serial_reg, rev);
         assert_eq!(serial_reg, reduced);
+    }
+
+    #[test]
+    fn cached_datapaths_are_bit_identical_to_fresh_construction() {
+        let secret = DeviceSecret::from_seed(11);
+        let mut cache = DatapathCache::new();
+        let (coords, blocks) = tile(17);
+        for epoch in [0u32, 1, 2, 1] {
+            let cached = cache.epoch_datapath(secret, 77, epoch);
+            let fresh = CryptoDatapath::with_epoch(secret, 77, epoch);
+            assert_eq!(
+                cached.seal_blocks(&coords, &blocks),
+                fresh.seal_blocks(&coords, &blocks),
+                "epoch {epoch}: cached schedule must seal identically"
+            );
+        }
+        // Three distinct epochs → three datapaths, but exactly one MAC
+        // engine: the MAC schedule is epoch-independent and shared.
+        assert_eq!(cache.cached_epochs(), 3);
+        assert_eq!(cache.cached_mac_engines(), 1);
+        // A second tenant secret gets its own engine — no aliasing.
+        let other = DeviceSecret::from_seed(12);
+        let a = cache.epoch_datapath(other, 77, 0);
+        let b = CryptoDatapath::with_epoch(other, 77, 0);
+        assert_eq!(
+            a.seal_blocks(&coords, &blocks),
+            b.seal_blocks(&coords, &blocks)
+        );
+        assert_eq!(cache.cached_mac_engines(), 2);
     }
 
     #[test]

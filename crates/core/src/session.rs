@@ -73,7 +73,7 @@ use crate::secure_infer::{
     Instruments, JournaledCursor, JournaledError, JournaledRun, QConvLayer, RecoveryPolicy,
     SecureSession,
 };
-use crate::secure_memory::BlockCoords;
+use crate::secure_memory::{BlockCoords, DatapathCache};
 use crate::telemetry::{self, Counter, LayerRow};
 use seculator_compute::quant::QTensor3;
 use seculator_crypto::keys::DeviceSecret;
@@ -182,6 +182,11 @@ struct Tenant {
     retries: u32,
     /// Per-tenant splitmix stream for backoff jitter.
     backoff_rng: u64,
+    /// Expanded key schedules, kept across promotions and retries so a
+    /// re-admitted attempt never re-expands what this tenant's derived
+    /// key already paid for (the MAC schedule is epoch-independent; a
+    /// repeated epoch reuses its whole datapath).
+    schedules: DatapathCache,
     /// Audit records salvaged from failed attempts, merged ahead of the
     /// terminal attempt's records at report time. Every record already
     /// went through the `IncidentLog::push` telemetry funnel once.
@@ -503,6 +508,7 @@ impl SessionManager {
             clock: None,
             retries: 0,
             backoff_rng: Self::backoff_stream(self.backoff_seed, spec.tenant),
+            schedules: DatapathCache::new(),
             incidents: IncidentLog::new(),
             last_progress_round: 0,
             deadline_missed: false,
@@ -650,7 +656,14 @@ impl SessionManager {
                 injector: t.injector.as_mut(),
                 clock: t.clock.as_mut(),
             };
-            open_resume_cursor(&t.input, &t.session, &mut t.durable, &mut instruments, loss)
+            open_resume_cursor(
+                &t.input,
+                &t.session,
+                &mut t.durable,
+                &mut instruments,
+                loss,
+                &mut t.schedules,
+            )
         };
         t.windows.push((w0, telemetry::event_cursor()));
         match result {
@@ -685,7 +698,13 @@ impl SessionManager {
         Self::arm_next_cut(t);
         let w0 = telemetry::event_cursor();
         let mut clock = t.clock.as_mut();
-        match open_journaled_cursor(&t.input, &t.session, &mut t.durable, &mut clock) {
+        match open_journaled_cursor(
+            &t.input,
+            &t.session,
+            &mut t.durable,
+            &mut clock,
+            &mut t.schedules,
+        ) {
             Ok(cursor) => t.state = TenantState::Running(Box::new(cursor)),
             Err(e) => {
                 if !matches!(e, JournaledError::Security(_)) {

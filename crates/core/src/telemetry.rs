@@ -116,11 +116,19 @@ pub enum Counter {
     /// Process-level resumes: a durable home reopened with prior commits
     /// on disk and execution continued from the persisted journal.
     RestartResumes,
+    /// Blocks sealed/opened through the portable T-table backend (the
+    /// serial reference path also lands here — it *is* the portable
+    /// implementation).
+    BackendPortableBlocks,
+    /// Blocks sealed/opened through the bitsliced constant-time backend.
+    BackendBitslicedBlocks,
+    /// Blocks sealed/opened through the `AES-NI`/`SHA-NI` backend.
+    BackendAesNiBlocks,
 }
 
 impl Counter {
     /// Every counter, in registry (and serialization) order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 34] = [
         Counter::SealBatches,
         Counter::SealBlocks,
         Counter::OpenBatches,
@@ -152,6 +160,9 @@ impl Counter {
         Counter::TornTailsRepaired,
         Counter::SnapshotsCompacted,
         Counter::RestartResumes,
+        Counter::BackendPortableBlocks,
+        Counter::BackendBitslicedBlocks,
+        Counter::BackendAesNiBlocks,
     ];
 
     /// Stable snake_case name used in every sink format.
@@ -189,6 +200,9 @@ impl Counter {
             Counter::TornTailsRepaired => "torn_tails_repaired",
             Counter::SnapshotsCompacted => "snapshots_compacted",
             Counter::RestartResumes => "restart_resumes",
+            Counter::BackendPortableBlocks => "backend_portable_blocks",
+            Counter::BackendBitslicedBlocks => "backend_bitsliced_blocks",
+            Counter::BackendAesNiBlocks => "backend_aesni_blocks",
         }
     }
 }

@@ -11,8 +11,9 @@
 //! `seculator-sim`, while this module provides the *functional* cipher used
 //! by the secure-memory datapath.
 
+use crate::bitslice::BsKeys;
 use crate::gf::{gf_mul, sbox_byte};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Number of 32-bit words in an AES-128 key.
 const NK: usize = 4;
@@ -85,6 +86,11 @@ pub struct Aes128 {
     /// Lookup tables resolved once at construction so the per-block hot
     /// path never touches the `OnceLock`.
     tables: &'static Tables,
+    /// Bitsliced round-key planes, expanded lazily on first use by the
+    /// bitsliced backend and shared across clones — `SessionManager`
+    /// retries clone the datapath per attempt, and the plane expansion
+    /// must not be redone each time.
+    bs_keys: Arc<OnceLock<BsKeys>>,
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -137,6 +143,35 @@ impl Aes128 {
             round_keys,
             ek,
             tables,
+            bs_keys: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Expanded round keys in byte form, for backends that consume the
+    /// FIPS-197 schedule directly (`AES-NI` loads, bitsliced packing).
+    pub(crate) fn round_keys(&self) -> &[[u8; 16]; NR + 1] {
+        &self.round_keys
+    }
+
+    /// The bitsliced key schedule, expanded on first use and cached for
+    /// the lifetime of this key (shared across clones).
+    pub(crate) fn bitsliced_keys(&self) -> &BsKeys {
+        self.bs_keys
+            .get_or_init(|| BsKeys::expand(&self.round_keys))
+    }
+
+    /// Encrypts each 16-byte block in place via the T-table path —
+    /// four-lane interleaved batches with a single-block tail. This is
+    /// the portable backend's batch entry point.
+    pub(crate) fn encrypt_blocks_tt(&self, blocks: &mut [[u8; 16]]) {
+        let mut chunks = blocks.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            let batch: &[[u8; 16]; 4] = (&*chunk).try_into().expect("chunks of 4");
+            let out = self.encrypt_blocks4(batch);
+            chunk.copy_from_slice(&out);
+        }
+        for block in chunks.into_remainder() {
+            *block = self.encrypt_block(block);
         }
     }
 

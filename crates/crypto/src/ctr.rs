@@ -9,6 +9,7 @@
 //! `(fmap id, layer id, VN, block index)`.
 
 use crate::aes::Aes128;
+use crate::backend::{default_backend, Backend};
 
 /// A 128-bit CTR counter split into Seculator's major/minor halves.
 ///
@@ -69,15 +70,33 @@ impl BlockCounter {
 #[derive(Debug, Clone)]
 pub struct AesCtr {
     aes: Aes128,
+    /// Execution backend for pad generation. Selection only affects
+    /// speed and timing behaviour — pads are bit-identical across
+    /// backends.
+    backend: Backend,
 }
 
 impl AesCtr {
-    /// Creates a CTR cipher from a 16-byte key.
+    /// Creates a CTR cipher from a 16-byte key, using the process-wide
+    /// default backend ([`crate::backend::default_backend`]).
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, default_backend())
+    }
+
+    /// Creates a CTR cipher pinned to an explicit execution backend.
+    #[must_use]
+    pub fn with_backend(key: &[u8; 16], backend: Backend) -> Self {
         Self {
             aes: Aes128::new(key),
+            backend,
         }
+    }
+
+    /// The execution backend this cipher dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Fills `pad` with the 64-byte one-time pad for `counter`.
@@ -93,9 +112,41 @@ impl AesCtr {
         for (lane, input) in lanes.iter_mut().enumerate() {
             input[8..].copy_from_slice(&base.wrapping_add(lane as u64).to_be_bytes());
         }
-        let blocks = self.aes.encrypt_blocks4(&lanes);
-        for (lane, block) in blocks.iter().enumerate() {
+        self.backend.aes_encrypt_blocks(&self.aes, &mut lanes);
+        for (lane, block) in lanes.iter().enumerate() {
             pad[16 * lane..16 * (lane + 1)].copy_from_slice(block);
+        }
+    }
+
+    /// Fills one 64-byte pad per counter, batching the AES lanes of up
+    /// to eight blocks (32 lanes) into single backend calls so wide
+    /// backends (`AES-NI`, bitsliced) run full batches instead of one
+    /// four-lane group at a time. Bit-identical to per-counter
+    /// [`Self::pad64_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters.len() != pads.len()`.
+    pub fn pads_into(&self, counters: &[BlockCounter], pads: &mut [[u8; 64]]) {
+        assert_eq!(counters.len(), pads.len(), "one pad buffer per counter");
+        for (counters, pads) in counters.chunks(8).zip(pads.chunks_mut(8)) {
+            let mut lanes = [[0u8; 16]; 32];
+            for (i, c) in counters.iter().enumerate() {
+                let bytes = c.to_bytes();
+                let base = c.minor.wrapping_mul(4);
+                for (lane, buf) in lanes[4 * i..4 * i + 4].iter_mut().enumerate() {
+                    buf.copy_from_slice(&bytes);
+                    buf[8..].copy_from_slice(&base.wrapping_add(lane as u64).to_be_bytes());
+                }
+            }
+            let used = 4 * counters.len();
+            self.backend
+                .aes_encrypt_blocks(&self.aes, &mut lanes[..used]);
+            for (pad, quad) in pads.iter_mut().zip(lanes.chunks_exact(4)) {
+                for (lane, block) in quad.iter().enumerate() {
+                    pad[16 * lane..16 * (lane + 1)].copy_from_slice(block);
+                }
+            }
         }
     }
 
@@ -181,8 +232,17 @@ impl AesCtr {
             "one counter per 64-byte block"
         );
         let mut out = vec![[0u8; 64]; blocks.len()];
-        for ((o, pt), &c) in out.iter_mut().zip(blocks.iter()).zip(counters.iter()) {
-            self.encrypt_block64_into(pt, c, o);
+        for ((out, pt), counters) in out
+            .chunks_mut(8)
+            .zip(blocks.chunks(8))
+            .zip(counters.chunks(8))
+        {
+            self.pads_into(counters, out);
+            for (o, p) in out.iter_mut().zip(pt.iter()) {
+                for (ob, pb) in o.iter_mut().zip(p.iter()) {
+                    *ob ^= pb;
+                }
+            }
         }
         out
     }
@@ -199,11 +259,12 @@ impl AesCtr {
             64 * counters.len(),
             "keystream buffer must be exactly 64 bytes per counter"
         );
-        for (chunk, &c) in out.chunks_exact_mut(64).zip(counters.iter()) {
-            let pad: &mut [u8; 64] = chunk
-                .try_into()
-                .expect("chunks_exact yields 64-byte chunks");
-            self.pad64_into(c, pad);
+        let mut pads = [[0u8; 64]; 8];
+        for (counters, chunk) in counters.chunks(8).zip(out.chunks_mut(64 * 8)) {
+            self.pads_into(counters, &mut pads[..counters.len()]);
+            for (dst, pad) in chunk.chunks_exact_mut(64).zip(pads.iter()) {
+                dst.copy_from_slice(pad);
+            }
         }
     }
 

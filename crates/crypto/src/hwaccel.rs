@@ -1,0 +1,340 @@
+//! x86_64 hardware crypto backend: `AES-NI` for pad generation and
+//! `SHA-NI` for MAC compression.
+//!
+//! The portable key schedule from [`crate::aes`] is reused verbatim —
+//! `AESENC` consumes the same round keys FIPS-197 defines, so the only
+//! hardware-specific state is loading them into vector registers. That
+//! keeps equivalence trivial: the KATs and differential fuzz that pin
+//! the software paths to the standard pin this path too.
+//!
+//! AES blocks run in eight-wide interleaved `AESENC` chains (the
+//! instruction pipelines, a lone chain is latency-bound). SHA-256
+//! likewise exposes a two-chain compression ([`CryptoBackend::
+//! sha256_compress2`]): `SHA256RNDS2` has multi-cycle latency and the 64
+//! rounds of one block are serially dependent, so interleaving two
+//! independent blocks' chains nearly doubles MAC throughput — that is
+//! what lets the hardware backend clear the whole-datapath speedup
+//! target rather than just the AES part.
+//!
+//! Everything here is gated at runtime: [`backend`] is only reachable
+//! through [`crate::backend::aesni`], which checks
+//! `is_x86_feature_detected!` first.
+
+use crate::aes::Aes128;
+use crate::backend::{BackendKind, CryptoBackend};
+use core::arch::x86_64::{
+    __m128i, _mm_add_epi32, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_alignr_epi8,
+    _mm_extract_epi32, _mm_loadu_si128, _mm_set_epi32, _mm_sha256msg1_epu32, _mm_sha256msg2_epu32,
+    _mm_sha256rnds2_epu32, _mm_shuffle_epi32, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// True when the CPU reports every ISA extension this module uses.
+pub(crate) fn detected() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+        && std::arch::is_x86_feature_detected!("sha")
+        && std::arch::is_x86_feature_detected!("ssse3")
+        && std::arch::is_x86_feature_detected!("sse4.1")
+}
+
+/// The `AES-NI` + `SHA-NI` backend singleton.
+pub(crate) fn backend() -> &'static dyn CryptoBackend {
+    static AESNI: AesNiBackend = AesNiBackend;
+    &AESNI
+}
+
+struct AesNiBackend;
+
+impl CryptoBackend for AesNiBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::AesNi
+    }
+
+    fn constant_time(&self) -> bool {
+        // AESENC/SHA256RNDS2 have data-independent latency.
+        true
+    }
+
+    fn aes_encrypt_blocks(&self, aes: &Aes128, blocks: &mut [[u8; 16]]) {
+        // SAFETY: this backend is only handed out after `detected()`
+        // confirmed the `aes` feature at runtime.
+        unsafe { aes_encrypt_blocks_ni(aes.round_keys(), blocks) }
+    }
+
+    fn sha256_compress(&self, state: &mut [u32; 8], words: &[u32; 16], k: &[u32; 64]) {
+        // SAFETY: `sha`/`ssse3`/`sse4.1` confirmed by `detected()`.
+        unsafe { sha256_compress_ni(state, words, k) }
+    }
+
+    fn sha256_compress2(
+        &self,
+        state0: &mut [u32; 8],
+        words0: &[u32; 16],
+        state1: &mut [u32; 8],
+        words1: &[u32; 16],
+        k: &[u32; 64],
+    ) {
+        // SAFETY: `sha`/`ssse3`/`sse4.1` confirmed by `detected()`.
+        unsafe { sha256_compress2_ni(state0, words0, state1, words1, k) }
+    }
+}
+
+/// Encrypts each block with interleaved eight-wide `AESENC` chains.
+///
+/// # Safety
+///
+/// The CPU must support the `aes` (and baseline `sse2`) features.
+#[target_feature(enable = "aes")]
+unsafe fn aes_encrypt_blocks_ni(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    let mut rk = [_mm_set_epi32(0, 0, 0, 0); 11];
+    for (v, bytes) in rk.iter_mut().zip(round_keys.iter()) {
+        *v = _mm_loadu_si128(bytes.as_ptr().cast());
+    }
+    let mut chunks = blocks.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        let mut s = [_mm_set_epi32(0, 0, 0, 0); 8];
+        for (v, block) in s.iter_mut().zip(chunk.iter()) {
+            *v = _mm_xor_si128(_mm_loadu_si128(block.as_ptr().cast()), rk[0]);
+        }
+        for key in &rk[1..10] {
+            for v in s.iter_mut() {
+                *v = _mm_aesenc_si128(*v, *key);
+            }
+        }
+        for (v, block) in s.iter_mut().zip(chunk.iter_mut()) {
+            *v = _mm_aesenclast_si128(*v, rk[10]);
+            _mm_storeu_si128(block.as_mut_ptr().cast(), *v);
+        }
+    }
+    for block in chunks.into_remainder() {
+        let mut v = _mm_xor_si128(_mm_loadu_si128(block.as_ptr().cast()), rk[0]);
+        for key in &rk[1..10] {
+            v = _mm_aesenc_si128(v, *key);
+        }
+        v = _mm_aesenclast_si128(v, rk[10]);
+        _mm_storeu_si128(block.as_mut_ptr().cast(), v);
+    }
+}
+
+/// Packs `[a..h]` into the `SHA256RNDS2` register pair
+/// (`ABEF` = `{A,B,E,F}` high→low, `CDGH` = `{C,D,G,H}`).
+#[inline]
+fn pack_state(state: &[u32; 8]) -> (__m128i, __m128i) {
+    // SAFETY: `_mm_set_epi32` is baseline SSE2, part of x86_64.
+    unsafe {
+        (
+            _mm_set_epi32(
+                state[0] as i32,
+                state[1] as i32,
+                state[4] as i32,
+                state[5] as i32,
+            ),
+            _mm_set_epi32(
+                state[2] as i32,
+                state[3] as i32,
+                state[6] as i32,
+                state[7] as i32,
+            ),
+        )
+    }
+}
+
+/// One SHA-256 compression using `SHA256RNDS2`/`MSG1`/`MSG2`.
+///
+/// `words` are the 16 message-schedule words already decoded from
+/// big-endian bytes (the form [`crate::sha256::compress_words`] takes),
+/// so the vectors load directly with `w[4g]` in the low dword — no byte
+/// shuffling. Per four-round group: `WK = W + K`; `SHA256RNDS2` consumes
+/// `WK0..1`, then `WK2..3` after a dword shuffle. After two rounds the
+/// old `ABEF` register *is* the new `CDGH`, so the two calls swap the
+/// register roles and restore the invariant per group.
+///
+/// # Safety
+///
+/// The CPU must support `sha`, `ssse3`, and `sse4.1`.
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+unsafe fn sha256_compress_ni(state: &mut [u32; 8], words: &[u32; 16], k: &[u32; 64]) {
+    let (mut abef, mut cdgh) = pack_state(state);
+    let (abef0, cdgh0) = (abef, cdgh);
+    let mut w = [_mm_set_epi32(0, 0, 0, 0); 4];
+    for (g, v) in w.iter_mut().enumerate() {
+        *v = _mm_loadu_si128(words.as_ptr().add(4 * g).cast());
+    }
+    for g in 0..16 {
+        let wg = if g < 4 {
+            w[g]
+        } else {
+            // W[4g..4g+4] = msg2(msg1(W[g-4], W[g-3]) + W[i-7] window, W[g-1])
+            let msg1 = _mm_sha256msg1_epu32(w[0], w[1]);
+            let tail = _mm_alignr_epi8(w[3], w[2], 4);
+            let next = _mm_sha256msg2_epu32(_mm_add_epi32(msg1, tail), w[3]);
+            w = [w[1], w[2], w[3], next];
+            next
+        };
+        let wk = _mm_add_epi32(wg, _mm_loadu_si128(k.as_ptr().add(4 * g).cast()));
+        cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+        abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0E));
+    }
+    abef = _mm_add_epi32(abef, abef0);
+    cdgh = _mm_add_epi32(cdgh, cdgh0);
+    state[0] = _mm_extract_epi32(abef, 3) as u32;
+    state[1] = _mm_extract_epi32(abef, 2) as u32;
+    state[2] = _mm_extract_epi32(cdgh, 3) as u32;
+    state[3] = _mm_extract_epi32(cdgh, 2) as u32;
+    state[4] = _mm_extract_epi32(abef, 1) as u32;
+    state[5] = _mm_extract_epi32(abef, 0) as u32;
+    state[6] = _mm_extract_epi32(cdgh, 1) as u32;
+    state[7] = _mm_extract_epi32(cdgh, 0) as u32;
+}
+
+/// Two independent SHA-256 compressions with their round chains
+/// interleaved, hiding the `SHA256RNDS2` latency of each behind the
+/// other.
+///
+/// # Safety
+///
+/// The CPU must support `sha`, `ssse3`, and `sse4.1`.
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+unsafe fn sha256_compress2_ni(
+    state0: &mut [u32; 8],
+    words0: &[u32; 16],
+    state1: &mut [u32; 8],
+    words1: &[u32; 16],
+    k: &[u32; 64],
+) {
+    let (mut abef_a, mut cdgh_a) = pack_state(state0);
+    let (mut abef_b, mut cdgh_b) = pack_state(state1);
+    let (abef_a0, cdgh_a0) = (abef_a, cdgh_a);
+    let (abef_b0, cdgh_b0) = (abef_b, cdgh_b);
+    let mut wa = [_mm_set_epi32(0, 0, 0, 0); 4];
+    let mut wb = wa;
+    for g in 0..4 {
+        wa[g] = _mm_loadu_si128(words0.as_ptr().add(4 * g).cast());
+        wb[g] = _mm_loadu_si128(words1.as_ptr().add(4 * g).cast());
+    }
+    for g in 0..16 {
+        let (wga, wgb) = if g < 4 {
+            (wa[g], wb[g])
+        } else {
+            let next_a = _mm_sha256msg2_epu32(
+                _mm_add_epi32(
+                    _mm_sha256msg1_epu32(wa[0], wa[1]),
+                    _mm_alignr_epi8(wa[3], wa[2], 4),
+                ),
+                wa[3],
+            );
+            let next_b = _mm_sha256msg2_epu32(
+                _mm_add_epi32(
+                    _mm_sha256msg1_epu32(wb[0], wb[1]),
+                    _mm_alignr_epi8(wb[3], wb[2], 4),
+                ),
+                wb[3],
+            );
+            wa = [wa[1], wa[2], wa[3], next_a];
+            wb = [wb[1], wb[2], wb[3], next_b];
+            (next_a, next_b)
+        };
+        let kg = _mm_loadu_si128(k.as_ptr().add(4 * g).cast());
+        let wk_a = _mm_add_epi32(wga, kg);
+        let wk_b = _mm_add_epi32(wgb, kg);
+        cdgh_a = _mm_sha256rnds2_epu32(cdgh_a, abef_a, wk_a);
+        cdgh_b = _mm_sha256rnds2_epu32(cdgh_b, abef_b, wk_b);
+        abef_a = _mm_sha256rnds2_epu32(abef_a, cdgh_a, _mm_shuffle_epi32(wk_a, 0x0E));
+        abef_b = _mm_sha256rnds2_epu32(abef_b, cdgh_b, _mm_shuffle_epi32(wk_b, 0x0E));
+    }
+    abef_a = _mm_add_epi32(abef_a, abef_a0);
+    cdgh_a = _mm_add_epi32(cdgh_a, cdgh_a0);
+    abef_b = _mm_add_epi32(abef_b, abef_b0);
+    cdgh_b = _mm_add_epi32(cdgh_b, cdgh_b0);
+    for (state, abef, cdgh) in [(state0, abef_a, cdgh_a), (state1, abef_b, cdgh_b)] {
+        state[0] = _mm_extract_epi32(abef, 3) as u32;
+        state[1] = _mm_extract_epi32(abef, 2) as u32;
+        state[2] = _mm_extract_epi32(cdgh, 3) as u32;
+        state[3] = _mm_extract_epi32(cdgh, 2) as u32;
+        state[4] = _mm_extract_epi32(abef, 1) as u32;
+        state[5] = _mm_extract_epi32(abef, 0) as u32;
+        state[6] = _mm_extract_epi32(cdgh, 1) as u32;
+        state[7] = _mm_extract_epi32(cdgh, 0) as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::{compress_words, iv, k};
+
+    fn words(seed: u32) -> [u32; 16] {
+        let mut w = [0u32; 16];
+        let mut x = seed.wrapping_mul(2654435761).wrapping_add(9);
+        for word in w.iter_mut() {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            *word = x;
+        }
+        w
+    }
+
+    #[test]
+    fn sha_ni_compress_matches_software_compression() {
+        if !detected() {
+            eprintln!("skipping: host lacks SHA-NI");
+            return;
+        }
+        let b = backend();
+        for seed in 0..64 {
+            let w = words(seed);
+            let mut hw = iv();
+            let mut sw = iv();
+            b.sha256_compress(&mut hw, &w, k());
+            compress_words(&mut sw, &w, k());
+            assert_eq!(hw, sw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sha_ni_interleaved_pair_matches_sequential_chains() {
+        if !detected() {
+            eprintln!("skipping: host lacks SHA-NI");
+            return;
+        }
+        let b = backend();
+        for seed in 0..32 {
+            let (w0, w1) = (words(seed), words(seed ^ 0xBEEF));
+            let mut s0 = iv();
+            let mut s1 = [seed; 8];
+            let (mut r0, mut r1) = (s0, s1);
+            b.sha256_compress2(&mut s0, &w0, &mut s1, &w1, k());
+            compress_words(&mut r0, &w0, k());
+            compress_words(&mut r1, &w1, k());
+            assert_eq!((s0, s1), (r0, r1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aes_ni_matches_scalar_reference_for_ragged_batches() {
+        if !detected() {
+            eprintln!("skipping: host lacks AES-NI");
+            return;
+        }
+        let b = backend();
+        let aes = Aes128::new(b"hwaccel-test-key");
+        // Lengths straddling the eight-wide chunking, including 0.
+        for len in [0usize, 1, 7, 8, 9, 16, 23] {
+            let mut blocks: Vec<[u8; 16]> = (0..len)
+                .map(|i| {
+                    let mut blk = [0u8; 16];
+                    blk[0] = i as u8;
+                    blk[15] = (i as u8).wrapping_mul(37);
+                    blk
+                })
+                .collect();
+            let inputs = blocks.clone();
+            b.aes_encrypt_blocks(&aes, &mut blocks);
+            for (i, input) in inputs.iter().enumerate() {
+                assert_eq!(
+                    blocks[i],
+                    aes.encrypt_block_scalar(input),
+                    "len {len} lane {i}"
+                );
+            }
+        }
+    }
+}

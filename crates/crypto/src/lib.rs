@@ -5,6 +5,11 @@
 //!
 //! - [`aes`] — AES-128 block cipher (FIPS-197), S-box derived from field
 //!   arithmetic rather than transcribed.
+//! - [`backend`] — pluggable execution backends for the AES/SHA-256
+//!   primitives: portable T-tables, bitsliced constant-time software,
+//!   and x86 `AES-NI`/`SHA-NI`, all bit-identical.
+//! - [`timing`] — the seal-path timing-leakage self-test backing the
+//!   constant-time backends' claims.
 //! - [`ctr`] — AES counter mode over 64-byte memory blocks with
 //!   Seculator's major/minor counter layout (fmap ‖ layer, VN ‖ index).
 //! - [`xts`] — AES-XTS tweakable cipher (TNPU / SGX-Server-style total
@@ -43,15 +48,21 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aes;
+pub mod backend;
+mod bitslice;
 pub mod ctr;
 pub mod gf;
+#[cfg(target_arch = "x86_64")]
+mod hwaccel;
 pub mod keys;
 pub mod merkle;
 pub mod sha256;
+pub mod timing;
 pub mod xor_mac;
 pub mod xts;
 
 pub use aes::Aes128;
+pub use backend::{Backend, BackendChoice, BackendKind, BackendUnsupported, CryptoBackend};
 pub use ctr::{AesCtr, BlockCounter};
 pub use keys::{DeviceSecret, SessionKey};
 pub use merkle::MerkleTree;

@@ -44,24 +44,15 @@ pub(crate) fn iv() -> [u32; 8] {
     h
 }
 
-/// One SHA-256 compression: folds a 64-byte message block into `state`.
+/// One SHA-256 compression over a message block already loaded as 16
+/// big-endian words: folds it into `state`.
 ///
 /// Free-standing (rather than a method on [`Sha256`]) so fixed-length
-/// callers like the crate's XOR-MAC engine can run the compression
-/// directly over stack buffers with a cached `k`, skipping the
-/// incremental hasher's buffering entirely.
-pub(crate) fn compress_block(state: &mut [u32; 8], block: &[u8; 64], k: &[u32; 64]) {
-    let mut w = [0u32; 16];
-    for i in 0..16 {
-        w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
-    }
-    compress_words(state, &w, k);
-}
-
-/// [`compress_block`] over a message block already loaded as 16
-/// big-endian words — the entry point for callers (the XOR-MAC engine)
-/// that assemble the block from word-sized fields and would otherwise
-/// serialize to bytes only for the loads above to undo it.
+/// callers — the XOR-MAC engine through the portable
+/// [`crate::backend::CryptoBackend`] — can run the compression directly
+/// over stack buffers with a cached `k`, skipping the incremental
+/// hasher's buffering, and assemble the block from word-sized fields
+/// without a byte-serialize/word-deserialize round trip.
 pub(crate) fn compress_words(state: &mut [u32; 8], words: &[u32; 16], k: &[u32; 64]) {
     // The message schedule lives in a rolling 16-word window instead of a
     // flat `[u32; 64]` (§6.2.2 only ever reads the last 16 entries), and
@@ -158,6 +149,13 @@ pub struct Sha256 {
     /// Round constants resolved once at construction so per-block
     /// compressions skip the `OnceLock` check.
     k: &'static [u32; 64],
+    /// Execution backend for the compression function.
+    ///
+    /// [`Self::new`] pins this to the portable software compression so
+    /// the incremental hasher stays the from-first-principles reference
+    /// other backends are differentially tested against;
+    /// [`Self::with_backend`] opts into hardware compression.
+    backend: crate::backend::Backend,
 }
 
 impl Default for Sha256 {
@@ -167,15 +165,24 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// Creates a hasher in the initial state.
+    /// Creates a hasher in the initial state (portable compression).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_backend(crate::backend::portable())
+    }
+
+    /// Creates a hasher whose compressions run on `backend`. Digests
+    /// are bit-identical across backends (FIPS-180-4 KATs below run on
+    /// every backend the host supports).
+    #[must_use]
+    pub fn with_backend(backend: crate::backend::Backend) -> Self {
         Self {
             state: iv(),
             buffer: [0u8; 64],
             buffer_len: 0,
             total_len: 0,
             k: k(),
+            backend,
         }
     }
 
@@ -247,7 +254,11 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        compress_block(&mut self.state, block, self.k);
+        let mut w = [0u32; 16];
+        for (word, bytes) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        }
+        self.backend.sha256_compress(&mut self.state, &w, self.k);
     }
 }
 
@@ -316,6 +327,79 @@ mod tests {
         let concat: Vec<u8> = [a, b, &c].concat();
         assert_eq!(Sha256::digest_parts(&[a, b, &c]), Sha256::digest(&concat));
         assert_eq!(Sha256::digest_parts(&[]), Sha256::digest(b""));
+    }
+
+    #[test]
+    fn all_nist_vectors_pass_on_every_backend() {
+        // FIPS-180-4 / NIST SHA-256 test vectors, run through each
+        // backend's compression (exercises SHA-NI where available).
+        let vectors: [(&[u8], &str); 4] = [
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+                  ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+        ];
+        for backend in crate::backend::available() {
+            for (msg, want) in vectors {
+                let mut h = Sha256::with_backend(backend);
+                h.update(msg);
+                assert_eq!(
+                    hex(&h.finalize()),
+                    want,
+                    "backend {:?} msg len {}",
+                    backend.kind(),
+                    msg.len()
+                );
+            }
+            // The million-'a' vector, fed in chunks that straddle block
+            // boundaries.
+            let mut h = Sha256::with_backend(backend);
+            let chunk = [b'a'; 1000];
+            for _ in 0..1000 {
+                h.update(&chunk);
+            }
+            assert_eq!(
+                hex(&h.finalize()),
+                "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
+                "backend {:?}",
+                backend.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn backend_compressions_match_rolling_window_templates() {
+        // Random 16-word schedule templates (the XOR-MAC engine's input
+        // form): every backend's raw compression must match the
+        // rolling-window software implementation word for word.
+        let mut x: u32 = 0xC0FF_EE01;
+        for case in 0..64u32 {
+            let mut words = [0u32; 16];
+            for w in words.iter_mut() {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                *w = x;
+            }
+            let mut want = iv();
+            compress_words(&mut want, &words, k());
+            for backend in crate::backend::available() {
+                let mut got = iv();
+                backend.sha256_compress(&mut got, &words, k());
+                assert_eq!(got, want, "backend {:?} case {case}", backend.kind());
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! in any order — XOR is commutative, and the block index `I` inside the
 //! MAC pins each block to its position.
 
-use crate::sha256::{compress_words, iv, k, Sha256};
+use crate::backend::{default_backend, Backend};
+use crate::sha256::{iv, k, Sha256};
 
 /// A 256-bit XOR-accumulating MAC register (one of `MAC_W`, `MAC_R`,
 /// `MAC_FR`, `MAC_IR` in the paper).
@@ -152,12 +153,22 @@ pub struct BlockMacEngine {
     /// floating-point roots — far too slow to recompute per block.
     iv: [u32; 8],
     k: &'static [u32; 64],
+    /// Execution backend for the compression function. MACs are
+    /// bit-identical across backends; only speed differs.
+    backend: Backend,
 }
 
 impl BlockMacEngine {
-    /// Builds an engine bound to one device secret (`P`).
+    /// Builds an engine bound to one device secret (`P`), using the
+    /// process-wide default backend.
     #[must_use]
     pub fn new(device_secret: &[u8; 16]) -> Self {
+        Self::with_backend(device_secret, default_backend())
+    }
+
+    /// Builds an engine pinned to an explicit execution backend.
+    #[must_use]
+    pub fn with_backend(device_secret: &[u8; 16], backend: Backend) -> Self {
         let mut first = [0u32; 16];
         for (w, bytes) in first.iter_mut().zip(device_secret.chunks_exact(4)) {
             *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
@@ -170,7 +181,40 @@ impl BlockMacEngine {
             second,
             iv: iv(),
             k: k(),
+            backend,
         }
+    }
+
+    /// The execution backend this engine dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Drops the per-block coordinates and content into the two frozen
+    /// compression blocks.
+    #[inline]
+    fn schedule(
+        &self,
+        layer_id: u32,
+        fmap_id: u32,
+        version: u32,
+        block_index: u32,
+        block: &[u8; 64],
+    ) -> ([u32; 16], [u32; 16]) {
+        let mut first = self.first;
+        first[4] = layer_id;
+        first[5] = fmap_id;
+        first[6] = version;
+        first[7] = block_index;
+        for (w, bytes) in first[8..].iter_mut().zip(block[..32].chunks_exact(4)) {
+            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        }
+        let mut second = self.second;
+        for (w, bytes) in second[..8].iter_mut().zip(block[32..].chunks_exact(4)) {
+            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        }
+        (first, second)
     }
 
     /// Computes `SHA256(P ‖ L ‖ F ‖ VN ‖ I ‖ B)` via the fixed
@@ -184,26 +228,50 @@ impl BlockMacEngine {
         block_index: u32,
         block: &[u8; 64],
     ) -> [u8; 32] {
-        let mut first = self.first;
-        first[4] = layer_id;
-        first[5] = fmap_id;
-        first[6] = version;
-        first[7] = block_index;
-        for (w, bytes) in first[8..].iter_mut().zip(block[..32].chunks_exact(4)) {
-            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
-        }
-        let mut second = self.second;
-        for (w, bytes) in second[..8].iter_mut().zip(block[32..].chunks_exact(4)) {
-            *w = u32::from_be_bytes(bytes.try_into().expect("4 bytes"));
-        }
+        let (first, second) = self.schedule(layer_id, fmap_id, version, block_index, block);
         let mut state = self.iv;
-        compress_words(&mut state, &first, self.k);
-        compress_words(&mut state, &second, self.k);
+        self.backend.sha256_compress(&mut state, &first, self.k);
+        self.backend.sha256_compress(&mut state, &second, self.k);
         let mut out = [0u8; 32];
         for (i, word) in state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
+    }
+
+    /// Computes two independent block MACs with their compression
+    /// chains interleaved (`coords` = `[layer, fmap, VN, index]`).
+    ///
+    /// Each MAC is a serially-dependent two-compression chain; running
+    /// two chains through [`crate::backend::CryptoBackend::
+    /// sha256_compress2`] hides the per-round latency of one behind the
+    /// other on hardware SHA units. Bit-identical to two [`Self::mac`]
+    /// calls on every backend.
+    #[must_use]
+    pub fn mac2(
+        &self,
+        coords0: [u32; 4],
+        block0: &[u8; 64],
+        coords1: [u32; 4],
+        block1: &[u8; 64],
+    ) -> ([u8; 32], [u8; 32]) {
+        let (first0, second0) =
+            self.schedule(coords0[0], coords0[1], coords0[2], coords0[3], block0);
+        let (first1, second1) =
+            self.schedule(coords1[0], coords1[1], coords1[2], coords1[3], block1);
+        let mut s0 = self.iv;
+        let mut s1 = self.iv;
+        self.backend
+            .sha256_compress2(&mut s0, &first0, &mut s1, &first1, self.k);
+        self.backend
+            .sha256_compress2(&mut s0, &second0, &mut s1, &second1, self.k);
+        let mut out0 = [0u8; 32];
+        let mut out1 = [0u8; 32];
+        for i in 0..8 {
+            out0[4 * i..4 * i + 4].copy_from_slice(&s0[i].to_be_bytes());
+            out1[4 * i..4 * i + 4].copy_from_slice(&s1[i].to_be_bytes());
+        }
+        (out0, out1)
     }
 }
 
@@ -350,6 +418,44 @@ mod tests {
         assert!(ir.is_zero());
         ir.absorb(&m);
         assert!(!ir.is_zero());
+    }
+
+    #[test]
+    fn mac2_matches_two_mac_calls_on_every_backend() {
+        // The interleaved pair must be bit-identical to sequential MACs
+        // for every backend this host can run.
+        for backend in crate::backend::available() {
+            let engine = BlockMacEngine::with_backend(&SECRET, backend);
+            for i in 0..20u32 {
+                let block0 = [(i as u8).wrapping_mul(3); 64];
+                let mut block1 = [0u8; 64];
+                for (j, b) in block1.iter_mut().enumerate() {
+                    *b = (i as u8) ^ (j as u8);
+                }
+                let c0 = [i, i ^ 1, i.wrapping_mul(5), u32::MAX - i];
+                let c1 = [i + 7, i, 0, i];
+                let (m0, m1) = engine.mac2(c0, &block0, c1, &block1);
+                assert_eq!(m0, engine.mac(c0[0], c0[1], c0[2], c0[3], &block0));
+                assert_eq!(m1, engine.mac(c1[0], c1[1], c1[2], c1[3], &block1));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_bit_identical_across_backends() {
+        let reference = BlockMacEngine::with_backend(&SECRET, crate::backend::portable());
+        for backend in crate::backend::available() {
+            let engine = BlockMacEngine::with_backend(&SECRET, backend);
+            for i in 0..10u32 {
+                let block = [(i as u8).wrapping_mul(41).wrapping_add(1); 64];
+                assert_eq!(
+                    engine.mac(i, 2 * i, 3 * i, 4 * i, &block),
+                    reference.mac(i, 2 * i, 3 * i, 4 * i, &block),
+                    "backend {:?}",
+                    backend.kind()
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,10 @@ fn usage() -> ! {
            --threads <N>   worker threads for the parallel crypto datapath\n\
                            (default: all cores; also honors RAYON_NUM_THREADS;\n\
                            an explicit flag always wins or the run fails)\n\
+           --backend <b>   crypto backend: auto | portable | bitsliced | aesni\n\
+                           (default: auto = AES-NI/SHA-NI when the CPU has them,\n\
+                           portable otherwise; also honors SECULATOR_BACKEND;\n\
+                           a backend the host cannot run is an error, exit 2)\n\
            --metrics <path> write the telemetry snapshot JSON there after the run\n\n\
          networks: mobilenet resnet alexnet vgg16 vgg19 tiny\n\
          schemes:  baseline secure tnpu guardnn seculator seculator+"
@@ -138,6 +142,48 @@ fn configure_threads(args: &[String]) {
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Applies the global `--backend` option (or, absent the flag, the
+/// `SECULATOR_BACKEND` environment variable): pins the crypto backend
+/// every datapath in this process dispatches to. Shares the exit-code
+/// contract of `--threads` — an unknown name or a backend this host
+/// cannot execute (e.g. `aesni` without the CPU features) is exit 2
+/// with a diagnostic, never a silent fallback.
+fn configure_backend(args: &[String]) {
+    use seculator::crypto::backend::{self, BackendChoice};
+    let (source, value) = match opt(args, "--backend") {
+        Some(v) => ("--backend", v),
+        None => match std::env::var("SECULATOR_BACKEND") {
+            Ok(v) if !v.is_empty() => ("SECULATOR_BACKEND", v),
+            _ => return,
+        },
+    };
+    let Some(choice) = BackendChoice::parse(&value) else {
+        eprintln!(
+            "invalid value for {source}: `{value}` \
+             (expected auto, portable, bitsliced, or aesni)"
+        );
+        usage()
+    };
+    let resolved = match choice.resolve() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{source} {value} rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    // An explicit backend must take effect or fail the run, mirroring
+    // the `--threads` contract: if some library froze the default first
+    // with a different kind, keeping it would make the flag a lie.
+    if !backend::set_default_backend(resolved) {
+        eprintln!(
+            "{source} {value} rejected: the crypto backend was already \
+             initialized as `{}`",
+            backend::default_backend().kind().name()
+        );
+        std::process::exit(2);
     }
 }
 
@@ -307,6 +353,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     configure_threads(&args);
+    configure_backend(&args);
     let metrics_path = opt(&args, "--metrics");
     let npu = TimingNpu::new(NpuConfig::paper());
 

@@ -726,6 +726,103 @@ fn metrics_writes_are_atomic_and_leave_no_temp_files() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--backend` joins the shared exit-code contract: an unknown name is a
+/// usage error (exit 2) with the accepted set spelled out, never a
+/// silent fallback to auto-detection. Every valid software backend runs.
+#[test]
+fn backend_option_shares_the_exit_code_contract() {
+    for bad in ["frobnicate", "AESNI", ""] {
+        let (code, _, stderr) = run_code(&["run", "--network", "tiny", "--backend", bad]);
+        assert_eq!(
+            code,
+            Some(2),
+            "--backend `{bad}` is a usage error: {stderr}"
+        );
+        assert!(stderr.contains("invalid value for --backend"), "{stderr}");
+        assert!(
+            stderr.contains("expected auto, portable, bitsliced, or aesni"),
+            "{stderr}"
+        );
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+    for good in ["auto", "portable", "bitsliced"] {
+        let (code, stdout, stderr) = run_code(&["run", "--network", "tiny", "--backend", good]);
+        assert_eq!(code, Some(0), "--backend {good} runs: {stdout}\n{stderr}");
+    }
+    // The environment form shares the contract, with the source named in
+    // the diagnostic so the user knows *where* the bad value came from.
+    let (code, _, stderr) = run_env(
+        &["run", "--network", "tiny"],
+        &[("SECULATOR_BACKEND", "frobnicate")],
+    );
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(
+        stderr.contains("invalid value for SECULATOR_BACKEND"),
+        "{stderr}"
+    );
+}
+
+/// Regression: requesting the hardware backend on a host without
+/// AES-NI/SHA-NI must exit 2 with a diagnostic naming the backend and
+/// the reason — never fall back silently to software (that would turn
+/// an operator's explicit constant-time hardware pin into a variable-
+/// time T-table run). `SECULATOR_CPU_FEATURES=none` masks detection so
+/// the test behaves identically on AES-NI and non-AES-NI hosts.
+#[test]
+fn aesni_backend_without_hardware_is_rejected_with_a_diagnostic() {
+    let (code, _, stderr) = run_env(
+        &["run", "--network", "tiny", "--backend", "aesni"],
+        &[("SECULATOR_CPU_FEATURES", "none")],
+    );
+    assert_eq!(code, Some(2), "unsupported backend is exit 2: {stderr}");
+    assert!(
+        stderr.contains("--backend aesni rejected") && stderr.contains("not supported"),
+        "diagnostic names the flag and reason: {stderr}"
+    );
+    let (code, _, stderr) = run_env(
+        &["run", "--network", "tiny"],
+        &[
+            ("SECULATOR_CPU_FEATURES", "none"),
+            ("SECULATOR_BACKEND", "aesni"),
+        ],
+    );
+    assert_eq!(code, Some(2), "env form shares the contract: {stderr}");
+    assert!(
+        stderr.contains("SECULATOR_BACKEND aesni rejected"),
+        "{stderr}"
+    );
+    // `auto` under the same mask is not an error — it degrades to the
+    // portable backend by design.
+    let (code, stdout, stderr) = run_env(
+        &["run", "--network", "tiny", "--backend", "auto"],
+        &[("SECULATOR_CPU_FEATURES", "none")],
+    );
+    assert_eq!(code, Some(0), "auto degrades cleanly: {stdout}\n{stderr}");
+}
+
+/// The crypto backend must never leak into observable output: a crash
+/// campaign (journaled inference, mid-run cuts, resume) is byte-identical
+/// under every backend this host can run. This is the end-to-end form of
+/// the cross-backend differential suite.
+#[test]
+fn crash_campaign_is_backend_invariant() {
+    let args = ["crash-campaign", "--seed", "5", "--cuts", "3"];
+    let (code, portable, _) = run_env(&args, &[("SECULATOR_BACKEND", "portable")]);
+    assert_eq!(code, Some(0), "portable run passes: {portable}");
+    let (code, bitsliced, _) = run_env(&args, &[("SECULATOR_BACKEND", "bitsliced")]);
+    assert_eq!(code, Some(0), "bitsliced run passes: {bitsliced}");
+    assert_eq!(
+        portable, bitsliced,
+        "backend choice must not change campaign output"
+    );
+    let (code, auto, _) = run_env(&args, &[("SECULATOR_BACKEND", "auto")]);
+    assert_eq!(code, Some(0), "auto run passes: {auto}");
+    assert_eq!(
+        portable, auto,
+        "hardware dispatch must not change campaign output"
+    );
+}
+
 /// `--threads` joins the shared exit-code contract: zero or a non-number
 /// is a usage error (exit 2), never a silent fallback to the default
 /// worker count.

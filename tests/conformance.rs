@@ -258,6 +258,165 @@ fn chaos_scheduled_healthy_tenants_match_their_solo_runs() {
     }
 }
 
+/// Cross-backend differential: every crypto backend this host can run
+/// (portable T-table, bitsliced constant-time, AES-NI/SHA-NI when the
+/// CPU has them) must produce the *same bytes* as the serial scalar
+/// oracle — sealed ciphertext + MAC and opened plaintext + MAC — on a
+/// tile keyed by every zoo model's session. The odd block count leaves
+/// a partial chunk and a lone-MAC tail, so the batched fast paths and
+/// their scalar remainders are both on trial.
+#[test]
+fn every_backend_seals_and_opens_every_zoo_model_bit_identically() {
+    use seculator::core::{BlockCoords, CryptoDatapath};
+    use seculator::crypto::backend;
+
+    for m in campaign_models() {
+        let coords: Vec<BlockCoords> = (0..257u32)
+            .map(|i| BlockCoords {
+                fmap_id: 1,
+                layer_id: 0,
+                version: 1,
+                block_index: i,
+            })
+            .collect();
+        let blocks: Vec<[u8; 64]> = (0..coords.len())
+            .map(|i| {
+                let mut b = [0u8; 64];
+                for (j, byte) in b.iter_mut().enumerate() {
+                    *byte = (m
+                        .session
+                        .nonce
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((i * 64 + j) as u64)
+                        >> 24) as u8;
+                }
+                b
+            })
+            .collect();
+
+        let oracle = CryptoDatapath::with_epoch_mode(
+            m.session.secret,
+            m.session.nonce,
+            0,
+            DatapathMode::Serial,
+        );
+        let sealed = oracle.seal_blocks(&coords, &blocks);
+        let cts: Vec<[u8; 64]> = sealed.iter().map(|(ct, _)| *ct).collect();
+        let opened = oracle.open_blocks(&coords, &cts);
+
+        for b in backend::available() {
+            let dp = CryptoDatapath::with_epoch_mode_backend(
+                m.session.secret,
+                m.session.nonce,
+                0,
+                DatapathMode::Parallel,
+                b,
+            );
+            assert_eq!(
+                dp.seal_blocks(&coords, &blocks),
+                sealed,
+                "{}: backend {} sealed different bytes",
+                m.name,
+                b.kind().name()
+            );
+            assert_eq!(
+                dp.open_blocks(&coords, &cts),
+                opened,
+                "{}: backend {} opened different bytes",
+                m.name,
+                b.kind().name()
+            );
+        }
+    }
+}
+
+/// Cross-backend differential for whole inferences, crash path included:
+/// for every campaign model and every backend this host can run, a
+/// journaled inference killed (`SIGKILL`, real process death) at the
+/// midpoint of its interruptible-instant space and resumed in a fresh
+/// process must report the same output digest as the uninterrupted run —
+/// and the digests must agree across every backend. Backends are varied
+/// per *process* because the dispatch default freezes on first use.
+#[test]
+fn every_backend_resumes_a_cut_inference_bit_identically() {
+    use std::os::unix::process::ExitStatusExt;
+    use std::process::Command;
+
+    let exe = env!("CARGO_BIN_EXE_seculator");
+    let scratch =
+        std::env::temp_dir().join(format!("seculator-conf-backend-{}", std::process::id()));
+    let worker = |model: &str, home: &std::path::Path, backend: &str, cut: &str| {
+        let out = Command::new(exe)
+            .args(["restart-worker", "--model", model, "--home"])
+            .arg(home)
+            .args(["--cut", cut, "--backend", backend])
+            .output()
+            .expect("worker spawns");
+        (
+            out.status,
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    };
+    let field = |stdout: &str, key: &str| -> String {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(key))
+            .unwrap_or_else(|| panic!("no {key} line in {stdout}"))
+            .to_owned()
+    };
+
+    let backends: Vec<&str> = seculator::crypto::backend::available()
+        .iter()
+        .map(|b| b.kind().name())
+        .collect();
+    assert!(backends.contains(&"portable"), "portable always runs");
+
+    for m in campaign_models() {
+        // Calibrate the instant space once (it counts commit points, so
+        // it is backend-independent) and pick a mid-run cut.
+        let home = scratch.join(format!("{}-calibrate", m.name));
+        std::fs::create_dir_all(&home).expect("scratch home");
+        let (status, stdout) = worker(m.name, &home, "portable", "count");
+        assert_eq!(status.code(), Some(0), "{}: calibration: {stdout}", m.name);
+        let steps: u64 = field(&stdout, "steps=").parse().expect("numeric steps");
+        let reference = field(&stdout, "digest=");
+        let cut = (steps / 2).max(1).to_string();
+
+        for backend in &backends {
+            let home = scratch.join(format!("{}-{backend}", m.name));
+            std::fs::create_dir_all(&home).expect("scratch home");
+            // Life 1: armed mid-run; must die by a real signal.
+            let (status, stdout) = worker(m.name, &home, backend, &cut);
+            assert!(
+                status.signal().is_some(),
+                "{}/{backend}: worker must die by signal at step {cut}: {stdout}",
+                m.name
+            );
+            // Life 2: resume from the sealed journal, run to completion.
+            let (status, stdout) = worker(m.name, &home, backend, "none");
+            assert_eq!(
+                status.code(),
+                Some(0),
+                "{}/{backend}: resume failed: {stdout}",
+                m.name
+            );
+            assert_eq!(
+                field(&stdout, "resumed="),
+                "true",
+                "{}/{backend}: second life must resume, not restart: {stdout}",
+                m.name
+            );
+            assert_eq!(
+                field(&stdout, "digest="),
+                reference,
+                "{}/{backend}: resumed digest diverged from the uninterrupted run",
+                m.name
+            );
+        }
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 /// Master-equation conformance: for a real mapped network, the
 /// tile-version sequence the trace observes at every layer equals the
 /// ⟨η, κ, ρ⟩ expansion produced by the hardware [`PatternCounter`] FSM —

@@ -274,3 +274,82 @@ fn datapath_counters_match_the_work_done() {
     assert_eq!(telemetry::get(Counter::AesBlocksParallel), want_parallel);
     assert_eq!(telemetry::get(Counter::MacBlocks), want_mac);
 }
+
+/// Backend-dispatch conservation: every sealed or opened block is
+/// attributed to exactly one `backend_*_blocks` counter — serial rounds
+/// land on `portable` (the scalar reference *is* the portable
+/// implementation), parallel rounds land on whichever backend executed
+/// them — so the backend family's total growth equals the per-mode AES
+/// block counters' growth. A block counted twice (or dropped) here
+/// would make the dispatch telemetry lie about where crypto ran.
+#[test]
+fn backend_dispatch_counters_are_conserved() {
+    use seculator::core::{BlockCoords, CryptoDatapath, DatapathMode};
+    use seculator::crypto::{backend, BackendKind, DeviceSecret};
+
+    const DISPATCH: [Counter; 3] = [
+        Counter::BackendPortableBlocks,
+        Counter::BackendBitslicedBlocks,
+        Counter::BackendAesNiBlocks,
+    ];
+    let slot = |kind: BackendKind| match kind {
+        BackendKind::Portable => 0usize,
+        BackendKind::Bitsliced => 1,
+        BackendKind::AesNi => 2,
+    };
+
+    let coords: Vec<BlockCoords> = (0..41)
+        .map(|i| BlockCoords {
+            fmap_id: 2,
+            layer_id: 0,
+            version: 1,
+            block_index: i,
+        })
+        .collect();
+    let blocks = vec![[0xA5u8; 64]; coords.len()];
+    let n = coords.len() as u64;
+
+    // The chaos test's full scheduler runs feed this family too.
+    let _guard = exact_delta_guard();
+    let before: Vec<u64> = DISPATCH.iter().map(|&c| telemetry::get(c)).collect();
+    let modes_before =
+        telemetry::get(Counter::AesBlocksSerial) + telemetry::get(Counter::AesBlocksParallel);
+
+    let mut want = [0u64; 3];
+    let serial =
+        CryptoDatapath::with_epoch_mode(DeviceSecret::from_seed(11), 99, 0, DatapathMode::Serial);
+    let sealed = serial.seal_blocks(&coords, &blocks);
+    want[slot(BackendKind::Portable)] += n;
+    let cts: Vec<[u8; 64]> = sealed.iter().map(|(ct, _)| *ct).collect();
+    for b in backend::available() {
+        let dp = CryptoDatapath::with_epoch_mode_backend(
+            DeviceSecret::from_seed(11),
+            99,
+            0,
+            DatapathMode::Parallel,
+            b,
+        );
+        let _ = dp.seal_blocks(&coords, &blocks);
+        let _ = dp.open_blocks(&coords, &cts);
+        want[slot(b.kind())] += 2 * n;
+    }
+
+    let mut dispatched = 0u64;
+    for (i, &c) in DISPATCH.iter().enumerate() {
+        let expect = if ENABLED { before[i] + want[i] } else { 0 };
+        assert_eq!(
+            telemetry::get(c),
+            expect,
+            "`{}` missed or double-counted a round",
+            c.name()
+        );
+        dispatched += telemetry::get(c) - if ENABLED { before[i] } else { 0 };
+    }
+    let modes_after =
+        telemetry::get(Counter::AesBlocksSerial) + telemetry::get(Counter::AesBlocksParallel);
+    assert_eq!(
+        dispatched,
+        modes_after - if ENABLED { modes_before } else { 0 },
+        "backend attribution must conserve the per-mode block totals"
+    );
+}
