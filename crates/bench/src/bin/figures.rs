@@ -19,11 +19,17 @@
 //! `BENCH_throughput.json` next to the working directory in addition to
 //! the console table.
 //!
-//! `serve` sweeps the multi-session scheduler over 1/2/4/8 concurrent
-//! tenant sessions of the same model, reporting aggregate sealed-pad
-//! throughput and p50/p99 per-session latency, and writes
-//! `BENCH_serve.json`. It honors `--quick` the same way `throughput`
-//! does.
+//! `serve` sweeps the multi-session scheduler over 1/2/4/8/16/64
+//! concurrent tenant sessions of the same model under a seeded
+//! open-loop arrival process, reporting aggregate sealed-pad throughput
+//! plus p50/p99 *service* latency and p50/p99 scheduler *queue* delay
+//! as separate distributions, and writes `BENCH_serve.json`
+//! (`seculator-bench-serve-v2`, stamped with the host's core and
+//! scheduler-lane counts). It honors `--quick` the same way
+//! `throughput` does; `--check` exits 1 unless every point is
+//! bit-identical and collision-free and — on a host with ≥4 scheduler
+//! lanes backed by ≥4 real cores — aggregate throughput grows
+//! monotonically from 1→4 sessions with ≥1.8x at 4.
 
 use seculator_arch::dataflow::{ConvDataflow, Dataflow, MatmulDataflow, PreprocDataflow};
 use seculator_arch::layer::{ConvShape, LayerDesc, LayerKind, MatmulShape, PreprocStyle};
@@ -105,7 +111,7 @@ fn main() {
         "throughput",
         throughput(quick || all, check, metrics.as_deref())
     );
-    exp!("serve", serve_exp(quick || all));
+    exp!("serve", serve_exp(quick || all, check));
 
     if !ran {
         eprintln!("unknown experiment id `{which}`; see the source header for valid ids");
@@ -1209,28 +1215,50 @@ fn throughput(quick: bool, check: bool, metrics: Option<&str>) {
     }
 }
 
-fn serve_exp(quick: bool) {
+fn serve_exp(quick: bool, check: bool) {
     use seculator_core::{campaign_models, infer_plain, AdmitSpec, SessionManager, SessionVerdict};
 
-    println!("Multi-session scheduler sweep: every point serves the same eight");
-    println!("inferences, varying only how many run concurrently (N sessions");
-    println!("per manager run, 8/N consecutive runs). Aggregate rate counts");
-    println!("every CTR pad issued (one pad = one 64 B block sealed/opened),");
-    println!("so points are directly comparable: equal work, equal duration.\n");
+    println!("Multi-session scheduler sweep: each point admits N tenant sessions");
+    println!("of the same model under a seeded open-loop arrival process (one");
+    println!("cumulative splitmix gap per tenant) and one shared weight Arc, so");
+    println!("same-layer tenants fuse into batched crypto lanes. Aggregate rate");
+    println!("counts every CTR pad issued (one pad = one 64 B block sealed or");
+    println!("opened); service latency (promotion→done) and scheduler queue");
+    println!("delay (arrival→promotion) are separate distributions.\n");
 
-    const JOBS: usize = 8;
-    let reps: u32 = if quick { 8 } else { 48 };
+    // splitmix64: the arrival trace must be reproducible per point, so
+    // every rep of a point replays the same arrival rounds.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    const ARRIVAL_SEED: u64 = 0x5EC0_1A70;
+
+    let reps: u32 = if quick { 6 } else { 32 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = rayon::current_num_threads().max(1);
     let models = campaign_models();
     let model = &models[0]; // grouped-cnn: the largest zoo member
     let reference = infer_plain(&model.layers, &model.input, model.session.shift);
     println!(
-        "model: {} ({} layers), {JOBS} inferences per point, best of {reps} samples\n",
+        "model: {} ({} layers), best of {reps} samples, {cores} cores, {threads} scheduler lanes\n",
         model.name,
         model.layers.len()
     );
     println!(
-        "{:<9} {:>7} {:>8} {:>16} {:>9} {:>9} {:>10}",
-        "sessions", "rounds", "blocks", "agg blocks/s", "p50 ms", "p99 ms", "vs 1-sess"
+        "{:<9} {:>7} {:>8} {:>14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "sessions",
+        "rounds",
+        "blocks",
+        "agg blocks/s",
+        "p50 svc",
+        "p99 svc",
+        "p50 que",
+        "p99 que",
+        "vs 1"
     );
 
     struct ServeRow {
@@ -1238,28 +1266,39 @@ fn serve_exp(quick: bool) {
         rounds: u64,
         blocks: u64,
         wall_ms: f64,
-        p50_ms: f64,
-        p99_ms: f64,
+        p50_service_ms: f64,
+        p99_service_ms: f64,
+        p50_queue_ms: f64,
+        p99_queue_ms: f64,
     }
-    let points: [usize; 4] = [1, 2, 4, 8];
+    let points: [usize; 6] = [1, 2, 4, 8, 16, 64];
     // One weight copy serves every tenant of every manager run — weights
     // are public in the threat model; only per-session state duplicates.
     let weights = std::sync::Arc::new(model.layers.clone());
     let build = |n: usize| {
+        // Backpressure cap mirrors the serve campaign so the queue-delay
+        // distribution reflects real admission contention, not an
+        // artifact of unlimited slots.
+        let max_inflight = usize::max(2, n / 2 + 1);
         let mut mgr = SessionManager::new(
             model.session.secret,
             model.session.nonce,
             model.session.shift,
             model.session.policy,
-            n,
+            max_inflight,
         );
+        let mut rng = ARRIVAL_SEED ^ n as u64;
+        let mut arrival = 0u64;
         for tenant in 0..n as u32 {
+            // Open-loop arrivals: cumulative 0/1-round gaps, so bursts
+            // of same-layer tenants still align and fuse.
+            arrival += mix(&mut rng) % 2;
             mgr.admit(AdmitSpec {
                 tenant,
                 name: model.name.to_string(),
                 layers: std::sync::Arc::clone(&weights),
                 input: model.input.clone(),
-                arrival_round: 0,
+                arrival_round: arrival,
                 injector: None,
                 deadline_rounds: None,
                 crash_cuts: Vec::new(),
@@ -1267,28 +1306,28 @@ fn serve_exp(quick: bool) {
         }
         mgr
     };
-    // One sample = JOBS inferences as JOBS/n consecutive manager runs.
+    // One sample = one manager run serving all N sessions to completion.
     let sample = |n: usize| {
-        let mgrs: Vec<SessionManager> = (0..JOBS / n).map(|_| build(n)).collect();
+        let mut mgr = build(n);
         let t0 = std::time::Instant::now();
-        let rs: Vec<_> = mgrs.into_iter().map(|mut m| m.run()).collect();
-        (t0.elapsed().as_secs_f64() * 1e3, rs)
+        let report = mgr.run();
+        (t0.elapsed().as_secs_f64() * 1e3, report)
     };
 
     // One untimed warmup pass per point, then the timed samples rotate
     // across the points so CPU drift over the sweep biases every point
     // equally instead of flattering whichever ran first.
-    let mut walls = [f64::INFINITY; 4];
-    let mut kept: [Vec<seculator_core::ServeReport>; 4] = Default::default();
+    let mut walls = [f64::INFINITY; 6];
+    let mut kept: [Option<seculator_core::ServeReport>; 6] = Default::default();
     for (i, &n) in points.iter().enumerate() {
-        kept[i] = sample(n).1;
+        kept[i] = Some(sample(n).1);
     }
     for _ in 0..reps {
         for (i, &n) in points.iter().enumerate() {
-            let (dt, rs) = sample(n);
+            let (dt, report) = sample(n);
             if dt < walls[i] {
                 walls[i] = dt;
-                kept[i] = rs;
+                kept[i] = Some(report);
             }
         }
     }
@@ -1296,52 +1335,62 @@ fn serve_exp(quick: bool) {
     let mut rows: Vec<ServeRow> = Vec::new();
     for (i, &n) in points.iter().enumerate() {
         let wall_ms = walls[i];
-        let reports = std::mem::take(&mut kept[i]);
+        let report = kept[i].take().expect("warmup populated every point");
 
         // Correctness gates before any number is reported: no pad ever
         // issued twice across sessions, and every scheduled session
         // reproduces the single-session plaintext reference exactly.
-        let mut blocks = 0u64;
-        let mut rounds = 0u64;
-        let mut lat_ms: Vec<f64> = Vec::new();
-        for report in &reports {
-            assert_eq!(report.pad_collisions, 0, "cross-session pad reuse");
-            blocks += report.pads_issued;
-            rounds = rounds.max(report.rounds);
-            for o in &report.outcomes {
-                match &o.verdict {
-                    SessionVerdict::Completed(_) => assert_eq!(
-                        o.output(),
-                        Some(&reference),
-                        "tenant {} diverged from the reference",
-                        o.tenant
-                    ),
-                    SessionVerdict::Aborted(e) => {
-                        panic!("clean tenant {} aborted: {e:?}", o.tenant)
-                    }
-                    SessionVerdict::Quarantined(q) => {
-                        panic!("clean tenant {} quarantined: {:?}", o.tenant, q.cause)
-                    }
+        assert_eq!(report.pad_collisions, 0, "cross-session pad reuse");
+        let blocks = report.pads_issued;
+        let rounds = report.rounds;
+        let mut svc_ms: Vec<f64> = Vec::new();
+        let mut que_ms: Vec<f64> = Vec::new();
+        for o in &report.outcomes {
+            match &o.verdict {
+                SessionVerdict::Completed(_) => assert_eq!(
+                    o.output(),
+                    Some(&reference),
+                    "tenant {} diverged from the reference",
+                    o.tenant
+                ),
+                SessionVerdict::Aborted(e) => {
+                    panic!("clean tenant {} aborted: {e:?}", o.tenant)
                 }
-                lat_ms.push(o.latency_ns as f64 / 1e6);
+                SessionVerdict::Quarantined(q) => {
+                    panic!("clean tenant {} quarantined: {:?}", o.tenant, q.cause)
+                }
             }
+            svc_ms.push(o.latency_ns as f64 / 1e6);
+            que_ms.push(o.queue_ns as f64 / 1e6);
         }
-        lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let pct = |p: f64| lat_ms[((lat_ms.len() - 1) as f64 * p).round() as usize];
+        let pct = |v: &mut Vec<f64>, p: f64| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[((v.len() - 1) as f64 * p).round() as usize]
+        };
         let row = ServeRow {
             sessions: n,
             rounds,
             blocks,
             wall_ms,
-            p50_ms: pct(0.50),
-            p99_ms: pct(0.99),
+            p50_service_ms: pct(&mut svc_ms, 0.50),
+            p99_service_ms: pct(&mut svc_ms, 0.99),
+            p50_queue_ms: pct(&mut que_ms, 0.50),
+            p99_queue_ms: pct(&mut que_ms, 0.99),
         };
         let agg = row.blocks as f64 / (row.wall_ms / 1e3);
         let base = &rows.first().unwrap_or(&row);
         let vs1 = agg / (base.blocks as f64 / (base.wall_ms / 1e3));
         println!(
-            "{:<9} {:>7} {:>8} {:>16.0} {:>9.2} {:>9.2} {:>9.2}x",
-            row.sessions, row.rounds, row.blocks, agg, row.p50_ms, row.p99_ms, vs1
+            "{:<9} {:>7} {:>8} {:>14.0} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.2}x",
+            row.sessions,
+            row.rounds,
+            row.blocks,
+            agg,
+            row.p50_service_ms,
+            row.p99_service_ms,
+            row.p50_queue_ms,
+            row.p99_queue_ms,
+            vs1
         );
         rows.push(row);
     }
@@ -1352,20 +1401,69 @@ fn serve_exp(quick: bool) {
             let agg = r.blocks as f64 / (r.wall_ms / 1e3);
             format!(
                 "    {{\"sessions\":{},\"rounds\":{},\"blocks\":{},\
-\"wall_ms_best\":{:.3},\"agg_blocks_per_sec\":{:.0},\"p50_ms\":{:.3},\
-\"p99_ms\":{:.3},\"bit_identical\":true,\"pad_collisions\":0}}",
-                r.sessions, r.rounds, r.blocks, r.wall_ms, agg, r.p50_ms, r.p99_ms
+\"wall_ms_best\":{:.3},\"agg_blocks_per_sec\":{:.0},\
+\"p50_service_ms\":{:.3},\"p99_service_ms\":{:.3},\
+\"p50_queue_ms\":{:.3},\"p99_queue_ms\":{:.3},\
+\"bit_identical\":true,\"pad_collisions\":0}}",
+                r.sessions,
+                r.rounds,
+                r.blocks,
+                r.wall_ms,
+                agg,
+                r.p50_service_ms,
+                r.p99_service_ms,
+                r.p50_queue_ms,
+                r.p99_queue_ms
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"seculator-bench-serve-v1\",\n  \"quick\": {quick},\n  \
-\"model\": \"{}\",\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"seculator-bench-serve-v2\",\n  \"quick\": {quick},\n  \
+\"model\": \"{}\",\n  \"reps\": {reps},\n  \"cores\": {cores},\n  \
+\"threads\": {threads},\n  \"points\": [\n{}\n  ]\n}}\n",
         model.name,
         entries.join(",\n")
     );
     write_or_die("BENCH_serve.json", &json);
     println!("\nwrote BENCH_serve.json");
+
+    if check {
+        // Correctness gates (bit-identity, zero collisions) already ran
+        // as hard asserts above on every point. The scaling gate only
+        // binds where scaling is physically possible: ≥4 scheduler
+        // lanes backed by ≥4 real cores (lanes without cores are pure
+        // oversubscription). There, aggregate throughput must grow
+        // monotonically from 1→4 sessions and clear 1.8x at 4.
+        if threads >= 4 && cores >= 4 {
+            let agg: Vec<f64> = rows
+                .iter()
+                .take(3)
+                .map(|r| r.blocks as f64 / (r.wall_ms / 1e3))
+                .collect();
+            if !(agg[1] > agg[0] && agg[2] > agg[1]) {
+                eprintln!(
+                    "FAIL: aggregate blocks/sec not monotonic over 1→2→4 sessions \
+({:.0} → {:.0} → {:.0})",
+                    agg[0], agg[1], agg[2]
+                );
+                std::process::exit(1);
+            }
+            let gain = agg[2] / agg[0];
+            if gain < 1.8 {
+                eprintln!(
+                    "FAIL: 4-session aggregate only {gain:.2}x the 1-session rate \
+(need ≥1.8x with {threads} scheduler lanes)"
+                );
+                std::process::exit(1);
+            }
+            println!("check: monotonic 1→4 sessions, {gain:.2}x at 4 — OK");
+        } else {
+            println!(
+                "check: bit-identity and pad-collision gates passed on every point; \
+scaling gate skipped ({threads} scheduler lane(s) on {cores} core(s), need ≥4 of both)"
+            );
+        }
+    }
 }
 
 fn ablate_maccache() {

@@ -277,6 +277,59 @@ pub struct SpanEvent {
     pub key: u64,
     /// Elapsed wall time in nanoseconds.
     pub ns: u64,
+    /// Tenant the emitting thread was serving ([`NO_TENANT`] outside any
+    /// [`tenant_scope`]). Tags are what make attribution correct under
+    /// the concurrent scheduler: with tenants stepping in parallel,
+    /// `seq` windows interleave and can no longer identify an owner.
+    pub tenant: u64,
+}
+
+/// The tenant tag of events emitted outside any [`tenant_scope`]
+/// (single-session drivers, benchmarks, reference runs).
+pub const NO_TENANT: u64 = u64::MAX;
+
+#[cfg(feature = "telemetry")]
+thread_local! {
+    static CURRENT_TENANT: std::cell::Cell<u64> = const { std::cell::Cell::new(NO_TENANT) };
+}
+
+/// RAII guard from [`tenant_scope`]: restores the thread's previous
+/// tenant tag on drop, so scopes nest correctly.
+#[derive(Debug)]
+pub struct TenantScope {
+    #[cfg(feature = "telemetry")]
+    prev: u64,
+}
+
+impl Drop for TenantScope {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        CURRENT_TENANT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Tags every [`SpanEvent`] this thread emits until the guard drops with
+/// `tenant`. The tag is thread-local, so concurrent scheduler lanes each
+/// carry their own tenant — the replacement for the serial scheduler's
+/// event-seq-window attribution, which mis-attributes stage rows as soon
+/// as two lanes interleave in the ring.
+#[must_use]
+pub fn tenant_scope(tenant: u64) -> TenantScope {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = tenant;
+    TenantScope {
+        #[cfg(feature = "telemetry")]
+        prev: CURRENT_TENANT.with(|c| c.replace(tenant)),
+    }
+}
+
+/// The tenant tag the current thread would stamp on an event right now.
+#[must_use]
+pub fn current_tenant() -> u64 {
+    #[cfg(feature = "telemetry")]
+    return CURRENT_TENANT.with(std::cell::Cell::get);
+    #[cfg(not(feature = "telemetry"))]
+    NO_TENANT
 }
 
 struct EventRing {
@@ -438,6 +491,7 @@ fn push_event(stage: &'static str, key: u64, ns: u64) {
         stage,
         key,
         ns,
+        tenant: current_tenant(),
     };
     ring.next_seq += 1;
     if ring.buf.len() < EVENT_CAPACITY {
@@ -850,6 +904,32 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "telemetry")]
+    fn tenant_scopes_tag_events_and_nest() {
+        assert_eq!(current_tenant(), NO_TENANT);
+        let cursor = event_cursor();
+        {
+            let _outer = tenant_scope(7);
+            assert_eq!(current_tenant(), 7);
+            drop(stage_span("seal", 0xFA57));
+            {
+                let _inner = tenant_scope(9);
+                assert_eq!(current_tenant(), 9);
+                drop(stage_span("open", 0xFA57));
+            }
+            assert_eq!(current_tenant(), 7, "inner scope must restore");
+        }
+        assert_eq!(current_tenant(), NO_TENANT, "outer scope must restore");
+        let events: Vec<SpanEvent> = events_since(cursor)
+            .into_iter()
+            .filter(|e| e.key == 0xFA57)
+            .collect();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].tenant, 7);
+        assert_eq!(events[1].tenant, 9);
+    }
+
+    #[test]
     fn layer_breakdown_sums_per_stage_and_sorts() {
         let events = [
             SpanEvent {
@@ -857,24 +937,28 @@ mod tests {
                 stage: "seal",
                 key: 1,
                 ns: 10,
+                tenant: NO_TENANT,
             },
             SpanEvent {
                 seq: 1,
                 stage: "seal",
                 key: 0,
                 ns: 5,
+                tenant: NO_TENANT,
             },
             SpanEvent {
                 seq: 2,
                 stage: "mac_fold",
                 key: 1,
                 ns: 7,
+                tenant: 3,
             },
             SpanEvent {
                 seq: 3,
                 stage: "unknown-future-stage",
                 key: 1,
                 ns: 99,
+                tenant: NO_TENANT,
             },
         ];
         let rows = layer_breakdown(&events);

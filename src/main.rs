@@ -49,6 +49,7 @@ fn usage() -> ! {
            stats    [--format json|prom]               telemetry snapshot of a fixed workload\n\n\
          global options:\n\
            --threads <N>   worker threads for the parallel crypto datapath\n\
+                           and the multi-tenant scheduler's session lanes\n\
                            (default: all cores; also honors RAYON_NUM_THREADS;\n\
                            an explicit flag always wins or the run fails)\n\
            --backend <b>   crypto backend: auto | portable | bitsliced | aesni\n\

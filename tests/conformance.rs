@@ -258,6 +258,60 @@ fn chaos_scheduled_healthy_tenants_match_their_solo_runs() {
     }
 }
 
+/// The seventh datapath: batched multi-tenant inference. Three tenants
+/// sharing one Arc'd weight set arrive in the same round, so every
+/// layer step fuses into one batched crypto lane group (compute shared,
+/// MAC registers / VN-FSM / journal / nonce space strictly per-tenant),
+/// and the scheduler steps them across two worker lanes. Every tenant's
+/// output must still be bit-identical to the plaintext reference on
+/// every zoo model.
+#[test]
+fn batched_multi_tenant_sessions_match_the_plaintext_reference() {
+    use seculator::core::{AdmitSpec, SessionManager, SessionVerdict};
+    use std::sync::Arc;
+
+    for m in campaign_models() {
+        let expected = infer_plain(&m.layers, &m.input, m.session.shift);
+        let mut mgr = SessionManager::new(
+            m.session.secret,
+            m.session.nonce,
+            m.session.shift,
+            m.session.policy,
+            3,
+        );
+        mgr.set_step_workers(2);
+        let shared = Arc::new(m.layers.clone());
+        for tenant in 0..3u32 {
+            mgr.admit(AdmitSpec {
+                tenant,
+                name: m.name.to_string(),
+                layers: Arc::clone(&shared),
+                input: m.input.clone(),
+                arrival_round: 0,
+                injector: None,
+                deadline_rounds: None,
+                crash_cuts: Vec::new(),
+            });
+        }
+        let report = mgr.run();
+        assert_eq!(report.pad_collisions, 0, "{}: pad reuse", m.name);
+        assert_eq!(report.outcomes.len(), 3, "{}: every tenant reports", m.name);
+        for o in &report.outcomes {
+            match &o.verdict {
+                SessionVerdict::Completed(run) => assert_eq!(
+                    run.output, expected,
+                    "{}: batched tenant {} diverged from the plaintext reference",
+                    m.name, o.tenant
+                ),
+                other => panic!(
+                    "{}: batched tenant {} did not complete: {other:?}",
+                    m.name, o.tenant
+                ),
+            }
+        }
+    }
+}
+
 /// Cross-backend differential: every crypto backend this host can run
 /// (portable T-table, bitsliced constant-time, AES-NI/SHA-NI when the
 /// CPU has them) must produce the *same bytes* as the serial scalar

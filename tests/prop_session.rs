@@ -203,6 +203,121 @@ proptest! {
     }
 }
 
+/// Builds a manager whose tenants all serve the same zoo model from one
+/// shared weight Arc and arrive together — the maximally fusable shape:
+/// every round groups all running tenants into one batched lane set.
+fn fused_manager(seed: u64, sessions: u32, pick: usize) -> SessionManager {
+    let models = campaign_models();
+    let m = &models[pick];
+    let mut mgr = SessionManager::new(
+        DeviceSecret::from_seed(seed),
+        seed ^ 0x5eed,
+        m.session.shift,
+        m.session.policy,
+        sessions as usize,
+    );
+    let shared = Arc::new(m.layers.clone());
+    for t in 0..sessions {
+        mgr.admit(AdmitSpec {
+            tenant: t,
+            name: m.name.to_string(),
+            layers: Arc::clone(&shared),
+            input: m.input.clone(),
+            arrival_round: 0,
+            injector: None,
+            deadline_rounds: None,
+            crash_cuts: Vec::new(),
+        });
+    }
+    mgr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole determinism property: the parallel scheduler is a pure
+    /// performance change. For any seeded mix of models, arrivals, and
+    /// backpressure, running the same admission set on 2/4/7 worker
+    /// lanes must reproduce the 1-lane run exactly — same rounds, same
+    /// pad ledger, and bit-identical per-tenant outputs.
+    #[test]
+    fn parallel_scheduling_is_bit_identical_to_serial(
+        seed in 0u64..1_000_000,
+        sessions in 2u32..=5,
+        max_inflight in 1usize..=5,
+        arrivals in proptest::collection::vec(0u64..4, 5..6),
+    ) {
+        let run_with = |workers: usize| {
+            let (mut mgr, _) = zoo_manager(seed, sessions, max_inflight, &arrivals);
+            mgr.set_step_workers(workers);
+            mgr.run()
+        };
+        let serial = run_with(1);
+        prop_assert_eq!(serial.pad_collisions, 0);
+        for workers in [2usize, 4, 7] {
+            let par = run_with(workers);
+            prop_assert_eq!(par.rounds, serial.rounds, "{} workers: rounds drifted", workers);
+            prop_assert_eq!(
+                par.pads_issued,
+                serial.pads_issued,
+                "{} workers: pad ledger drifted",
+                workers
+            );
+            prop_assert_eq!(par.pad_collisions, 0, "{} workers: pad reuse", workers);
+            prop_assert_eq!(par.outcomes.len(), serial.outcomes.len());
+            for (p, s) in par.outcomes.iter().zip(&serial.outcomes) {
+                prop_assert_eq!(p.tenant, s.tenant, "{} workers: outcome order", workers);
+                prop_assert_eq!(
+                    p.rounds_serviced,
+                    s.rounds_serviced,
+                    "{} workers: tenant {} service rounds drifted",
+                    workers,
+                    p.tenant
+                );
+                prop_assert_eq!(p.retries, s.retries);
+                prop_assert_eq!(
+                    p.output(),
+                    s.output(),
+                    "{} workers: tenant {} output diverged from the serial schedule",
+                    workers,
+                    p.tenant
+                );
+            }
+        }
+    }
+
+    /// Fusion property: tenants batched into one fused multi-activation
+    /// layer step (same model, same Arc, same arrival round) produce
+    /// exactly what each would have produced alone, for every worker
+    /// count — fusion shares compute, never state.
+    #[test]
+    fn fused_batches_equal_per_tenant_solo_runs(
+        seed in 0u64..1_000_000,
+        sessions in 2u32..=4,
+    ) {
+        let models = campaign_models();
+        let pick = seed as usize % models.len();
+        let probe = fused_manager(seed, sessions, pick);
+        let refs: Vec<_> = (0..sessions).map(|t| reference(&probe, t, pick)).collect();
+        for workers in [1usize, 2, 4, 7] {
+            let mut mgr = fused_manager(seed, sessions, pick);
+            mgr.set_step_workers(workers);
+            let report = mgr.run();
+            prop_assert_eq!(report.pad_collisions, 0, "{} workers: pad reuse", workers);
+            for o in &report.outcomes {
+                let out = o.output().expect("fused clean tenants complete");
+                prop_assert_eq!(
+                    out,
+                    &refs[o.tenant as usize].0,
+                    "{} workers: fused tenant {} diverged from its solo run",
+                    workers,
+                    o.tenant
+                );
+            }
+        }
+    }
+}
+
 /// Negative property of the retry path: a session retried after a
 /// mid-run failure resumes under a *bumped nonce epoch* and never reuses
 /// a CTR pad — the cross-session [`seculator::core::PadLedger`] stays
