@@ -142,6 +142,22 @@ pub enum SecurityError {
         /// Zero-based index of the offending frame within the file.
         frame: u32,
     },
+    /// The storage backing a tenant's on-disk durable home failed an
+    /// I/O operation mid-session. An availability verdict, not a
+    /// breach: the on-disk state stays consistent (a torn tail repairs
+    /// benignly) and a later re-admission may reopen and resume it.
+    DurableIo {
+        /// Tenant whose durable home failed.
+        tenant: u32,
+    },
+    /// A tenant session was cancelled on explicit client request (the
+    /// daemon's session-abort verb). Sealed fail-closed through the
+    /// quarantine path — journal kept for audit, pads never reissued —
+    /// but not a breach: the client asked for it.
+    SessionCancelled {
+        /// Cancelled tenant id.
+        tenant: u32,
+    },
     /// A durable on-disk file passed its CRC framing but failed its
     /// device-secret-bound integrity tag: the bytes were written
     /// deliberately (the checksum is consistent) yet were not produced
@@ -257,6 +273,15 @@ impl std::fmt::Display for SecurityError {
                 "tenant {tenant} made no progress for {stalled_rounds} rounds; \
                  watchdog quarantined the session"
             ),
+            Self::DurableIo { tenant } => write!(
+                f,
+                "tenant {tenant}'s durable home failed an i/o operation; \
+                 session aborted (on-disk state remains resumable)"
+            ),
+            Self::SessionCancelled { tenant } => write!(
+                f,
+                "tenant {tenant} cancelled on client request; session sealed"
+            ),
             Self::DurableCorruption { file, frame } => write!(
                 f,
                 "durable {file} file frame {frame} failed its CRC framing \
@@ -317,6 +342,8 @@ mod tests {
             stalled_rounds: 64
         }
         .is_breach());
+        assert!(!SecurityError::SessionCancelled { tenant: 3 }.is_breach());
+        assert!(!SecurityError::DurableIo { tenant: 3 }.is_breach());
         assert!(!SecurityError::VnExhausted {
             layer_id: 0,
             write: true

@@ -77,9 +77,10 @@ pub use secure_infer::{
 };
 pub use secure_memory::{BlockCoords, CryptoDatapath, DatapathCache, DatapathMode, UntrustedDram};
 pub use session::{
-    run_chaos_campaign, run_serve_campaign, AdmitSpec, ChaosCampaignConfig, ChaosCampaignReport,
-    ChaosTrial, PadLedger, QuarantineReport, ServeCampaignConfig, ServeCampaignReport, ServeReport,
-    ServeTrial, SessionManager, SessionOutcome, SessionVerdict,
+    run_chaos_campaign, run_serve_campaign, serve_plan, AdmitSpec, ChaosCampaignConfig,
+    ChaosCampaignReport, ChaosTrial, PadLedger, PlannedTenant, QuarantineReport,
+    ServeCampaignConfig, ServeCampaignReport, ServePlan, ServeReport, ServeTrial, SessionManager,
+    SessionOutcome, SessionVerdict,
 };
 pub use sgx_functional::{SgxError, SgxMemory};
 pub use storage::{table7_rows, StorageFootprint};

@@ -58,15 +58,17 @@
 //! (never wedged), and the pad ledger stays collision-free throughout.
 
 use std::collections::{HashSet, VecDeque};
+use std::path::PathBuf;
 use std::time::Instant;
 
 use crate::audit::{IncidentLog, IncidentRecord, LadderSummary, RecoveryAction};
 use crate::detection::RecoveryCost;
+use crate::durable::{DurableError, DurableHome, PersistentStats, StdVfs};
 use crate::error::SecurityError;
 use crate::fault::{
     splitmix, CrashClock, FaultInjector, FaultKind, FaultSpec, Persistence, PowerLoss,
 };
-use crate::journal::{campaign_models, DurableState, PadTracker};
+use crate::journal::{campaign_models, CampaignModel, DurableState, PadTracker};
 use crate::retry::{RobustnessPolicy, SheddingPolicy};
 use crate::secure_infer::{
     infer_journaled, infer_plain, open_journaled_cursor, open_resume_cursor, prepare_fused_layer,
@@ -106,6 +108,20 @@ pub struct AdmitSpec {
     /// a [`CrashClock`] at `crash_cuts[k]` datapath steps (counted from
     /// that attempt's start). Empty = never cut.
     pub crash_cuts: Vec<u64>,
+    /// Extra salt folded into the tenant's derived nonce (`0` = the
+    /// classic tenant derivation, bit-identical to every pre-salt
+    /// campaign). The serving daemon salts each *repeat* request a
+    /// tenant submits after its previous session was harvested, so the
+    /// re-admitted session draws from a fresh nonce space and the
+    /// cross-request pad ledger stays collision-free by construction.
+    pub nonce_salt: u64,
+    /// Optional on-disk durable home directory for this tenant: when
+    /// set, promotion opens (or resumes) a [`DurableHome`] rooted here,
+    /// every layer commit is checkpointed to disk before it is
+    /// acknowledged, and a later manager — a restarted daemon — that
+    /// admits the same tenant/salt over the same directory resumes from
+    /// the sealed journal instead of starting over.
+    pub home_dir: Option<PathBuf>,
 }
 
 /// Why and when the scheduler sealed one tenant fail-closed.
@@ -203,6 +219,34 @@ struct Tenant {
     /// nanoseconds — reported separately from service latency so queue
     /// buildup under load is not mistaken for slow service.
     queue_ns: u64,
+    /// Optional on-disk durable home (daemon persistence).
+    home: Option<TenantHome>,
+}
+
+/// One durable tenant's on-disk anchor: the VFS rooted at its home
+/// directory, the opened [`DurableHome`] (populated at promotion), and
+/// the durable-layer stats. A home that errors is dropped back to `None`
+/// so a re-admission reopens it from disk — the single-use discipline
+/// [`DurableHome`] demands.
+#[derive(Debug)]
+struct TenantHome {
+    dir: PathBuf,
+    vfs: Option<StdVfs>,
+    home: Option<DurableHome>,
+    stats: PersistentStats,
+}
+
+/// Lowers a durable-layer failure into the scheduler's per-tenant error
+/// domain. I/O faults become [`SecurityError::DurableIo`] — an
+/// availability verdict that aborts *this* tenant fail-closed while the
+/// on-disk state stays consistent for a later re-admission.
+fn home_error(tenant: u32, e: DurableError) -> JournaledError {
+    match e {
+        DurableError::Io(_) => JournaledError::Security(SecurityError::DurableIo { tenant }),
+        DurableError::Crashed(loss) => JournaledError::Crashed(loss),
+        DurableError::Aborted(report) => JournaledError::Aborted(report),
+        DurableError::Security(err) => JournaledError::Security(err),
+    }
 }
 
 impl Tenant {
@@ -469,6 +513,11 @@ pub struct ServeReport {
     /// journal nanoseconds attributed per session). Empty when the
     /// `telemetry` feature is off.
     pub session_rows: Vec<LayerRow>,
+    /// Exact wall nanoseconds of pre-step scheduler bookkeeping summed
+    /// over every round (arrivals, sweeps, wakes, admission, fusion
+    /// planning) — the overhead that grows with session count and was
+    /// previously folded invisibly into service latency.
+    pub scheduler_ns: u64,
 }
 
 impl ServeReport {
@@ -507,6 +556,18 @@ pub struct SessionManager {
     /// Telemetry-event cursor at construction: report-time stage
     /// attribution scans tenant-tagged events from here.
     events_from: u64,
+    /// Manager-lifetime pad ledger for the incremental drive mode:
+    /// [`Self::harvest_terminal`] absorbs every harvested session's pads
+    /// here, so the zero-collision oracle spans every request a
+    /// long-lived manager (the daemon) ever served — across tenants,
+    /// repeat submissions, and re-admissions alike.
+    lifetime_ledger: PadLedger,
+    /// Exact scheduler-overhead accumulator: wall nanoseconds spent per
+    /// round on arrivals, budget sweeps, backoff wakes, admission, and
+    /// fusion planning — everything *before* tenant layer steps run.
+    /// Kept as a plain field (not only a telemetry span) so the serve
+    /// sweep can report it with the `telemetry` feature compiled out.
+    scheduler_ns: u64,
 }
 
 /// Robustness counters mirrored into [`ServeReport`] — kept separate
@@ -561,6 +622,8 @@ impl SessionManager {
             clean_rounds: 0,
             step_workers: rayon::current_num_threads().max(1),
             events_from: telemetry::event_cursor(),
+            lifetime_ledger: PadLedger::new(),
+            scheduler_ns: 0,
         }
     }
 
@@ -606,7 +669,18 @@ impl SessionManager {
     /// scheduler will.
     #[must_use]
     pub fn derived_session(&self, tenant_id: u32) -> SecureSession {
-        let mut mix = self.base_nonce ^ u64::from(tenant_id);
+        self.derived_session_salted(tenant_id, 0)
+    }
+
+    /// [`Self::derived_session`] with an extra nonce salt folded in
+    /// (`salt = 0` is exactly the classic derivation). The tenant's
+    /// derived *secret* never changes with the salt — authentication
+    /// stays bound to the tenant — only the nonce space moves, which is
+    /// what lets a serving front-end re-admit the same tenant for a new
+    /// request without reusing the previous request's pads.
+    #[must_use]
+    pub fn derived_session_salted(&self, tenant_id: u32, salt: u64) -> SecureSession {
+        let mut mix = self.base_nonce ^ u64::from(tenant_id) ^ salt;
         SecureSession {
             secret: self.root.derive_tenant(tenant_id),
             nonce: splitmix(&mut mix),
@@ -628,7 +702,7 @@ impl SessionManager {
             "tenant id {} already admitted",
             spec.tenant
         );
-        let session = self.derived_session(spec.tenant);
+        let session = self.derived_session_salted(spec.tenant, spec.nonce_salt);
         self.tenants.push(Tenant {
             id: spec.tenant,
             name: spec.name,
@@ -660,6 +734,12 @@ impl SessionManager {
             },
             arrived_at: None,
             queue_ns: 0,
+            home: spec.home_dir.map(|dir| TenantHome {
+                dir,
+                vfs: None,
+                home: None,
+                stats: PersistentStats::default(),
+            }),
         });
     }
 
@@ -689,6 +769,15 @@ impl SessionManager {
         let round = self.round;
         let policy = self.robustness;
         let mut faulty = false;
+
+        // Scheduler-overhead accounting: everything from here to the
+        // step fan-out is bookkeeping the tenants never see — arrivals,
+        // budget sweeps, backoff wakes, admission, fusion planning. It
+        // grows with the session count, so the serve sweep reports it
+        // separately instead of silently folding it into service
+        // latency (the 8→64-session blocks/sec droop lives here).
+        let sched_start = Instant::now();
+        let sched_span = telemetry::stage_span("scheduler", round);
 
         // Arrivals: the trace releases tenants into the admission queue
         // (the queue-delay clock starts here).
@@ -732,6 +821,10 @@ impl SessionManager {
         // contiguous chunks, chunk-local stats folded back in chunk
         // order, so every worker count produces identical state.
         let mut preworks = self.plan_fusion();
+        drop(sched_span);
+        self.scheduler_ns = self
+            .scheduler_ns
+            .saturating_add(u64::try_from(sched_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         let workers = self.step_workers.min(self.tenants.len()).max(1);
         if workers <= 1 {
             for (t, pre) in self.tenants.iter_mut().zip(&mut preworks) {
@@ -912,7 +1005,35 @@ impl SessionManager {
             )
         };
         match result {
-            Ok(cursor) => t.state = TenantState::Running(Box::new(cursor)),
+            Ok(cursor) => {
+                // A durable tenant's resumed epoch obeys the same
+                // write-ahead rule promotion does: the fresh `EpochOpen`
+                // must be on media before its first pad is consumed.
+                let id = t.id;
+                let sync = match t.home.as_mut() {
+                    Some(h) => match (h.vfs.as_mut(), h.home.as_mut()) {
+                        (Some(vfs), Some(home)) => home
+                            .sync_journal(
+                                vfs,
+                                &t.durable.journal,
+                                cursor.next_layer(),
+                                &mut t.clock.as_mut(),
+                                &mut h.stats,
+                            )
+                            .map_err(|err| home_error(id, err)),
+                        _ => Ok(()),
+                    },
+                    None => Ok(()),
+                };
+                match sync {
+                    Ok(()) => t.state = TenantState::Running(Box::new(cursor)),
+                    Err(e) => {
+                        *faulty = true;
+                        let commits = t.commits;
+                        Self::handle_failure(t, e, commits, round, policy, stats);
+                    }
+                }
+            }
             Err(e) => {
                 *faulty = true;
                 let commits = t.commits;
@@ -945,14 +1066,19 @@ impl SessionManager {
         t.last_progress_round = round;
         Self::arm_next_cut(t);
         let _scope = telemetry::tenant_scope(u64::from(t.id));
-        let mut clock = t.clock.as_mut();
-        match open_journaled_cursor(
-            &t.input,
-            &t.session,
-            &mut t.durable,
-            &mut clock,
-            &mut t.schedules,
-        ) {
+        let result = if t.home.is_some() {
+            Self::open_home_cursor(t)
+        } else {
+            let mut clock = t.clock.as_mut();
+            open_journaled_cursor(
+                &t.input,
+                &t.session,
+                &mut t.durable,
+                &mut clock,
+                &mut t.schedules,
+            )
+        };
+        match result {
             Ok(cursor) => t.state = TenantState::Running(Box::new(cursor)),
             Err(e) => {
                 if !matches!(e, JournaledError::Security(_)) {
@@ -961,6 +1087,92 @@ impl SessionManager {
                 Self::handle_failure(t, e, 0, round, policy, stats);
             }
         }
+    }
+
+    /// Promotion path for a durable tenant: open (or restart-resume) the
+    /// on-disk [`DurableHome`], adopt its reconstructed durable state
+    /// and preloaded pad oracle, open the cursor — journaled on an empty
+    /// journal, resume otherwise — and write the `EpochOpen` record
+    /// ahead: it must be durable before the first pad of its epoch is
+    /// consumed, or a crash could replay the epoch.
+    fn open_home_cursor(t: &mut Tenant) -> Result<JournaledCursor, JournaledError> {
+        let id = t.id;
+        let h = t.home.as_mut().expect("durable tenants only");
+        if h.vfs.is_none() {
+            h.vfs = Some(StdVfs::create(&h.dir).map_err(|e| home_error(id, DurableError::Io(e)))?);
+        }
+        let vfs = h.vfs.as_mut().expect("vfs opened above");
+        if h.home.is_none() {
+            let opened =
+                DurableHome::open_or_create(vfs, &t.session, t.layers.len() as u32, &mut h.stats)
+                    .map_err(|e| home_error(id, e))?;
+            t.durable = opened.durable;
+            t.tracker = opened.tracker;
+            h.home = Some(opened.home);
+            if opened.prior_records > 0 {
+                h.stats.restart_resumes += 1;
+                telemetry::incr(Counter::RestartResumes);
+            }
+        }
+        let cursor = if t.durable.journal.is_empty() {
+            let mut clock = t.clock.as_mut();
+            open_journaled_cursor(
+                &t.input,
+                &t.session,
+                &mut t.durable,
+                &mut clock,
+                &mut t.schedules,
+            )?
+        } else {
+            let mut instruments = Instruments {
+                tracker: &mut t.tracker,
+                injector: t.injector.as_mut(),
+                clock: t.clock.as_mut(),
+            };
+            open_resume_cursor(
+                &t.input,
+                &t.session,
+                &mut t.durable,
+                &mut instruments,
+                None,
+                &mut t.schedules,
+            )?
+        };
+        let home = h.home.as_mut().expect("home opened above");
+        home.sync_journal(
+            vfs,
+            &t.durable.journal,
+            cursor.next_layer(),
+            &mut t.clock.as_mut(),
+            &mut h.stats,
+        )
+        .map_err(|e| home_error(id, e))?;
+        Ok(cursor)
+    }
+
+    /// Checkpoints a durable tenant's freshly committed layer to disk —
+    /// a no-op for in-RAM tenants. Runs *before* the commit is
+    /// acknowledged, so a kill after acknowledgement always finds the
+    /// layer on media.
+    fn checkpoint_home(t: &mut Tenant, cursor: &JournaledCursor) -> Result<(), JournaledError> {
+        let id = t.id;
+        let Some(h) = t.home.as_mut() else {
+            return Ok(());
+        };
+        let (Some(vfs), Some(home)) = (h.vfs.as_mut(), h.home.as_mut()) else {
+            return Ok(());
+        };
+        home.checkpoint(
+            vfs,
+            &t.durable,
+            &t.tracker,
+            &t.session,
+            cursor.epoch(),
+            cursor.next_layer(),
+            &mut t.clock.as_mut(),
+            &mut h.stats,
+        )
+        .map_err(|e| home_error(id, e))
     }
 
     /// Grants one layer step to a running tenant; the step runs under
@@ -1000,17 +1212,27 @@ impl SessionManager {
         };
         t.rounds_serviced += 1;
         match result {
-            Ok(()) if cursor.done(&t.layers) => {
-                t.commits = cursor.commits();
-                t.latency_ns = t.started_at.map_or(0, |s| {
-                    u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
-                });
-                telemetry::incr(Counter::SessionsCompleted);
-                t.state = TenantState::Completed(Box::new(cursor.finish()));
-            }
             Ok(()) => {
-                t.last_progress_round = round;
-                t.state = TenantState::Running(cursor);
+                // Durable tenants persist the commit before it is
+                // acknowledged — a kill after this point always finds
+                // the layer on media.
+                if let Err(e) = Self::checkpoint_home(t, &cursor) {
+                    *faulty = true;
+                    let commits = cursor.commits();
+                    Self::handle_failure(t, e, commits, round, policy, stats);
+                    return;
+                }
+                if cursor.done(&t.layers) {
+                    t.commits = cursor.commits();
+                    t.latency_ns = t.started_at.map_or(0, |s| {
+                        u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    telemetry::incr(Counter::SessionsCompleted);
+                    t.state = TenantState::Completed(Box::new(cursor.finish()));
+                } else {
+                    t.last_progress_round = round;
+                    t.state = TenantState::Running(cursor);
+                }
             }
             Err(e) => {
                 *faulty = true;
@@ -1040,6 +1262,15 @@ impl SessionManager {
         policy: &RobustnessPolicy,
         stats: &mut RobustStats,
     ) {
+        // A durable home is single-use after any error: drop the opened
+        // handle so its on-disk state (always consistent) is only ever
+        // touched again by a fresh open. A *retried* attempt therefore
+        // continues in RAM — under the daemon's classic policy failures
+        // abort instead, and the journal on disk stays resumable by the
+        // next admission of this tenant.
+        if let Some(h) = t.home.as_mut() {
+            h.home = None;
+        }
         let retryable = !matches!(error, JournaledError::Security(_));
         if !retryable || policy.retry.max_session_retries == 0 {
             Self::abort(t, error, commits);
@@ -1176,6 +1407,68 @@ impl SessionManager {
         self.events_from = telemetry::event_cursor();
     }
 
+    /// Collapses one drained tenant into its outcome, folding its
+    /// incident records, stage-time row, and max-blocks watermark into
+    /// the caller's accumulators. Shared by the batch [`Self::report`]
+    /// and the incremental [`Self::harvest_terminal`], so the two drive
+    /// modes can never disagree on verdict conversion.
+    fn collapse(
+        t: Tenant,
+        incidents: &mut IncidentLog,
+        max_blocks: &mut u64,
+        session_rows: &mut Vec<LayerRow>,
+    ) -> SessionOutcome {
+        if telemetry::enabled() {
+            session_rows.push(t.row.clone());
+        }
+        // Cross-attempt salvage first (failed attempts + the
+        // quarantine seal), then the terminal attempt's records.
+        // Merge without re-counting: every record already went
+        // through the `IncidentLog::push` telemetry funnel once.
+        incidents.records.extend(t.incidents.records);
+        let verdict = match t.state {
+            TenantState::Completed(run) => {
+                *max_blocks = (*max_blocks).max(run.max_layer_blocks);
+                incidents
+                    .records
+                    .extend(run.incidents.records.iter().cloned());
+                SessionVerdict::Completed(run)
+            }
+            TenantState::Aborted(err) => {
+                if let JournaledError::Aborted(report) = err.as_ref() {
+                    incidents
+                        .records
+                        .extend(report.incidents.records.iter().cloned());
+                    *max_blocks = (*max_blocks).max(report.max_layer_blocks);
+                }
+                SessionVerdict::Aborted(err)
+            }
+            TenantState::Quarantined(report) => SessionVerdict::Quarantined(report),
+            // `run()` drains the scheduler, so non-terminal states
+            // cannot reach here; report them as aborted-by-shutdown
+            // rather than panicking in a security path.
+            TenantState::Waiting
+            | TenantState::Queued
+            | TenantState::Running(_)
+            | TenantState::Backoff { .. } => SessionVerdict::Aborted(Box::new(
+                JournaledError::Security(SecurityError::PowerInterrupted { layer_id: 0 }),
+            )),
+        };
+        SessionOutcome {
+            tenant: t.id,
+            name: t.name,
+            arrival_round: t.arrival_round,
+            started_round: t.started_round,
+            rounds_serviced: t.rounds_serviced,
+            commits: t.commits,
+            latency_ns: t.latency_ns,
+            queue_ns: t.queue_ns,
+            retries: t.retries,
+            deadline_missed: t.deadline_missed,
+            verdict,
+        }
+    }
+
     /// Collapses terminal tenants into the report: outcomes, merged
     /// incidents, per-session rows, and the cross-session pad ledger.
     fn report(&mut self) -> ServeReport {
@@ -1197,55 +1490,12 @@ impl SessionManager {
         let mut outcomes = Vec::with_capacity(self.tenants.len());
         let mut session_rows = Vec::new();
         for t in self.tenants.drain(..) {
-            if telemetry::enabled() {
-                session_rows.push(t.row.clone());
-            }
-            // Cross-attempt salvage first (failed attempts + the
-            // quarantine seal), then the terminal attempt's records.
-            // Merge without re-counting: every record already went
-            // through the `IncidentLog::push` telemetry funnel once.
-            incidents.records.extend(t.incidents.records);
-            let verdict = match t.state {
-                TenantState::Completed(run) => {
-                    max_blocks = max_blocks.max(run.max_layer_blocks);
-                    incidents
-                        .records
-                        .extend(run.incidents.records.iter().cloned());
-                    SessionVerdict::Completed(run)
-                }
-                TenantState::Aborted(err) => {
-                    if let JournaledError::Aborted(report) = err.as_ref() {
-                        incidents
-                            .records
-                            .extend(report.incidents.records.iter().cloned());
-                        max_blocks = max_blocks.max(report.max_layer_blocks);
-                    }
-                    SessionVerdict::Aborted(err)
-                }
-                TenantState::Quarantined(report) => SessionVerdict::Quarantined(report),
-                // `run()` drains the scheduler, so non-terminal states
-                // cannot reach here; report them as aborted-by-shutdown
-                // rather than panicking in a security path.
-                TenantState::Waiting
-                | TenantState::Queued
-                | TenantState::Running(_)
-                | TenantState::Backoff { .. } => SessionVerdict::Aborted(Box::new(
-                    JournaledError::Security(SecurityError::PowerInterrupted { layer_id: 0 }),
-                )),
-            };
-            outcomes.push(SessionOutcome {
-                tenant: t.id,
-                name: t.name,
-                arrival_round: t.arrival_round,
-                started_round: t.started_round,
-                rounds_serviced: t.rounds_serviced,
-                commits: t.commits,
-                latency_ns: t.latency_ns,
-                queue_ns: t.queue_ns,
-                retries: t.retries,
-                deadline_missed: t.deadline_missed,
-                verdict,
-            });
+            outcomes.push(Self::collapse(
+                t,
+                &mut incidents,
+                &mut max_blocks,
+                &mut session_rows,
+            ));
         }
         ServeReport {
             rounds: self.round,
@@ -1259,7 +1509,153 @@ impl SessionManager {
             sessions_quarantined: self.stats.sessions_quarantined,
             inflight_shed: self.stats.inflight_shed,
             session_rows,
+            scheduler_ns: self.scheduler_ns,
         }
+    }
+
+    // -- Incremental drive mode (the serving daemon) --------------------
+    //
+    // `run()`/`report()` assume a closed population: admit everything,
+    // drain to terminal, report once. A daemon's population is open —
+    // requests arrive and retire continuously — so it drives the same
+    // scheduler one round at a time and harvests terminal sessions as
+    // they finish, with the pad oracle accumulated across the manager's
+    // whole lifetime instead of one report.
+
+    /// Executes one scheduler round (the daemon's clock tick). Returns
+    /// `false` when every admitted tenant is terminal — i.e. there is
+    /// nothing to do until the next admission.
+    pub fn step_round(&mut self) -> bool {
+        self.service_round()
+    }
+
+    /// Scheduler rounds executed so far.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Admitted tenants not yet in a terminal state.
+    #[must_use]
+    pub fn live_sessions(&self) -> usize {
+        self.tenants.iter().filter(|t| !t.is_terminal()).count()
+    }
+
+    /// Layer commits an admitted tenant has made so far (`None` =
+    /// unknown tenant). For a running tenant this reads the live
+    /// cursor; for everyone else, the last recorded count.
+    #[must_use]
+    pub fn progress_of(&self, tenant: u32) -> Option<u32> {
+        self.tenants.iter().find(|t| t.id == tenant).map(|t| {
+            if let TenantState::Running(c) = &t.state {
+                c.commits()
+            } else {
+                t.commits
+            }
+        })
+    }
+
+    /// Client-requested session abort: seals the tenant fail-closed
+    /// through the quarantine path — journal kept for audit, pads never
+    /// reissued, no output released — under the non-breach
+    /// [`SecurityError::SessionCancelled`] verdict. Returns `false`
+    /// when the tenant is unknown or already terminal (too late to
+    /// cancel: the verdict stands).
+    pub fn cancel(&mut self, tenant: u32) -> bool {
+        let round = self.round;
+        let Some(t) = self.tenants.iter_mut().find(|t| t.id == tenant) else {
+            return false;
+        };
+        if t.is_terminal() {
+            return false;
+        }
+        Self::quarantine(
+            t,
+            SecurityError::SessionCancelled { tenant },
+            round,
+            &mut self.stats,
+        );
+        true
+    }
+
+    /// Graceful-drain flush: syncs every live durable tenant's in-RAM
+    /// journal to its on-disk home, so a daemon shutting down hands the
+    /// next process the freshest resumable state. Returns the number of
+    /// per-tenant flushes performed (mirrored by the `drain_flushes`
+    /// telemetry counter); tenants without a durable home are skipped.
+    pub fn drain_flush(&mut self) -> u64 {
+        let mut flushed = 0u64;
+        for t in &mut self.tenants {
+            if t.is_terminal() {
+                continue;
+            }
+            let commits = t.commits;
+            let Some(h) = t.home.as_mut() else {
+                continue;
+            };
+            let (Some(vfs), Some(home)) = (h.vfs.as_mut(), h.home.as_mut()) else {
+                continue;
+            };
+            if home
+                .sync_journal(vfs, &t.durable.journal, commits, &mut None, &mut h.stats)
+                .is_ok()
+            {
+                flushed += 1;
+                telemetry::incr(Counter::DrainFlushes);
+            }
+        }
+        flushed
+    }
+
+    /// Drains every *terminal* tenant into outcomes, leaving live
+    /// tenants scheduled — the daemon's harvest loop. A harvested
+    /// tenant's id becomes admissible again (the repeat-request path;
+    /// pair it with a fresh [`AdmitSpec::nonce_salt`]). Harvested pads
+    /// are absorbed into the manager-lifetime ledger behind
+    /// [`Self::pads_issued`] / [`Self::pad_collisions`].
+    pub fn harvest_terminal(&mut self) -> Vec<SessionOutcome> {
+        self.attribute_stage_spans();
+        let mut out = Vec::new();
+        let mut incidents = IncidentLog::new();
+        let mut max_blocks = 0u64;
+        let mut session_rows = Vec::new();
+        let mut i = 0;
+        while i < self.tenants.len() {
+            if self.tenants[i].is_terminal() {
+                let t = self.tenants.remove(i);
+                self.lifetime_ledger.absorb(&t.session, &t.tracker);
+                out.push(Self::collapse(
+                    t,
+                    &mut incidents,
+                    &mut max_blocks,
+                    &mut session_rows,
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Distinct pads recorded by the lifetime ledger (harvest mode).
+    #[must_use]
+    pub fn pads_issued(&self) -> u64 {
+        self.lifetime_ledger.pads()
+    }
+
+    /// Pad collisions recorded by the lifetime ledger — must stay 0 for
+    /// the whole life of a serving manager.
+    #[must_use]
+    pub fn pad_collisions(&self) -> u64 {
+        self.lifetime_ledger.collisions()
+    }
+
+    /// Exact wall nanoseconds the scheduler spent on pre-step
+    /// bookkeeping (arrivals, sweeps, wakes, admission, fusion
+    /// planning) across every round so far.
+    #[must_use]
+    pub fn scheduler_ns(&self) -> u64 {
+        self.scheduler_ns
     }
 }
 
@@ -1360,6 +1756,108 @@ impl ServeCampaignReport {
     }
 }
 
+/// The deterministic plan one serve seed expands to: keys, admission
+/// cap, and one [`PlannedTenant`] per session. Extracted from
+/// [`run_serve_campaign`] so the wire conformance campaign replays the
+/// *exact* same derivations — same splitmix consumption order, same
+/// model picks, same arrivals, same planted tamper — and "daemon output
+/// ≡ serve-campaign output" holds by construction rather than by luck.
+#[derive(Debug)]
+pub struct ServePlan {
+    /// Device root secret for the manager.
+    pub root: DeviceSecret,
+    /// Base nonce the per-tenant derivation mixes.
+    pub base_nonce: u64,
+    /// Fixed-point shift shared by every session.
+    pub shift: u32,
+    /// Admission cap (kept below the session count when possible so
+    /// backpressure is part of every multi-session campaign).
+    pub max_inflight: usize,
+    /// One plan per tenant, in tenant-id order.
+    pub tenants: Vec<PlannedTenant>,
+}
+
+/// One tenant's slot in a [`ServePlan`].
+#[derive(Debug, Clone)]
+pub struct PlannedTenant {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Index into the model zoo (`campaign_models()` order).
+    pub model: usize,
+    /// Scheduler round the arrival trace releases this tenant.
+    pub arrival_round: u64,
+    /// Whether this is the planted tampered tenant.
+    pub tampered: bool,
+    injector_seed: u64,
+    injector_spec: Option<FaultSpec>,
+}
+
+impl PlannedTenant {
+    /// A fresh copy of the planned DRAM adversary (`None` for clean
+    /// tenants). Each caller gets its own injector so replaying the
+    /// plan twice arms identical fault streams.
+    #[must_use]
+    pub fn injector(&self) -> Option<FaultInjector> {
+        self.injector_spec
+            .map(|spec| FaultInjector::new(self.injector_seed, vec![spec]))
+    }
+}
+
+/// Expands one seed into the serve campaign's full plan. Consumes the
+/// seed's splitmix stream in the exact order the original campaign did
+/// — root secret, base nonce, tampered pick, then per tenant: model,
+/// arrival, and (tampered only) layer/block/injector seed.
+#[must_use]
+pub fn serve_plan(seed: u64, sessions: u32, models: &[CampaignModel]) -> ServePlan {
+    let sessions = sessions.max(1);
+    let mut rng = seed;
+    let root = DeviceSecret::from_seed(splitmix(&mut rng));
+    let base_nonce = splitmix(&mut rng);
+    let tampered_tenant = if sessions >= 2 {
+        Some((splitmix(&mut rng) % u64::from(sessions)) as u32)
+    } else {
+        None
+    };
+    let max_inflight = usize::max(2, sessions as usize / 2 + 1);
+    let shift = models[0].session.shift;
+    let mut tenants = Vec::with_capacity(sessions as usize);
+    for tenant in 0..sessions {
+        let model = (splitmix(&mut rng) % models.len() as u64) as usize;
+        let arrival_round = splitmix(&mut rng) % u64::from(sessions);
+        let tampered = tampered_tenant == Some(tenant);
+        let (injector_seed, injector_spec) = if tampered {
+            let layer = (splitmix(&mut rng) % models[model].layers.len() as u64) as u32;
+            let block = splitmix(&mut rng);
+            (
+                splitmix(&mut rng),
+                Some(FaultSpec {
+                    kind: FaultKind::BitFlip,
+                    persistence: Persistence::Relentless,
+                    layer,
+                    block,
+                }),
+            )
+        } else {
+            (0, None)
+        };
+        tenants.push(PlannedTenant {
+            tenant,
+            model,
+            arrival_round,
+            tampered,
+            injector_seed,
+            injector_spec,
+        });
+    }
+    ServePlan {
+        root,
+        base_nonce,
+        shift,
+        max_inflight,
+        tenants,
+    }
+}
+
 /// The ledger must detect: a deliberate same-key duplicate collides, a
 /// distinct derived key with the same counter does not (that is the
 /// whole point of per-tenant key derivation).
@@ -1392,78 +1890,41 @@ fn ledger_selftest() -> bool {
 #[allow(clippy::too_many_lines)]
 pub fn run_serve_campaign(config: &ServeCampaignConfig) -> ServeCampaignReport {
     let sessions = config.sessions.max(1);
-    let mut rng = config.seed;
     let models = campaign_models();
-    let root = DeviceSecret::from_seed(splitmix(&mut rng));
-    let base_nonce = splitmix(&mut rng);
-    let tampered_tenant = if sessions >= 2 {
-        Some((splitmix(&mut rng) % u64::from(sessions)) as u32)
-    } else {
-        None
-    };
-
-    // Admission cap below the session count (when possible) so the
-    // backpressure path is part of every multi-session campaign.
-    let max_inflight = usize::max(2, sessions as usize / 2 + 1);
-    let shift = models[0].session.shift;
+    let plan = serve_plan(config.seed, sessions, &models);
+    let shift = plan.shift;
     let mut mgr = SessionManager::new(
-        root,
-        base_nonce,
+        plan.root,
+        plan.base_nonce,
         shift,
         RecoveryPolicy::default(),
-        max_inflight,
+        plan.max_inflight,
     );
 
-    struct Plan {
-        tenant: u32,
-        model: usize,
-        tampered: bool,
-    }
     // One shared weight copy per zoo model: tenants serving the same
     // model reference it instead of cloning it.
     let shared: Vec<Arc<Vec<QConvLayer>>> =
         models.iter().map(|m| Arc::new(m.layers.clone())).collect();
-    let mut plans = Vec::with_capacity(sessions as usize);
-    for tenant in 0..sessions {
-        let model = (splitmix(&mut rng) % models.len() as u64) as usize;
-        let arrival = splitmix(&mut rng) % u64::from(sessions);
-        let tampered = tampered_tenant == Some(tenant);
-        let injector = if tampered {
-            let layer = (splitmix(&mut rng) % models[model].layers.len() as u64) as u32;
-            let block = splitmix(&mut rng);
-            Some(FaultInjector::new(
-                splitmix(&mut rng),
-                vec![FaultSpec {
-                    kind: FaultKind::BitFlip,
-                    persistence: Persistence::Relentless,
-                    layer,
-                    block,
-                }],
-            ))
-        } else {
-            None
-        };
+    let plans = &plan.tenants;
+    for p in plans {
         mgr.admit(AdmitSpec {
-            tenant,
-            name: models[model].name.to_string(),
-            layers: Arc::clone(&shared[model]),
-            input: models[model].input.clone(),
-            arrival_round: arrival,
-            injector,
+            tenant: p.tenant,
+            name: models[p.model].name.to_string(),
+            layers: Arc::clone(&shared[p.model]),
+            input: models[p.model].input.clone(),
+            arrival_round: p.arrival_round,
+            injector: p.injector(),
             deadline_rounds: None,
             crash_cuts: Vec::new(),
-        });
-        plans.push(Plan {
-            tenant,
-            model,
-            tampered,
+            nonce_salt: 0,
+            home_dir: None,
         });
     }
 
     // Single-session references under the *same derived keys*, each in
     // its own fresh durable state — the bit-identity oracle.
     let mut references = Vec::with_capacity(plans.len());
-    for plan in &plans {
+    for plan in plans {
         if plan.tampered {
             references.push(None);
             continue;
@@ -1819,6 +2280,8 @@ pub fn run_chaos_campaign(config: &ChaosCampaignConfig) -> ChaosCampaignReport {
             // missing it is an oracle failure, not an expectation.
             deadline_rounds: Some(4096),
             crash_cuts,
+            nonce_salt: 0,
+            home_dir: None,
         });
         plans.push(Plan {
             tenant,
@@ -1953,6 +2416,8 @@ mod tests {
                 injector: None,
                 deadline_rounds: None,
                 crash_cuts: Vec::new(),
+                nonce_salt: 0,
+                home_dir: None,
             });
         }
         mgr
@@ -1976,6 +2441,8 @@ mod tests {
             injector,
             deadline_rounds,
             crash_cuts,
+            nonce_salt: 0,
+            home_dir: None,
         });
     }
 
@@ -2049,6 +2516,8 @@ mod tests {
                 injector: None,
                 deadline_rounds: None,
                 crash_cuts: Vec::new(),
+                nonce_salt: 0,
+                home_dir: None,
             });
         }
         let report = mgr.run();
@@ -2105,6 +2574,8 @@ mod tests {
             injector: None,
             deadline_rounds: None,
             crash_cuts: Vec::new(),
+            nonce_salt: 0,
+            home_dir: None,
         });
     }
 
@@ -2436,6 +2907,8 @@ mod tests {
                     injector: if t == 1 { relentless(13) } else { None },
                     deadline_rounds: None,
                     crash_cuts: Vec::new(),
+                    nonce_salt: 0,
+                    home_dir: None,
                 });
             }
             let sessions: Vec<SecureSession> = (0..3).map(|t| mgr.derived_session(t)).collect();

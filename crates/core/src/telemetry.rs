@@ -124,11 +124,21 @@ pub enum Counter {
     BackendBitslicedBlocks,
     /// Blocks sealed/opened through the `AES-NI`/`SHA-NI` backend.
     BackendAesNiBlocks,
+    /// Wire connections accepted by the serving daemon (any transport).
+    ConnectionsAccepted,
+    /// Inference requests the daemon drove to a terminal state and made
+    /// available to `poll-result`.
+    RequestsServed,
+    /// Challenge-response authentication failures: a connection presented
+    /// a proof not bound to the tenant's derived key and was rejected.
+    AuthFailures,
+    /// Per-tenant durable-journal flushes performed by a graceful drain.
+    DrainFlushes,
 }
 
 impl Counter {
     /// Every counter, in registry (and serialization) order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 38] = [
         Counter::SealBatches,
         Counter::SealBlocks,
         Counter::OpenBatches,
@@ -163,6 +173,10 @@ impl Counter {
         Counter::BackendPortableBlocks,
         Counter::BackendBitslicedBlocks,
         Counter::BackendAesNiBlocks,
+        Counter::ConnectionsAccepted,
+        Counter::RequestsServed,
+        Counter::AuthFailures,
+        Counter::DrainFlushes,
     ];
 
     /// Stable snake_case name used in every sink format.
@@ -203,6 +217,10 @@ impl Counter {
             Counter::BackendPortableBlocks => "backend_portable_blocks",
             Counter::BackendBitslicedBlocks => "backend_bitsliced_blocks",
             Counter::BackendAesNiBlocks => "backend_aesni_blocks",
+            Counter::ConnectionsAccepted => "connections_accepted",
+            Counter::RequestsServed => "requests_served",
+            Counter::AuthFailures => "auth_failures",
+            Counter::DrainFlushes => "drain_flushes",
         }
     }
 }

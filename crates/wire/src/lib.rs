@@ -1,0 +1,49 @@
+//! # seculator-wire
+//!
+//! The `SWP1` wire protocol and the `seculatord` serving engine: a
+//! length-prefixed, CRC32-framed binary protocol (mirroring the `SJF1`
+//! durable-format discipline) that carries submit-inference /
+//! poll-result / session-abort traffic between clients and the
+//! multi-tenant [`seculator_core::SessionManager`] scheduler.
+//!
+//! The crate is layered exactly like the durable subsystem:
+//!
+//! - [`frame`] — the `SWP1` frame grammar: magic, length, CRC32,
+//!   payload. A streaming [`frame::FrameDecoder`] that fails typed on
+//!   truncation, bit-rot, length-flips, and CRC-fixed tampering.
+//! - [`msg`] — the typed message set and its byte codec. Every decode
+//!   error is a [`WireError`]; the decoder never panics on hostile
+//!   bytes (`deny(clippy::unwrap_used)` enforces it).
+//! - [`auth`] — challenge–response connection authentication bound to
+//!   [`seculator_crypto::keys::DeviceSecret::derive_tenant`] keys.
+//! - [`transport`] — the [`transport::Wire`] (client) and
+//!   [`transport::ServerTransport`] (daemon) traits, with real TCP
+//!   implementations driven by a small in-repo poll loop (no new
+//!   dependencies, matching the `shims/rayon` philosophy).
+//! - [`loopback`] — the deterministic in-process transport: a seeded
+//!   arrival interleaving makes every daemon test byte-identical per
+//!   seed, so wire output ≡ serve-campaign output ≡ solo output holds
+//!   by construction.
+//! - [`daemon`] — the transport-agnostic `seculatord` engine: per-
+//!   connection auth state machine, admission onto the scheduler,
+//!   result store, graceful drain, crash-resume over durable homes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+// A hostile peer controls every byte this crate parses: tampering must
+// surface as `WireError`, never as a panic. Tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod auth;
+pub mod daemon;
+pub mod frame;
+pub mod loopback;
+pub mod msg;
+pub mod transport;
+
+pub use auth::{auth_tag, wire_identity, AUTH_DOMAIN};
+pub use daemon::{Daemon, DaemonConfig, DaemonStats, Reply};
+pub use frame::{decode_frame, encode_frame, FrameDecoder, WireError, FRAME_MAGIC, MAX_FRAME};
+pub use loopback::{LoopbackConn, LoopbackNet};
+pub use msg::{Message, RequestState};
+pub use transport::{ConnId, NetEvent, ServerTransport, TcpServerTransport, TcpWire, Wire};

@@ -17,6 +17,11 @@
 //! - [`core`] (`seculator-core`) — the Seculator architecture itself:
 //!   VN generator, layer MAC verifier, the six simulated designs, the
 //!   functional encrypted datapath, attacks, and Seculator+ widening.
+//! - [`wire`] (`seculator-wire`) — the `SWP1` serving protocol:
+//!   CRC32-framed messages, challenge–response auth, TCP + loopback
+//!   transports, and the `seculatord` daemon engine.
+//! - [`client`] (`seculator-client`) — the typed daemon client and the
+//!   deterministic loopback conformance campaign.
 //!
 //! # Quickstart
 //!
@@ -33,8 +38,10 @@
 //! ```
 
 pub use seculator_arch as arch;
+pub use seculator_client as client;
 pub use seculator_compute as compute;
 pub use seculator_core as core;
 pub use seculator_crypto as crypto;
 pub use seculator_models as models;
 pub use seculator_sim as sim;
+pub use seculator_wire as wire;

@@ -25,9 +25,14 @@ use seculator::core::{
 };
 
 mod restart;
+use seculator::client::{run_daemon_campaign, Client, ClientError, DaemonCampaignConfig};
 use seculator::crypto::DeviceSecret;
 use seculator::models::{zoo, Network};
 use seculator::sim::config::NpuConfig;
+use seculator::wire::{
+    wire_identity, Daemon, DaemonConfig, NetEvent, RequestState, ServerTransport,
+    TcpServerTransport, TcpWire,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -44,6 +49,12 @@ fn usage() -> ! {
            restart-campaign [--seed N --cuts K --proc-cuts J]\n\
                                                        on-disk persistence sweep: in-process VFS faults\n\
                                                        plus real kill -9 process restarts\n\
+           daemon   --listen ADDR [--port-file P] [--seed N] [--home DIR]\n\
+                    [--max-requests K]              serve the SWP1 wire protocol over TCP\n\
+           daemon   --loopback [--seed N --sessions K --requests R --home DIR]\n\
+                                                       deterministic in-process conformance campaign\n\
+           submit   --connect HOST:PORT [--seed N --tenant T --model NAME\n\
+                    --request R]                     submit one inference over the wire and wait\n\
            storage  --network <name>                   Table 7 metadata footprints\n\
            describe --network <name>                   per-layer mapped loop nests\n\
            stats    [--format json|prom]               telemetry snapshot of a fixed workload\n\n\
@@ -350,6 +361,94 @@ fn restart_worker(args: &[String]) -> ! {
     }
 }
 
+/// The TCP serving loop: poll the listener, feed events to the engine,
+/// tick the scheduler, and exit once drained (or once `--max-requests`
+/// requests have been served — the bounded mode the CLI tests use).
+fn run_tcp_daemon(
+    listen: &str,
+    port_file: Option<&str>,
+    seed: u64,
+    home_root: Option<std::path::PathBuf>,
+    max_requests: u64,
+) {
+    let mut transport = match TcpServerTransport::bind(listen) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot listen on `{listen}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    let addr = match transport.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve the bound address: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("seculatord listening on {addr} (seed {seed})");
+    if let Some(pf) = port_file {
+        // Atomic so a watching test never reads a torn address.
+        if let Err(e) = atomic_write(std::path::Path::new(pf), addr.to_string().as_bytes()) {
+            eprintln!("cannot write --port-file `{pf}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    let mut daemon = Daemon::new(&DaemonConfig {
+        seed,
+        step_workers: rayon::current_num_threads().max(1),
+        max_inflight: 8,
+        home_root,
+    });
+    loop {
+        let events = match transport.poll() {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("listener failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        let quiet = events.is_empty();
+        for ev in events {
+            match ev {
+                NetEvent::Accepted(id) => daemon.on_connect(id),
+                NetEvent::Frame(id, msg) => {
+                    let reply = daemon.on_message(id, msg);
+                    for m in &reply.msgs {
+                        // A peer that died mid-reply surfaces on the
+                        // next poll; nothing to do here.
+                        let _ = transport.send(id, m);
+                    }
+                    if reply.close {
+                        transport.close(id);
+                        daemon.on_disconnect(id);
+                    }
+                }
+                NetEvent::Closed(id, _) => daemon.on_disconnect(id),
+            }
+        }
+        let busy = daemon.tick();
+        if daemon.draining() && !busy {
+            println!("seculatord drained; exiting");
+            break;
+        }
+        if max_requests > 0
+            && daemon.stats().requests_served >= max_requests
+            && !busy
+            && daemon.open_connections() == 0
+        {
+            break;
+        }
+        if quiet && !busy {
+            transport.idle_wait();
+        }
+    }
+    let s = daemon.stats();
+    println!(
+        "seculatord served {} requests over {} connections ({} auth failures, {} drain flushes)",
+        s.requests_served, s.connections_accepted, s.auth_failures, s.drain_flushes
+    );
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -599,6 +698,116 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 std::process::exit(1);
             }
             return Ok(());
+        }
+        "daemon" => {
+            let seed = num_opt(&args, "--seed", 42);
+            let home_root = opt(&args, "--home").map(std::path::PathBuf::from);
+            if args.iter().any(|a| a == "--loopback") {
+                let cfg = DaemonCampaignConfig {
+                    seed,
+                    sessions: num_opt(&args, "--sessions", 4) as u32,
+                    step_workers: rayon::current_num_threads().max(1),
+                    home_root,
+                    load_requests: num_opt(&args, "--requests", 0) as u32,
+                };
+                println!(
+                    "daemon loopback campaign: seed {} / {} sessions / {} load requests\n",
+                    cfg.seed, cfg.sessions, cfg.load_requests
+                );
+                let report = run_daemon_campaign(&cfg);
+                println!("{}", report.summary());
+                write_metrics(metrics_path.as_deref());
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+                return Ok(());
+            }
+            let Some(listen) = opt(&args, "--listen") else {
+                eprintln!("daemon needs --listen ADDR or --loopback");
+                usage()
+            };
+            run_tcp_daemon(
+                &listen,
+                opt(&args, "--port-file").as_deref(),
+                seed,
+                home_root,
+                num_opt(&args, "--max-requests", 0),
+            );
+            write_metrics(metrics_path.as_deref());
+            return Ok(());
+        }
+        "submit" => {
+            let Some(connect) = opt(&args, "--connect") else {
+                eprintln!("submit needs --connect HOST:PORT");
+                usage()
+            };
+            let seed = num_opt(&args, "--seed", 42);
+            let tenant = num_opt(&args, "--tenant", 0) as u32;
+            let model_name = opt(&args, "--model").unwrap_or_else(|| "grouped-cnn".into());
+            let request = num_opt(&args, "--request", 0);
+            let models = campaign_models();
+            let Some(model) = models.iter().find(|m| m.name == model_name) else {
+                eprintln!(
+                    "unknown model `{model_name}` (daemon models: grouped-cnn strided-cnn mlp)"
+                );
+                usage()
+            };
+            let wire = match TcpWire::connect(&connect) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("cannot connect to `{connect}`: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let mut client = Client::new(wire, tenant);
+            let (root, _) = wire_identity(seed);
+            match client.authenticate(&root.derive_tenant(tenant), seed ^ u64::from(tenant)) {
+                Ok(()) => {}
+                Err(ClientError::AuthRejected(reason)) => {
+                    eprintln!(
+                        "authentication rejected: {reason} — the daemon treats a failed \
+                         possession proof as a breach of wire trust and closed the connection"
+                    );
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("handshake failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            match client.submit(request, &model_name, model.input.clone()) {
+                Ok(round) => println!("request {request} admitted at scheduler round {round}"),
+                Err(e) => {
+                    eprintln!("submission refused: {e}");
+                    if e.to_string().contains("duplicate request id") {
+                        eprintln!(
+                            "hint: this daemon already holds a result for tenant {tenant} \
+                             request {request}; pick an unused id with --request <R>"
+                        );
+                    }
+                    std::process::exit(1);
+                }
+            }
+            match client.wait_terminal(request, 1 << 20) {
+                Ok(RequestState::Completed { digest, .. }) => {
+                    println!("request {request} completed; digest={digest:#018x}");
+                }
+                Ok(RequestState::Aborted { breach, detail }) => {
+                    eprintln!(
+                        "request {request} aborted{}: {detail}",
+                        if breach { " [breach]" } else { "" }
+                    );
+                    std::process::exit(1);
+                }
+                Ok(other) => {
+                    eprintln!("request {request} failed: {other:?}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("lost the daemon while waiting: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         // Internal: one process life of the durable engine. Spawned by
         // `restart-campaign` phase B; not part of the public surface.

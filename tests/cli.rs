@@ -841,3 +841,224 @@ fn threads_option_shares_the_exit_code_contract() {
         "an explicit valid count still runs: {stdout}"
     );
 }
+
+// ───────────────────────── daemon / submit ─────────────────────────
+
+/// `daemon` and `submit` join the usage contract: a missing transport,
+/// a missing connect address, an unknown model, or a bad global flag is
+/// exit 2 with a diagnostic — never a hang, never a connection attempt.
+#[test]
+fn daemon_and_submit_usage_errors_exit_2() {
+    let (code, _, stderr) = run_code(&["daemon"]);
+    assert_eq!(code, Some(2), "daemon without a transport: {stderr}");
+    assert!(
+        stderr.contains("--listen") && stderr.contains("--loopback"),
+        "{stderr}"
+    );
+
+    let (code, _, stderr) = run_code(&["submit"]);
+    assert_eq!(code, Some(2), "submit without --connect: {stderr}");
+    assert!(stderr.contains("--connect"), "{stderr}");
+
+    // Model validation happens before any socket is opened, so a bogus
+    // name fails fast even with an unreachable address.
+    let (code, _, stderr) = run_code(&["submit", "--connect", "127.0.0.1:1", "--model", "bogus"]);
+    assert_eq!(code, Some(2), "unknown model is a usage error: {stderr}");
+    assert!(stderr.contains("unknown model"), "{stderr}");
+
+    let (code, _, stderr) = run_code(&["daemon", "--loopback", "--backend", "bogus"]);
+    assert_eq!(code, Some(2), "bad backend under daemon: {stderr}");
+    assert!(stderr.contains("invalid value for --backend"), "{stderr}");
+}
+
+/// The loopback daemon campaign is deterministic per seed and invariant
+/// under `--threads` (scheduler workers) and `--backend` (crypto
+/// backend) — the flags must propagate into the daemon, and neither may
+/// leak into the wire trace.
+#[test]
+fn daemon_loopback_campaign_is_deterministic_and_flag_invariant() {
+    let args = [
+        "daemon",
+        "--loopback",
+        "--seed",
+        "7",
+        "--sessions",
+        "4",
+        "--requests",
+        "1",
+    ];
+    let (code, stdout, _) = run_code(&args);
+    assert_eq!(code, Some(0), "loopback campaign must PASS: {stdout}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    assert!(stdout.contains("bad-auth probe: rejected"), "{stdout}");
+    assert!(stdout.contains("lifetime collisions: 0"), "{stdout}");
+    assert_eq!(
+        stdout.matches("[tampered]").count(),
+        1,
+        "exactly one planted adversary: {stdout}"
+    );
+
+    let (_, again, _) = run_code(&args);
+    assert_eq!(stdout, again, "same seed must be byte-identical");
+
+    let mut threaded = args.to_vec();
+    threaded.extend(["--threads", "3"]);
+    let (code, threaded_out, _) = run_code(&threaded);
+    assert_eq!(code, Some(0));
+    assert_eq!(
+        stdout, threaded_out,
+        "scheduler worker count leaked into the wire trace"
+    );
+
+    let mut backed = args.to_vec();
+    backed.extend(["--backend", "portable"]);
+    let (code, backed_out, _) = run_code(&backed);
+    assert_eq!(code, Some(0));
+    assert_eq!(
+        stdout, backed_out,
+        "crypto backend choice leaked into the wire trace"
+    );
+
+    let (_, other, _) = run_code(&[
+        "daemon",
+        "--loopback",
+        "--seed",
+        "8",
+        "--sessions",
+        "4",
+        "--requests",
+        "1",
+    ]);
+    assert_ne!(stdout, other, "different seed, different trace");
+}
+
+/// The `--metrics` snapshot's four wire counters must mirror the
+/// daemon's own deterministic stats line *exactly* — the stats struct
+/// and the telemetry registry are incremented at the same sites, so any
+/// divergence is a lost or double count.
+#[test]
+fn daemon_loopback_metrics_counters_match_the_daemon_stats_line() {
+    let path = scratch("daemon-metrics.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (code, stdout, _) = run_code(&[
+        "daemon",
+        "--loopback",
+        "--seed",
+        "7",
+        "--sessions",
+        "4",
+        "--requests",
+        "1",
+        "--metrics",
+        path_s,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let metrics = std::fs::read_to_string(&path).expect("--metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        metrics.contains("\"schema\": \"seculator-telemetry-v1\""),
+        "{metrics}"
+    );
+    if !cfg!(feature = "telemetry") {
+        assert!(metrics.contains("\"enabled\": false"), "{metrics}");
+        return;
+    }
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("daemon seed="))
+        .expect("daemon stats line in the summary");
+    let stats: Vec<u64> = line
+        .split(": ")
+        .nth(1)
+        .expect("stats after the seed")
+        .split(", ")
+        .map(|part| {
+            part.split_whitespace()
+                .next()
+                .expect("leading number")
+                .parse()
+                .expect("numeric stat")
+        })
+        .collect();
+    assert_eq!(stats.len(), 4, "{line}");
+    for (counter, expected) in [
+        "connections_accepted",
+        "requests_served",
+        "auth_failures",
+        "drain_flushes",
+    ]
+    .iter()
+    .zip(&stats)
+    {
+        assert_eq!(
+            json_u64(&metrics, counter),
+            *expected,
+            "telemetry `{counter}` diverged from the daemon stats line\n{metrics}\n{line}"
+        );
+    }
+}
+
+/// End-to-end over real TCP: a client with the wrong device seed is
+/// rejected with a breach diagnostic (exit 1) without consuming the
+/// request budget; a client with the right seed is served a verified
+/// digest (exit 0); and the daemon exits cleanly once `--max-requests`
+/// is reached.
+#[test]
+fn tcp_daemon_rejects_bad_auth_and_serves_good_requests() {
+    let port_file = scratch("daemon-port");
+    std::fs::remove_file(&port_file).ok();
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_seculator"))
+        .args([
+            "daemon",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().expect("utf-8 temp path"),
+            "--seed",
+            "42",
+            "--max-requests",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+
+    let mut addr = String::new();
+    for _ in 0..400 {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if !s.trim().is_empty() {
+                addr = s.trim().to_string();
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(!addr.is_empty(), "daemon never wrote its --port-file");
+
+    // Wrong seed → wrong derived key → possession proof rejected.
+    let (code, _, stderr) = run_code(&["submit", "--connect", &addr, "--seed", "43"]);
+    assert_eq!(code, Some(1), "bad auth must exit 1: {stderr}");
+    assert!(stderr.contains("authentication rejected"), "{stderr}");
+    assert!(
+        stderr.contains("breach of wire trust"),
+        "the diagnostic names the security posture: {stderr}"
+    );
+
+    // Right seed → admitted, served, digest delivered.
+    let (code, stdout, stderr) = run_code(&[
+        "submit",
+        "--connect",
+        &addr,
+        "--seed",
+        "42",
+        "--model",
+        "mlp",
+    ]);
+    assert_eq!(code, Some(0), "clean submit must exit 0: {stdout}{stderr}");
+    assert!(stdout.contains("admitted at scheduler round"), "{stdout}");
+    assert!(stdout.contains("digest="), "{stdout}");
+
+    let status = daemon.wait().expect("daemon exits after --max-requests");
+    assert!(status.success(), "daemon must exit 0 after a bounded run");
+    std::fs::remove_file(&port_file).ok();
+}

@@ -185,6 +185,8 @@ fn chaos_scheduled_healthy_tenants_match_their_solo_runs() {
                 injector,
                 deadline_rounds: None,
                 crash_cuts,
+                nonce_salt: 0,
+                home_dir: None,
             });
         };
         admit(0, None, Vec::new());
@@ -291,6 +293,8 @@ fn batched_multi_tenant_sessions_match_the_plaintext_reference() {
                 injector: None,
                 deadline_rounds: None,
                 crash_cuts: Vec::new(),
+                nonce_salt: 0,
+                home_dir: None,
             });
         }
         let report = mgr.run();
@@ -469,6 +473,189 @@ fn every_backend_resumes_a_cut_inference_bit_identically() {
         }
     }
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// The eighth datapath: inference served over the `SWP1` wire. One
+/// loopback daemon, one authenticated client per zoo model (tenant i
+/// runs model i), every answer crossing the wire as real CRC32-framed
+/// bytes — and every wire-delivered output must be bit-identical to
+/// both the tenant's solo journaled run under the same derived key and
+/// the plaintext reference. Framing, codec, auth, scheduling, and
+/// result delivery all sit between the reference and the assertion.
+#[test]
+fn every_zoo_model_served_over_the_loopback_wire_is_bit_identical() {
+    use seculator::client::Client;
+    use seculator::core::{RecoveryPolicy, SessionManager};
+    use seculator::wire::{wire_identity, DaemonConfig, LoopbackNet, RequestState};
+
+    let seed = 0x8DA7_A9A7u64;
+    let (root, base_nonce) = wire_identity(seed);
+    let models = campaign_models();
+    let shift = models[0].session.shift;
+    let key_mgr = SessionManager::new(root, base_nonce, shift, RecoveryPolicy::default(), 1);
+
+    let net = LoopbackNet::new(&DaemonConfig::new(seed), seed);
+    for (tenant, m) in models.iter().enumerate() {
+        let tenant = u32::try_from(tenant).expect("small zoo");
+        let expected = infer_plain(&m.layers, &m.input, shift);
+        let session = key_mgr.derived_session(tenant);
+        let solo = infer_journaled(
+            &m.layers,
+            &m.input,
+            &session,
+            &mut DurableState::default(),
+            &mut Instruments {
+                tracker: &mut PadTracker::new(),
+                injector: None,
+                clock: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: solo reference failed: {e}", m.name));
+
+        let mut client = Client::new(LoopbackNet::connect(&net), tenant);
+        client
+            .authenticate(&root.derive_tenant(tenant), u64::from(tenant) ^ seed)
+            .unwrap_or_else(|e| panic!("{}: handshake failed: {e}", m.name));
+        client
+            .submit(0, m.name, m.input.clone())
+            .unwrap_or_else(|e| panic!("{}: submission refused: {e}", m.name));
+        match client.wait_terminal(0, 1 << 16) {
+            Ok(RequestState::Completed { output, .. }) => {
+                assert_eq!(
+                    output, solo.output,
+                    "{}: wire-served output diverged from the solo journaled run",
+                    m.name
+                );
+                assert_eq!(
+                    output, expected,
+                    "{}: wire-served output diverged from the plaintext reference",
+                    m.name
+                );
+            }
+            other => panic!("{}: wire request did not complete: {other:?}", m.name),
+        }
+    }
+    assert_eq!(
+        net.borrow().daemon().pad_collisions(),
+        0,
+        "daemon-lifetime pad ledger must stay collision-free"
+    );
+}
+
+/// Daemon ≡ serve campaign for the same seed: both campaigns check
+/// every clean tenant against the *identical* solo journaled reference
+/// (same `serve_plan`, same derived keys), so both passing is a
+/// transitive proof that the wire-served outputs equal the
+/// serve-campaign outputs bit-for-bit.
+#[test]
+fn daemon_campaign_matches_the_serve_campaign_for_the_same_seed() {
+    use seculator::client::{run_daemon_campaign, DaemonCampaignConfig};
+    use seculator::core::{run_serve_campaign, ServeCampaignConfig};
+
+    let seed = 0xDA_E0A5u64 ^ 0x5EC0;
+    let daemon = run_daemon_campaign(&DaemonCampaignConfig {
+        seed,
+        sessions: 5,
+        step_workers: 2,
+        home_root: None,
+        load_requests: 0,
+    });
+    assert!(daemon.passed(), "daemon campaign:\n{}", daemon.summary());
+    let serve = run_serve_campaign(&ServeCampaignConfig { seed, sessions: 5 });
+    assert!(serve.passed(), "serve campaign:\n{}", serve.summary());
+}
+
+/// Mid-flight daemon kill + restart-resume: a daemon with a durable
+/// home root is dropped (no drain, no flush — simulated process death)
+/// after at least one layer commit but before completion; a fresh
+/// daemon over the same home root must *resume* the sealed journal when
+/// the client re-submits the same request and deliver an output
+/// bit-identical to the uninterrupted solo run.
+#[test]
+fn a_killed_daemon_resumes_its_durable_home_bit_identically() {
+    use seculator::client::Client;
+    use seculator::core::{RecoveryPolicy, SessionManager};
+    use seculator::wire::{wire_identity, DaemonConfig, LoopbackNet, RequestState};
+
+    let seed = 0xDEAD_5EED_u64;
+    let home_root =
+        std::env::temp_dir().join(format!("seculator-daemon-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&home_root).expect("scratch home root");
+
+    let (root, base_nonce) = wire_identity(seed);
+    let models = campaign_models();
+    let m = &models[0]; // grouped-cnn: the deepest zoo member
+    let shift = m.session.shift;
+    let key_mgr = SessionManager::new(root, base_nonce, shift, RecoveryPolicy::default(), 1);
+    let session = key_mgr.derived_session(0);
+    let solo = infer_journaled(
+        &m.layers,
+        &m.input,
+        &session,
+        &mut DurableState::default(),
+        &mut Instruments {
+            tracker: &mut PadTracker::new(),
+            injector: None,
+            clock: None,
+        },
+    )
+    .expect("uninterrupted reference run");
+    let expected = infer_plain(&m.layers, &m.input, shift);
+
+    let cfg = DaemonConfig {
+        seed,
+        step_workers: 1,
+        max_inflight: 2,
+        home_root: Some(home_root.clone()),
+    };
+
+    // Life 1: admit, advance to a mid-flight commit, then die.
+    {
+        let net = LoopbackNet::new(&cfg, seed);
+        let mut client = Client::new(LoopbackNet::connect(&net), 0);
+        client
+            .authenticate(&root.derive_tenant(0), seed)
+            .expect("handshake");
+        client.submit(0, m.name, m.input.clone()).expect("admitted");
+        let mut mid_flight = false;
+        for _ in 0..(1u64 << 12) {
+            net.borrow_mut().pump_once();
+            let commits = net.borrow().daemon().progress_of(0);
+            if matches!(commits, Some(c) if c >= 1 && (c as usize) < m.layers.len()) {
+                mid_flight = true;
+                break;
+            }
+        }
+        assert!(mid_flight, "never observed a mid-flight layer commit");
+        // `net` and `client` drop here: no drain, no checkpoint — the
+        // only survivor is what the journal already sealed to disk.
+    }
+
+    // Life 2: a fresh daemon over the same home root. Re-submitting the
+    // same request id lands in the same durable home, which must resume
+    // the sealed journal instead of recomputing from scratch.
+    let net = LoopbackNet::new(&cfg, seed);
+    let mut client = Client::new(LoopbackNet::connect(&net), 0);
+    client
+        .authenticate(&root.derive_tenant(0), seed)
+        .expect("handshake after restart");
+    client
+        .submit(0, m.name, m.input.clone())
+        .expect("re-admitted after restart");
+    match client.wait_terminal(0, 1 << 16) {
+        Ok(RequestState::Completed { output, .. }) => {
+            assert_eq!(
+                output, solo.output,
+                "restart-resumed output diverged from the uninterrupted solo run"
+            );
+            assert_eq!(
+                output, expected,
+                "restart-resumed output diverged from the plaintext reference"
+            );
+        }
+        other => panic!("restarted daemon did not complete the request: {other:?}"),
+    }
+    std::fs::remove_dir_all(&home_root).ok();
 }
 
 /// Master-equation conformance: for a real mapped network, the

@@ -43,6 +43,8 @@ fn zoo_manager(
             injector: None,
             deadline_rounds: None,
             crash_cuts: Vec::new(),
+            nonce_salt: 0,
+            home_dir: None,
         });
         picks.push(pick);
     }
@@ -166,6 +168,8 @@ proptest! {
                 injector,
                 deadline_rounds: None,
                 crash_cuts: Vec::new(),
+                nonce_salt: 0,
+                home_dir: None,
             });
         }
         let report = tampered.run();
@@ -227,6 +231,8 @@ fn fused_manager(seed: u64, sessions: u32, pick: usize) -> SessionManager {
             injector: None,
             deadline_rounds: None,
             crash_cuts: Vec::new(),
+            nonce_salt: 0,
+            home_dir: None,
         });
     }
     mgr
@@ -369,6 +375,8 @@ fn retry_storms_never_reuse_a_ctr_pad() {
                 injector,
                 deadline_rounds: None,
                 crash_cuts,
+                nonce_salt: 0,
+                home_dir: None,
             });
         };
         admit(&mut mgr, 0, None, vec![steps / 2]);

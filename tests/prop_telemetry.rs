@@ -353,3 +353,62 @@ fn backend_dispatch_counters_are_conserved() {
         "backend attribution must conserve the per-mode block totals"
     );
 }
+
+/// Wire-layer conservation: across one loopback daemon campaign the
+/// four wire counters grow by *exactly* what the daemon's own
+/// [`seculator::wire::DaemonStats`] mirror claims — the stats struct
+/// and the telemetry registry are incremented at the same sites
+/// (accept, harvest, proof rejection, drain flush), so any divergence
+/// is a lost or double count. With the feature off the counters stay 0
+/// while the deterministic stats mirror still carries the true tallies.
+#[test]
+fn daemon_wire_counters_are_conserved() {
+    use seculator::client::{run_daemon_campaign, DaemonCampaignConfig};
+
+    const WIRE: [Counter; 4] = [
+        Counter::ConnectionsAccepted,
+        Counter::RequestsServed,
+        Counter::AuthFailures,
+        Counter::DrainFlushes,
+    ];
+    let _guard = exact_delta_guard();
+    let before: Vec<u64> = WIRE.iter().map(|&c| telemetry::get(c)).collect();
+    let report = run_daemon_campaign(&DaemonCampaignConfig {
+        seed: 0x7E1E_CAFE,
+        sessions: 4,
+        step_workers: 1,
+        home_root: None,
+        load_requests: 1,
+    });
+    assert!(
+        report.passed(),
+        "daemon campaign fails:\n{}",
+        report.summary()
+    );
+    let claimed = [
+        report.stats.connections_accepted,
+        report.stats.requests_served,
+        report.stats.auth_failures,
+        report.stats.drain_flushes,
+    ];
+    for (i, &c) in WIRE.iter().enumerate() {
+        let want = if ENABLED { before[i] + claimed[i] } else { 0 };
+        assert_eq!(
+            telemetry::get(c),
+            want,
+            "`{}` diverged from the daemon's stats mirror\n{}",
+            c.name(),
+            report.summary()
+        );
+    }
+    // The campaign must actually exercise the layer being conserved:
+    // every tenant plus the bad-auth probe connects, conformance and
+    // load requests are served, and the probe lands one auth failure.
+    assert!(
+        report.stats.connections_accepted >= 5
+            && report.stats.requests_served >= 4
+            && report.stats.auth_failures == 1,
+        "the campaign must drive connections, serves, and a rejection:\n{}",
+        report.summary()
+    );
+}
